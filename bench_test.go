@@ -1,0 +1,374 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (DESIGN.md §4 maps experiment ids to these targets). Run:
+//
+//	go test -bench=. -benchmem
+//
+// The Table1 rows measure full Algorithm 2 generation on the paper's five
+// machine suites; the Fig benches measure the constituent operations; the
+// Ablation benches quantify the design choices called out in DESIGN.md.
+package fusion_test
+
+import (
+	"fmt"
+	"testing"
+
+	fusion "repro"
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/experiments"
+	"repro/internal/lattice"
+	"repro/internal/machines"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// --- Figures -------------------------------------------------------------
+
+// BenchmarkFig1ModCounters measures fusion generation for the motivating
+// example: two mod-3 counters, f = 1 (experiment fig1).
+func BenchmarkFig1ModCounters(b *testing.B) {
+	sys := mustSystem(b, "0-Counter", "1-Counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		F, err := fusion.Generate(sys, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(F) != 1 {
+			b.Fatal("wrong fusion")
+		}
+	}
+}
+
+// BenchmarkFig2CrossProduct measures reachable-cross-product construction
+// on the Fig. 2 machines (experiment fig2).
+func BenchmarkFig2CrossProduct(b *testing.B) {
+	ms := mustMachines(b, "A", "B")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := fusion.ReachableCrossProduct(ms)
+		if err != nil || p.Top.NumStates() != 4 {
+			b.Fatal("bad product")
+		}
+	}
+}
+
+// BenchmarkFig3Lattice measures full closed-partition lattice enumeration
+// of the Fig. 2 top (experiment fig3).
+func BenchmarkFig3Lattice(b *testing.B) {
+	sys := mustSystem(b, "A", "B")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := lattice.Build(sys.Top, 0)
+		if err != nil || l.Size() < 5 {
+			b.Fatal("bad lattice")
+		}
+	}
+}
+
+// BenchmarkFig4FaultGraphs measures fault-graph construction and dmin over
+// the Fig. 2 system (experiment fig4).
+func BenchmarkFig4FaultGraphs(b *testing.B) {
+	sys := mustSystem(b, "A", "B")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.BuildFaultGraph(sys.N(), sys.Parts)
+		if g.Dmin() != 1 {
+			b.Fatal("bad dmin")
+		}
+	}
+}
+
+// BenchmarkFig5SetRepresentation measures Algorithm 1 on the TCP machine
+// against the MESI+TCP+A+B top (experiment fig5 at realistic scale).
+func BenchmarkFig5SetRepresentation(b *testing.B) {
+	sys := mustSystem(b, "MESI", "TCP", "A", "B")
+	tcp := sys.Machines[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SetRepresentation(sys.Top, tcp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 1 -------------------------------------------------------------
+
+func benchTableRow(b *testing.B, suite machines.Suite) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunTableRow(suite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.Fusion >= row.Replication {
+			b.Fatalf("%s: fusion %d not smaller than replication %d", suite.Name, row.Fusion, row.Replication)
+		}
+	}
+}
+
+// BenchmarkTable1Row1 .. Row5 regenerate the five rows of the results
+// table: system construction + Algorithm 2 + state-space accounting
+// (experiments tab1.1–tab1.5).
+func BenchmarkTable1Row1(b *testing.B) { benchTableRow(b, machines.PaperSuites()[0]) }
+func BenchmarkTable1Row2(b *testing.B) { benchTableRow(b, machines.PaperSuites()[1]) }
+func BenchmarkTable1Row3(b *testing.B) { benchTableRow(b, machines.PaperSuites()[2]) }
+func BenchmarkTable1Row4(b *testing.B) { benchTableRow(b, machines.PaperSuites()[3]) }
+func BenchmarkTable1Row5(b *testing.B) { benchTableRow(b, machines.PaperSuites()[4]) }
+
+// --- Sensor network (introduction / conclusion) ---------------------------
+
+// BenchmarkSensorNetworkFusion measures fusion-based recovery of crashed
+// sensors in the 100-counter network (experiment sensor).
+func BenchmarkSensorNetworkFusion(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Sensor(100, 3, 1, int64(i))
+		if err != nil || !r.RecoveryOK {
+			b.Fatalf("sensor recovery failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkSensorNetworkScale sweeps the network size (shape: linear in n).
+func BenchmarkSensorNetworkScale(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Sensor(n, 5, 2, int64(i))
+				if err != nil || !r.RecoveryOK {
+					b.Fatal("recovery failed")
+				}
+			}
+		})
+	}
+}
+
+// --- Recovery (Section 5.2) ----------------------------------------------
+
+func recoveryCluster(b *testing.B, f int) *sim.Cluster {
+	b.Helper()
+	ms := mustMachines(b, "MESI", "TCP", "A", "B")
+	c, err := sim.NewCluster(ms, f, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trace.NewGenerator(11, ms)
+	c.ApplyAll(gen.Take(128))
+	return c
+}
+
+// BenchmarkRecoverCrash measures one crash-recovery round (Algorithm 3 plus
+// state restoration) on the MESI+TCP+A+B cluster (experiment recov).
+func BenchmarkRecoverCrash(b *testing.B) {
+	c := recoveryCluster(b, 2)
+	names := c.ServerNames()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inject(trace.Fault{Server: names[i%len(names)], Kind: trace.Crash})
+		if _, err := c.Recover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoverByzantine measures one Byzantine round with liar
+// identification (experiment recov).
+func BenchmarkRecoverByzantine(b *testing.B) {
+	c := recoveryCluster(b, 2)
+	names := c.ServerNames()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inject(trace.Fault{Server: names[i%len(names)], Kind: trace.Byzantine})
+		if _, err := c.Recover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoverAlgorithm3 isolates the vote itself at |top| = 176.
+func BenchmarkRecoverAlgorithm3(b *testing.B) {
+	sys := mustSystem(b, "MESI", "TCP", "A", "B")
+	var reports []core.Report
+	for i := range sys.Machines {
+		r, err := sys.ReportFor(i, sys.Machines[i].Initial())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Recover(sys.N(), reports); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md) -------------------------------------------------
+
+// BenchmarkAblationIncrementalDmin compares Algorithm 2 with incremental
+// fault-graph updates (the default) against full recomputation per outer
+// iteration (experiment abl1).
+func BenchmarkAblationIncrementalDmin(b *testing.B) {
+	sys := mustSystem(b, "EvenParity", "OddParity", "Toggle", "PatternGenerator")
+	for _, mode := range []struct {
+		name      string
+		recompute bool
+	}{{"incremental", false}, {"recompute", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.GenerateFusion(sys, 3, core.GenerateOptions{Recompute: mode.recompute})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExhaustiveSearch compares the greedy lattice descent of
+// Algorithm 2 against the exponential exhaustive minimal-fusion search of
+// the authors' earlier work (experiment abl2; small top only).
+func BenchmarkAblationExhaustiveSearch(b *testing.B) {
+	sys := mustSystem(b, "0-Counter", "1-Counter")
+	g := core.BuildFaultGraph(sys.N(), sys.Parts)
+	required := g.WeakestEdges()
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := core.GreedyDescent(sys, required)
+			if m.NumBlocks() != 3 {
+				b.Fatal("bad descent")
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			best, err := core.ExhaustiveMinimalFusions(sys, 1<<20)
+			if err != nil || best[0].NumBlocks() != 3 {
+				b.Fatal("bad exhaustive result")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGuardedClosure compares the abort-early guarded closure
+// candidate evaluation against filter-after-closure on a paper suite
+// (experiment abl1 family).
+func BenchmarkAblationGuardedClosure(b *testing.B) {
+	sys := mustSystem(b, "MESI", "1-Counter", "0-Counter", "ShiftRegister")
+	for _, mode := range []struct {
+		name     string
+		disabled bool
+	}{{"guarded", false}, {"unguarded", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.GenerateFusion(sys, 2, core.GenerateOptions{NoGuardedClosure: mode.disabled})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLowerCoverVsMergeClosures quantifies the fast-path decision in
+// GenerateFusion: merge closures without the maximality filter.
+func BenchmarkLowerCoverVsMergeClosures(b *testing.B) {
+	sys := mustSystem(b, "0-Counter", "1-Counter")
+	top := partition.Singletons(sys.N())
+	b.Run("mergeClosures", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := partition.MergeClosures(sys.Top, top, nil); len(got) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("lowerCover", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := partition.LowerCover(sys.Top, top); len(got) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks -------------------------------------------
+
+// BenchmarkCrossProductLarge measures R() construction on the largest
+// paper suite (row 3's five machines).
+func BenchmarkCrossProductLarge(b *testing.B) {
+	ms := mustMachines(b, "1-Counter", "0-Counter", "Divider", "A", "B")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fusion.ReachableCrossProduct(ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosure measures one Hartmanis–Stearns closure on a 176-state
+// top (the inner operation of Algorithm 2).
+func BenchmarkClosure(b *testing.B) {
+	sys := mustSystem(b, "MESI", "TCP", "A", "B")
+	p := partition.Singletons(sys.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := partition.CloseMergingStates(sys.Top, p, 0, (i%(sys.N()-1))+1)
+		if c.NumBlocks() < 1 {
+			b.Fatal("bad closure")
+		}
+	}
+}
+
+// BenchmarkApplyEvents measures broadcast event application across the
+// simulated cluster (goroutine-per-server fan-out).
+func BenchmarkApplyEvents(b *testing.B) {
+	ms := mustMachines(b, "MESI", "TCP", "A", "B")
+	c, err := sim.NewCluster(ms, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trace.NewGenerator(5, ms)
+	batch := gen.Take(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ApplyAll(batch)
+	}
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func mustMachines(tb testing.TB, names ...string) []*dfsm.Machine {
+	tb.Helper()
+	ms := make([]*dfsm.Machine, len(names))
+	for i, n := range names {
+		m, err := machines.Get(n)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+func mustSystem(tb testing.TB, names ...string) *core.System {
+	tb.Helper()
+	sys, err := core.NewSystem(mustMachines(tb, names...))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}

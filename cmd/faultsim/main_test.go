@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestDefaultRun(t *testing.T) {
+	out, err := runCapture(t, "-events", "20", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cluster:", "round 1:", "consistent: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrashRounds(t *testing.T) {
+	out, err := runCapture(t, "-zoo", "EvenParity,OddParity,ShiftRegister",
+		"-f", "2", "-crash", "2", "-rounds", "3", "-events", "30", "-seed", "11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "consistent: true") != 3 {
+		t.Errorf("expected 3 consistent rounds:\n%s", out)
+	}
+}
+
+func TestByzantineRound(t *testing.T) {
+	out, err := runCapture(t, "-zoo", "0-Counter,1-Counter",
+		"-f", "2", "-byzantine", "1", "-crash", "0", "-rounds", "2", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "byzantine") {
+		t.Errorf("no byzantine fault injected:\n%s", out)
+	}
+	if strings.Count(out, "consistent: true") != 2 {
+		t.Errorf("expected 2 consistent rounds:\n%s", out)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.events")
+	// Record a run.
+	if _, err := runCapture(t, "-events", "15", "-seed", "8", "-record", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Fields(string(data))) != 15 {
+		t.Fatalf("recorded %d events, want 15", len(strings.Fields(string(data))))
+	}
+	// Replay it.
+	out, err := runCapture(t, "-seed", "8", "-replay", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "15 events") {
+		t.Errorf("replay did not use the recorded stream:\n%s", out)
+	}
+	// Missing replay file.
+	if _, err := runCapture(t, "-replay", "/no/such/file"); err == nil {
+		t.Error("missing replay file accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCapture(t, "-zoo", "NoSuch"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, err := runCapture(t, "-badflag"); err == nil {
+		t.Error("bad flag accepted")
+	}
+	// More crashes than the fusion tolerates: recovery must fail loudly.
+	if _, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-f", "1", "-crash", "3", "-seed", "2"); err == nil {
+		t.Error("over-budget crash round succeeded")
+	}
+}

@@ -1,0 +1,143 @@
+// Command fsmtool inspects and transforms DFSMs: print transition tables,
+// export Graphviz/JSON, compute reachable cross products, check
+// isomorphism, and enumerate closed-partition lattices. It works on the
+// built-in zoo and on .fsm spec files, complementing fusegen (generation)
+// and faultsim (simulation).
+//
+// Usage:
+//
+//	fsmtool -zoo TCP -table
+//	fsmtool -spec machines.fsm -product -lattice
+//	fsmtool -zoo A,B -iso
+//	fsmtool -zoo MESI -dot -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	fusion "repro"
+	"repro/internal/dfsm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fsmtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fsmtool", flag.ContinueOnError)
+	var (
+		zoo      = fs.String("zoo", "", "comma-separated zoo machine names")
+		specPath = fs.String("spec", "", "machine spec file (.fsm)")
+		table    = fs.Bool("table", false, "print transition tables")
+		dot      = fs.Bool("dot", false, "print Graphviz dot")
+		asJSON   = fs.Bool("json", false, "print JSON")
+		asSpec   = fs.Bool("fsm", false, "print .fsm spec format")
+		product  = fs.Bool("product", false, "compute the reachable cross product of all machines")
+		latt     = fs.Bool("lattice", false, "enumerate the closed-partition lattice of the (product) machine")
+		iso      = fs.Bool("iso", false, "check whether the (exactly two) machines are isomorphic")
+		stats    = fs.Bool("stats", false, "print structural statistics (SCCs, recurrent states, eccentricity)")
+		maxNodes = fs.Int("max-lattice", 4096, "lattice enumeration bound")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ms, err := loadMachines(*zoo, *specPath)
+	if err != nil {
+		return err
+	}
+
+	for _, m := range ms {
+		fmt.Fprintf(out, "%s: %d states, %d events, initial %s\n",
+			m.Name(), m.NumStates(), m.NumEvents(), m.StateName(m.Initial()))
+		if *table {
+			fmt.Fprint(out, m.Table())
+		}
+		if *dot {
+			fmt.Fprint(out, m.DOT())
+		}
+		if *asJSON {
+			data, err := json.MarshalIndent(m, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, string(data))
+		}
+		if *stats {
+			fmt.Fprint(out, m.Stats())
+		}
+	}
+	if *asSpec {
+		fmt.Fprint(out, fusion.FormatSpec(ms))
+	}
+
+	if *iso {
+		if len(ms) != 2 {
+			return fmt.Errorf("-iso needs exactly 2 machines, got %d", len(ms))
+		}
+		fmt.Fprintf(out, "isomorphic: %v\n", dfsm.Isomorphic(ms[0], ms[1]))
+	}
+
+	target := ms[0]
+	if *product || len(ms) > 1 && *latt {
+		p, err := fusion.ReachableCrossProduct(ms)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: %d reachable states (unpruned product: %d)\n",
+			p.Top.Name(), p.Top.NumStates(), p.StateSpace())
+		if *table && *product {
+			fmt.Fprint(out, p.Top.Table())
+		}
+		target = p.Top
+	}
+
+	if *latt {
+		l, err := fusion.BuildLattice(target, *maxNodes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, l.Summary())
+		if *dot {
+			fmt.Fprint(out, l.DOT())
+		}
+	}
+	return nil
+}
+
+func loadMachines(zoo, specPath string) ([]*fusion.Machine, error) {
+	var ms []*fusion.Machine
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		parsed, err := fusion.ParseSpec(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", specPath, err)
+		}
+		ms = append(ms, parsed...)
+	}
+	if zoo != "" {
+		for _, name := range strings.Split(zoo, ",") {
+			m, err := fusion.ZooMachine(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			ms = append(ms, m)
+		}
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("no machines given; use -zoo or -spec")
+	}
+	return ms, nil
+}

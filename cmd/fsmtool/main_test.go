@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestTableAndDot(t *testing.T) {
+	out, err := runCapture(t, "-zoo", "MESI", "-table", "-dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MESI: 4 states", "machine MESI", "digraph"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestJSONAndSpec(t *testing.T) {
+	out, err := runCapture(t, "-zoo", "Toggle", "-json", "-fsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"name": "Toggle"`) || !strings.Contains(out, "machine Toggle") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestProductAndLattice(t *testing.T) {
+	out, err := runCapture(t, "-zoo", "A,B", "-product", "-lattice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4 reachable states") {
+		t.Errorf("product missing:\n%s", out)
+	}
+	if !strings.Contains(out, "closed-partition lattice") {
+		t.Errorf("lattice missing:\n%s", out)
+	}
+}
+
+func TestIso(t *testing.T) {
+	out, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-iso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different alphabets: not isomorphic.
+	if !strings.Contains(out, "isomorphic: false") {
+		t.Errorf("output:\n%s", out)
+	}
+	if _, err := runCapture(t, "-zoo", "MESI", "-iso"); err == nil {
+		t.Error("-iso with one machine accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	out, err := runCapture(t, "-zoo", "TCP", "-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "recurrent:") || !strings.Contains(out, "SCCs") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+	// TCP's CLOSED state must be recurrent (connections can always be
+	// reopened and closed again).
+	if !strings.Contains(out, "CLOSED") {
+		t.Errorf("TCP CLOSED not recurrent:\n%s", out)
+	}
+}
+
+func TestSpecInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.fsm")
+	os.WriteFile(path, []byte("machine M\ninitial a\na e -> b\nb e -> a\n"), 0o644)
+	out, err := runCapture(t, "-spec", path, "-table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "M: 2 states") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCapture(t); err == nil {
+		t.Error("no machines accepted")
+	}
+	if _, err := runCapture(t, "-zoo", "Ghost"); err == nil {
+		t.Error("unknown zoo machine accepted")
+	}
+	if _, err := runCapture(t, "-spec", "/does/not/exist"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-lattice", "-max-lattice", "2"); err == nil {
+		t.Error("lattice bound not enforced")
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestListZoo(t *testing.T) {
+	out, err := runCapture(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MESI", "TCP", "0-Counter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %s", want)
+		}
+	}
+}
+
+func TestZooGeneration(t *testing.T) {
+	out, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-f", "1", "-table", "-spec-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"|top| = 9", "1 backup machine(s)", "sizes [3]", "machine F1", "strict"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpecFileGeneration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.fsm")
+	src := `
+machine X
+initial x0
+x0 a -> x1
+x1 a -> x0
+
+machine Y
+initial y0
+y0 b -> y1
+y1 b -> y0
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCapture(t, "-spec", path, "-f", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "|top| = 4") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestDOTOutputFile(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "out.dot")
+	if _, err := runCapture(t, "-zoo", "A,B", "-f", "1", "-dot", dot); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Error("dot file has no digraph")
+	}
+}
+
+func TestPlanMode(t *testing.T) {
+	out, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-f", "2", "-plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan for f=2", "savings", "replication: 4 machine(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCapture(t); err == nil {
+		t.Error("no machines: expected error")
+	}
+	if _, err := runCapture(t, "-zoo", "NoSuchMachine"); err == nil {
+		t.Error("unknown zoo machine accepted")
+	}
+	if _, err := runCapture(t, "-spec", "/nonexistent/file.fsm"); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	if _, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-f", "5", "-max-machines", "1"); err == nil {
+		t.Error("max-machines guard did not trip")
+	}
+	if _, err := runCapture(t, "-bogus-flag"); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	m.Set("a")
+	m.Set("b")
+	if m.String() != "a,b" || len(m) != 2 {
+		t.Errorf("multiFlag = %v", m)
+	}
+}

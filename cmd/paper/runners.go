@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+func runFig1(out io.Writer) error {
+	r, err := experiments.Fig1()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, experiments.FormatFig1(r))
+	return err
+}
+
+func runFig2(out io.Writer) error {
+	r, err := experiments.Fig2()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, experiments.FormatFig2(r))
+	return err
+}
+
+func runFig3(out io.Writer, dot bool) error {
+	r, err := experiments.Fig3()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(out, experiments.FormatFig3(r)); err != nil {
+		return err
+	}
+	if dot {
+		_, err = fmt.Fprint(out, r.DOT)
+	}
+	return err
+}
+
+func runFig4(out io.Writer) error {
+	r, err := experiments.Fig4()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, experiments.FormatFig4(r))
+	return err
+}
+
+func runFig5(out io.Writer) error {
+	r, err := experiments.Fig5()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, experiments.FormatFig5(r))
+	return err
+}
+
+func runTable1(out io.Writer) error {
+	rows, err := experiments.Table1()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(out, "Table 1 — fusion vs replication (Section 6)"); err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, experiments.FormatTable(rows))
+	return err
+}
+
+func runSensor(out io.Writer, seed int64) error {
+	if _, err := fmt.Fprintln(out, "Sensor network (introduction / conclusion)"); err != nil {
+		return err
+	}
+	for _, cfg := range []struct{ n, k, f int }{
+		{100, 3, 1},  // the paper's 100-sensor example
+		{1000, 7, 5}, // the conclusion's 1000 machines / 5 faults claim
+	} {
+		r, err := experiments.Sensor(cfg.n, cfg.k, cfg.f, seed)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprint(out, experiments.FormatSensor(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runScaling(out io.Writer) error {
+	pts, err := experiments.Scaling(experiments.DefaultScalingConfig())
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(out, "Scaling (extension) — random machine systems, Algorithm 2"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(out, experiments.FormatScaling(pts)); err != nil {
+		return err
+	}
+	row, err := experiments.ExtendedSuite(1)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "extended zoo suite (Turnstile,Thermostat,Vending,TokenBucket): |top|=%d backups=%v fusion=%d repl=%d\n",
+		row.TopSize, row.BackupSizes, row.Fusion, row.Replication)
+	return err
+}
+
+func runTheorems(out io.Writer) error {
+	checks, err := experiments.Theorems()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(out, "Theorems 1–5 + detection extension — exhaustive operational verification"); err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, experiments.FormatTheorems(checks))
+	return err
+}
+
+func runRecovery(out io.Writer, rounds int, seed int64) error {
+	rs, err := experiments.RecoveryAll(rounds, seed)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(out, "Recovery (Section 5.2) — simulated cluster, oracle-verified"); err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, experiments.FormatRecovery(rs))
+	return err
+}

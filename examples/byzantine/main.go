@@ -1,0 +1,64 @@
+// Byzantine: tolerating lying machines (Theorem 2). A fusion generated for
+// f = 2 crash faults tolerates one Byzantine fault: the cluster detects
+// which machine lied, proves the liar's report inconsistent with the
+// majority, and restores the correct state — without 2·n·f replicas.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fusion "repro"
+)
+
+func main() {
+	var ms []*fusion.Machine
+	for _, name := range []string{"EvenParity", "OddParity", "ShiftRegister"} {
+		m, err := fusion.ZooMachine(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+
+	// dmin must exceed 2f_byz: generate for f = 2 crash ⇒ 1 Byzantine.
+	cluster, err := fusion.NewCluster(ms, 2, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := cluster.System()
+	fmt.Printf("system of %d machines, |top| = %d; fusion sizes:", len(ms), sys.N())
+	for _, m := range cluster.FusionMachines() {
+		fmt.Printf(" %d", m.NumStates())
+	}
+	fmt.Println()
+
+	events := []string{"1", "0", "1", "1", "0", "0", "1", "0"}
+	cluster.ApplyAll(events)
+
+	// The shift register silently corrupts its state (a Byzantine fault —
+	// it will *lie* during recovery).
+	if err := cluster.Inject(fusion.Fault{Server: "ShiftRegister", Kind: fusion.Byzantine}); err != nil {
+		log.Fatal(err)
+	}
+	out, err := cluster.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery identified liars %v and restored %v\n", out.Liars, out.Restored)
+	fmt.Printf("cluster consistent with fault-free oracle: %v\n", len(cluster.Verify()) == 0)
+
+	// Two liars would exceed the bound: recovery must refuse rather than
+	// return a wrong state.
+	cluster.ApplyAll(events)
+	cluster.Inject(fusion.Fault{Server: "EvenParity", Kind: fusion.Byzantine})
+	cluster.Inject(fusion.Fault{Server: "OddParity", Kind: fusion.Byzantine})
+	if _, err := cluster.Recover(); err != nil {
+		fmt.Printf("two liars beyond the bound: recovery correctly refused (%v)\n", err)
+	} else {
+		// With two lies the vote can also happen to stay unambiguous but
+		// wrong states are then detectable via Verify; report either way.
+		fmt.Printf("two liars: recovery returned; consistent=%v (bound is f/2=1)\n",
+			len(cluster.Verify()) == 0)
+	}
+}

@@ -1,0 +1,181 @@
+// Package fusion is the public API of the fusion-based fault-tolerance
+// library, a reproduction of Ogale, Balasubramanian and Garg, "A
+// Fusion-based Approach for Tolerating Faults in Finite State Machines"
+// (IPPS 2009).
+//
+// Given n deterministic finite state machines driven by a common event
+// stream, the library generates m backup machines — an (f,m)-fusion — such
+// that the system of n+m machines tolerates f crash faults or ⌊f/2⌋
+// Byzantine faults, usually with far fewer backup states than the
+// traditional n·f-replica approach:
+//
+//	sys, _ := fusion.NewSystem([]*fusion.Machine{a, b})
+//	backups, _ := fusion.Generate(sys, 2)           // Algorithm 2
+//	ms, _ := sys.FusionMachines(backups, "F")       // runnable DFSMs
+//	...
+//	state, _, _ := sys.RecoverStates(reports)       // Algorithm 3
+//
+// The facade re-exports the stable surface of the internal packages; see
+// the package documentation of internal/core for the theory mapping.
+package fusion
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/lattice"
+	"repro/internal/machines"
+	"repro/internal/partition"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Machine is a deterministic finite state machine (Definition 1 of the
+// paper). Machines are immutable once built.
+type Machine = dfsm.Machine
+
+// Builder constructs machines transition by transition.
+type Builder = dfsm.Builder
+
+// Product is a reachable cross product R(A) with per-component projections.
+type Product = dfsm.Product
+
+// System is a set of machines together with their reachable cross product
+// and the derived closed partitions; all fusion operations start here.
+type System = core.System
+
+// Partition is a closed partition of the top machine's state set — the
+// internal representation of every machine ≤ ⊤.
+type Partition = partition.P
+
+// FaultGraph is the weighted distinguishability graph of Definition 3.
+type FaultGraph = core.FaultGraph
+
+// Report is one machine's contribution to recovery (its current state's
+// set representation).
+type Report = core.Report
+
+// RecoverResult is the outcome of Algorithm 3.
+type RecoverResult = core.RecoverResult
+
+// GenerateOptions tunes Algorithm 2; the zero value is the paper's
+// algorithm.
+type GenerateOptions = core.GenerateOptions
+
+// Cluster is the simulated distributed deployment (servers + fusion
+// backups + fault injection + recovery).
+type Cluster = sim.Cluster
+
+// Fault describes an injected failure.
+type Fault = trace.Fault
+
+// FaultKind selects crash or Byzantine behaviour.
+type FaultKind = trace.FaultKind
+
+// Crash and Byzantine are the paper's two fault models.
+const (
+	Crash     = trace.Crash
+	Byzantine = trace.Byzantine
+)
+
+// Lattice is the enumerated closed-partition lattice (Fig. 3).
+type Lattice = lattice.Lattice
+
+// NewMachine builds a machine from explicit state/event/transition tables.
+func NewMachine(name string, states, events []string, delta [][]int, initial int) (*Machine, error) {
+	return dfsm.NewMachine(name, states, events, delta, initial)
+}
+
+// NewBuilder starts an incremental machine definition.
+func NewBuilder(name string) *Builder { return dfsm.NewBuilder(name) }
+
+// NewSystem computes the reachable cross product of the machines and
+// prepares them for fusion generation and recovery.
+func NewSystem(ms []*Machine) (*System, error) { return core.NewSystem(ms) }
+
+// Generate runs Algorithm 2: the minimal set of backup machines making the
+// system tolerate f crash faults (⌊f/2⌋ Byzantine faults).
+func Generate(sys *System, f int) ([]Partition, error) {
+	return core.GenerateFusion(sys, f, core.GenerateOptions{})
+}
+
+// GenerateWithOptions is Generate with explicit options.
+func GenerateWithOptions(sys *System, f int, opts GenerateOptions) ([]Partition, error) {
+	return core.GenerateFusion(sys, f, opts)
+}
+
+// Recover runs Algorithm 3 over the reports and returns the winning
+// ⊤-state with liar identification.
+func Recover(n int, reports []Report) (*RecoverResult, error) {
+	return core.Recover(n, reports)
+}
+
+// DetectionResult is the outcome of DetectFaults.
+type DetectionResult = core.DetectionResult
+
+// DetectFaults checks a report set for corruption without guessing: with
+// distance d the system detects up to d−1 corrupted states even when it
+// can only correct ⌊(d−1)/2⌋ of them (an extension mirroring classical
+// coding theory; see internal/core/detect.go).
+func DetectFaults(n int, reports []Report) (*DetectionResult, error) {
+	return core.DetectFaults(n, reports)
+}
+
+// SetRepresentation runs Algorithm 1: expresses each state of a (a ≤ top)
+// as the set of top states mapping onto it.
+func SetRepresentation(top, a *Machine) ([][]int, error) {
+	return core.SetRepresentation(top, a)
+}
+
+// BuildFaultGraph constructs the fault graph over n top states for a
+// machine set given as partitions.
+func BuildFaultGraph(n int, parts []Partition) *FaultGraph {
+	return core.BuildFaultGraph(n, parts)
+}
+
+// ReachableCrossProduct computes R(machines) with projections.
+func ReachableCrossProduct(ms []*Machine) (*Product, error) {
+	return dfsm.ReachableCrossProduct(ms)
+}
+
+// NewCluster builds a simulated deployment tolerating f crash faults.
+func NewCluster(ms []*Machine, f int, seed int64) (*Cluster, error) {
+	return sim.NewCluster(ms, f, seed)
+}
+
+// BuildLattice enumerates the closed-partition lattice of a machine
+// (small tops only; maxNodes 0 means 4096).
+func BuildLattice(top *Machine, maxNodes int) (*Lattice, error) {
+	return lattice.Build(top, maxNodes)
+}
+
+// ParseSpec reads machines in the .fsm text format.
+func ParseSpec(r io.Reader) ([]*Machine, error) { return spec.Parse(r) }
+
+// FormatSpec renders machines in the .fsm text format.
+func FormatSpec(ms []*Machine) string { return spec.Format(ms) }
+
+// ZooMachine returns a machine from the built-in model zoo by name (MESI,
+// TCP, 0-Counter, ...); ZooNames lists the options.
+func ZooMachine(name string) (*Machine, error) { return machines.Get(name) }
+
+// ZooNames lists the built-in model zoo.
+func ZooNames() []string { return machines.Names() }
+
+// ReplicationStateSpace returns (Π|Mi|)^f — the backup state space the
+// replication baseline needs for f crash faults (Section 6's comparison
+// metric).
+func ReplicationStateSpace(ms []*Machine, f int) uint64 {
+	return replication.CrashStateSpace(ms, f)
+}
+
+// Plan is a capacity-planning summary: backup counts, sizes and state
+// spaces for fusion vs replication.
+type Plan = core.Plan
+
+// PlanFusion generates the fusion for f crash faults and summarizes its
+// cost against replication.
+func PlanFusion(sys *System, f int) (*Plan, error) { return core.PlanFusion(sys, f) }

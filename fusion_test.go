@@ -1,0 +1,132 @@
+package fusion_test
+
+import (
+	"strings"
+	"testing"
+
+	fusion "repro"
+)
+
+// TestFacadeEndToEnd drives the whole public API: build machines, make a
+// system, generate a fusion, run everything, crash a machine, recover.
+func TestFacadeEndToEnd(t *testing.T) {
+	a, err := fusion.NewMachine("A", []string{"a0", "a1", "a2"}, []string{"0"},
+		[][]int{{1}, {2}, {0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fusion.NewMachine("B", []string{"b0", "b1", "b2"}, []string{"1"},
+		[][]int{{1}, {2}, {0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := fusion.NewSystem([]*fusion.Machine{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	F, err := fusion.Generate(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(F) != 1 || F[0].NumBlocks() != 3 {
+		t.Fatalf("fusion = %v", F)
+	}
+	fms, err := sys.FusionMachines(F, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := []string{"0", "1", "0", "0"}
+	// B crashes; A and F1 report.
+	ra, err := sys.ReportFor(0, a.Run(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := fusion.Report{Machine: "F1", TopStates: F[0].Blocks()[fms[0].Run(events)]}
+	res, err := fusion.Recover(sys.N(), []fusion.Report{ra, rf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Product.Proj[res.TopState][1]; got != b.Run(events) {
+		t.Fatalf("recovered B state %d, want %d", got, b.Run(events))
+	}
+}
+
+func TestFacadeBuilderAndSpec(t *testing.T) {
+	m := fusion.NewBuilder("light").Initial("red").
+		Transition("red", "go", "green").
+		Transition("green", "stop", "red").
+		MustBuild(true)
+	out := fusion.FormatSpec([]*fusion.Machine{m})
+	back, err := fusion.ParseSpec(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].NumStates() != 2 {
+		t.Fatalf("round trip: %v", back)
+	}
+}
+
+func TestFacadeZoo(t *testing.T) {
+	names := fusion.ZooNames()
+	if len(names) < 10 {
+		t.Fatalf("zoo too small: %v", names)
+	}
+	m, err := fusion.ZooMachine("TCP")
+	if err != nil || m.NumStates() != 11 {
+		t.Fatalf("TCP: %v %v", m, err)
+	}
+}
+
+func TestFacadeCluster(t *testing.T) {
+	a, _ := fusion.ZooMachine("0-Counter")
+	b, _ := fusion.ZooMachine("1-Counter")
+	c, err := fusion.NewCluster([]*fusion.Machine{a, b}, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ApplyAll([]string{"0", "1", "1"})
+	if err := c.Inject(fusion.Fault{Server: "0-Counter", Kind: fusion.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("divergent: %v", bad)
+	}
+}
+
+func TestFacadeLatticeAndGraph(t *testing.T) {
+	a, _ := fusion.ZooMachine("A")
+	b, _ := fusion.ZooMachine("B")
+	sys, err := fusion.NewSystem([]*fusion.Machine{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := fusion.BuildLattice(sys.Top, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains(sys.Parts[0]) {
+		t.Error("lattice missing machine A")
+	}
+	g := fusion.BuildFaultGraph(sys.N(), sys.Parts)
+	if g.Dmin() != 1 {
+		t.Errorf("dmin = %d", g.Dmin())
+	}
+	if fusion.ReplicationStateSpace(sys.Machines, 2) != 81 {
+		t.Error("replication metric wrong")
+	}
+	p, err := fusion.ReachableCrossProduct(sys.Machines)
+	if err != nil || p.Top.NumStates() != sys.N() {
+		t.Error("cross product facade broken")
+	}
+	sets, err := fusion.SetRepresentation(sys.Top, a)
+	if err != nil || len(sets) != 3 {
+		t.Error("set representation facade broken")
+	}
+	if _, err := fusion.GenerateWithOptions(sys, 1, fusion.GenerateOptions{MaxMachines: 5}); err != nil {
+		t.Error(err)
+	}
+}

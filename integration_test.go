@@ -1,0 +1,160 @@
+package fusion_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	fusion "repro"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestIntegrationMatrix drives every subsystem together across the paper
+// suites: generate a fusion, serialize the backups through the .fsm format
+// and back, deploy on the simulated cluster, checkpoint, run mixed
+// workloads with crash and Byzantine faults via both recovery paths
+// (direct and message protocol), detect injected corruption, and verify
+// against the oracle at every step.
+func TestIntegrationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration matrix skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2009))
+	suites := []machines.Suite{
+		{Name: "counters", Machines: []string{"0-Counter", "1-Counter"}, F: 2},
+		{Name: "bits", Machines: []string{"EvenParity", "OddParity", "ShiftRegister"}, F: 2},
+		{Name: "figs", Machines: []string{"A", "B"}, F: 2},
+	}
+	for _, suite := range suites {
+		suite := suite
+		t.Run(suite.Name, func(t *testing.T) {
+			ms, err := machines.SuiteMachines(suite)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// 1. Generate and spec-round-trip the backups.
+			sys, err := fusion.NewSystem(ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			F, err := fusion.Generate(sys, suite.F)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fms, err := sys.FusionMachines(F, "F")
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := fusion.ParseSpec(strings.NewReader(fusion.FormatSpec(fms)))
+			if err != nil {
+				t.Fatalf("fusion machines do not survive the spec format: %v", err)
+			}
+			for i := range fms {
+				back, err := sys.PartitionOf(parsed[i])
+				if err != nil {
+					t.Fatalf("re-parsed fusion machine %d is not ≤ ⊤: %v", i, err)
+				}
+				if !back.Equal(F[i]) {
+					t.Fatalf("fusion machine %d changed partition through the spec format", i)
+				}
+			}
+
+			// 2. Deploy, checkpoint, and run mixed fault rounds.
+			cluster, err := sim.NewCluster(ms, suite.F, rng.Int63())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := trace.NewGenerator(rng.Int63(), ms)
+			journal := sim.NewJournal(cluster.Snapshot())
+
+			for round := 0; round < 6; round++ {
+				events := gen.Take(10 + rng.Intn(30))
+				cluster.ApplyAllJournaled(journal, events)
+
+				names := cluster.ServerNames()
+				victim := names[rng.Intn(len(names))]
+				kind := trace.Crash
+				if round%2 == 1 {
+					kind = trace.Byzantine
+				}
+				if err := cluster.Inject(trace.Fault{Server: victim, Kind: kind}); err != nil {
+					t.Fatal(err)
+				}
+
+				// 3. Detection sees Byzantine corruption before recovery.
+				if kind == trace.Byzantine {
+					reports := collectReports(t, cluster)
+					det, err := fusion.DetectFaults(cluster.System().N(), reports)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !det.Faulty {
+						t.Fatalf("round %d: corruption of %s undetected", round, victim)
+					}
+				}
+
+				// 4. Recover — alternate direct and protocol paths.
+				if round%2 == 0 {
+					if _, err := cluster.Recover(); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+				} else {
+					if _, err := cluster.RecoverViaProtocol(2 * time.Second); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+				}
+				if bad := cluster.Verify(); len(bad) != 0 {
+					t.Fatalf("round %d: divergent after recovery: %v", round, bad)
+				}
+
+				// 5. Replay recovery agrees with the live state.
+				replayed, err := cluster.ReplayRecover(journal, names[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := cluster.States()[0]; got != replayed {
+					t.Fatalf("round %d: journal replay %d != live state %d", round, replayed, got)
+				}
+			}
+
+			// 6. Metrics reflect the activity.
+			m := cluster.Metrics().Snapshot()
+			if m.Recoveries != 6 || m.FaultsInjected != 6 {
+				t.Errorf("metrics: %+v", m)
+			}
+		})
+	}
+}
+
+// collectReports gathers reports from all live servers of the cluster for
+// detection, including lying ones (that is the point).
+func collectReports(t *testing.T, cluster *sim.Cluster) []fusion.Report {
+	t.Helper()
+	sys := cluster.System()
+	F := cluster.Fusion()
+	names := cluster.ServerNames()
+	states := cluster.States()
+	var reports []fusion.Report
+	for i, name := range names {
+		if states[i] < 0 {
+			continue // crashed
+		}
+		var r core.Report
+		var err error
+		if i < len(sys.Machines) {
+			r, err = sys.ReportFor(i, states[i])
+		} else {
+			r, err = core.ReportForPartition(name, F[i-len(sys.Machines)], states[i])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+	return reports
+}

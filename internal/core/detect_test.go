@@ -1,0 +1,252 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+	"repro/internal/partition"
+)
+
+func TestConsistentStateCleanRun(t *testing.T) {
+	sys := fig1System(t)
+	events := []string{"0", "1", "1", "0"}
+	var reports []core.Report
+	for i, m := range sys.Machines {
+		r, err := sys.ReportFor(i, m.Run(events))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+	ts, err := core.ConsistentState(sys.N(), reports)
+	if err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+	if ts != sys.Top.Run(events) {
+		t.Errorf("consistent state %d, top says %d", ts, sys.Top.Run(events))
+	}
+}
+
+func TestConsistentStateAmbiguous(t *testing.T) {
+	sys := fig1System(t)
+	// Only machine A reports: its block has 3 top states.
+	r, err := sys.ReportFor(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.ConsistentState(sys.N(), []core.Report{r}); err != core.ErrAmbiguous {
+		t.Fatalf("want ErrAmbiguous, got %v", err)
+	}
+}
+
+func TestConsistentStateInconsistent(t *testing.T) {
+	sys := fig1System(t)
+	events := []string{"0", "0", "1"}
+	ra, err := sys.ReportFor(0, sys.Machines[0].Run(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B lies: reports a state whose block cannot overlap A's on the truth.
+	truthB := sys.Machines[1].Run(events)
+	rb, err := sys.ReportFor(1, (truthB+1)%3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A's block fixes n0 mod 3; B's wrong block fixes a wrong n1; their
+	// intersection is still nonempty in the 9-state product (A and B are
+	// orthogonal), so inconsistency needs a third machine. Add F1 truth.
+	f1 := machines.SumCounter(3)
+	p1, err := sys.PartitionOf(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := core.ReportForPartition("F1", p1, f1.Run(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.ConsistentState(sys.N(), []core.Report{ra, rb, rf})
+	if err != core.ErrInconsistent {
+		t.Fatalf("want ErrInconsistent, got %v", err)
+	}
+}
+
+func TestConsistentStateValidation(t *testing.T) {
+	if _, err := core.ConsistentState(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := core.ConsistentState(3, []core.Report{{Machine: "x", TopStates: []int{9}}}); err == nil {
+		t.Error("out-of-range report accepted")
+	}
+}
+
+func TestDetectFaultsCleanAndCorrupt(t *testing.T) {
+	sys := fig1System(t)
+	f1m := machines.SumCounter(3)
+	p1, err := sys.PartitionOf(f1m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []string{"1", "0", "1", "1"}
+	mk := func(lieB bool) []core.Report {
+		var reports []core.Report
+		for i, m := range sys.Machines {
+			s := m.Run(events)
+			if lieB && i == 1 {
+				s = (s + 1) % 3
+			}
+			r, err := sys.ReportFor(i, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, r)
+		}
+		rf, err := core.ReportForPartition("F1", p1, f1m.Run(events))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(reports, rf)
+	}
+
+	clean, err := core.DetectFaults(sys.N(), mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Faulty {
+		t.Errorf("clean run detected as faulty: %+v", clean)
+	}
+	if clean.TopState != sys.Top.Run(events) {
+		t.Errorf("detected state %d, want %d", clean.TopState, sys.Top.Run(events))
+	}
+
+	corrupt, err := core.DetectFaults(sys.N(), mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !corrupt.Faulty {
+		t.Fatal("corruption not detected (dmin=2 detects one fault)")
+	}
+	found := false
+	for _, s := range corrupt.Suspects {
+		if s == "1-Counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("liar not among suspects %v", corrupt.Suspects)
+	}
+}
+
+// TestDetectionBeyondCorrectionBound: with dmin = 2 the system corrects 0
+// Byzantine faults but still DETECTS 1 — the coding-theory gap this
+// extension exposes.
+func TestDetectionBeyondCorrectionBound(t *testing.T) {
+	sys := fig1System(t)
+	f1m := machines.SumCounter(3)
+	p1, err := sys.PartitionOf(f1m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dmin({A,B,F1}) = 2: one Byzantine fault is not correctable
+	// ((dmin−1)/2 = 0) yet must be detectable (dmin−1 = 1).
+	if d := sys.DminWith([]partition.P{mustPartitionOf(t, sys, f1m)}); d != 2 {
+		t.Fatalf("dmin({A,B,F1}) = %d, want 2", d)
+	}
+	events := []string{"0", "1"}
+	var reports []core.Report
+	for i, m := range sys.Machines {
+		s := m.Run(events)
+		if i == 0 {
+			s = (s + 1) % 3 // A lies
+		}
+		r, err := sys.ReportFor(i, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+	rf, err := core.ReportForPartition("F1", p1, f1m.Run(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports = append(reports, rf)
+
+	res, err := core.DetectFaults(sys.N(), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Faulty {
+		t.Fatal("one lie with dmin=2 must be detectable")
+	}
+}
+
+func mustPartitionOf(t *testing.T, sys *core.System, m *dfsm.Machine) partition.P {
+	t.Helper()
+	p, err := sys.PartitionOf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDetectFaultsRandomized: corrupting one machine in a dmin≥2 system is
+// always detected; fault-free runs never are.
+func TestDetectFaultsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sys, err := core.NewSystem([]*dfsm.Machine{
+		machines.EvenParity(), machines.OddParity(), machines.ShiftRegister(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	F, err := core.GenerateFusion(sys, 1, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fms, err := sys.FusionMachines(F, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		events := make([]string, rng.Intn(15))
+		for i := range events {
+			events[i] = []string{"0", "1"}[rng.Intn(2)]
+		}
+		liar := rng.Intn(len(sys.Machines) + len(fms) + 1) // last = nobody
+		var reports []core.Report
+		anyLie := false
+		for i, m := range sys.Machines {
+			s := m.Run(events)
+			if i == liar && m.NumStates() > 1 {
+				s = (s + 1) % m.NumStates()
+				anyLie = true
+			}
+			r, err := sys.ReportFor(i, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, r)
+		}
+		for i, fm := range fms {
+			b := fm.Run(events)
+			if len(sys.Machines)+i == liar && F[i].NumBlocks() > 1 {
+				b = (b + 1) % F[i].NumBlocks()
+				anyLie = true
+			}
+			r, err := core.ReportForPartition(fm.Name(), F[i], b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, r)
+		}
+		res, err := core.DetectFaults(sys.N(), reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Faulty != anyLie {
+			t.Fatalf("trial %d: lie=%v detected=%v", trial, anyLie, res.Faulty)
+		}
+	}
+}

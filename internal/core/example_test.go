@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+)
+
+// ExampleGenerateFusion walks the paper's Fig. 1: Algorithm 2 finds one
+// 3-state backup for the two mod-3 counters.
+func ExampleGenerateFusion() {
+	sys, err := core.NewSystem([]*dfsm.Machine{
+		machines.ZeroCounter(), machines.OneCounter(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	F, err := core.GenerateFusion(sys, 1, core.GenerateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machines: %d, states: %d\n", len(F), F[0].NumBlocks())
+	// Output:
+	// machines: 1, states: 3
+}
+
+// ExampleSetRepresentation shows Algorithm 1 on the Fig. 2 machines.
+func ExampleSetRepresentation() {
+	sys, err := core.NewSystem([]*dfsm.Machine{machines.Fig2A(), machines.Fig2B()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sets, err := core.SetRepresentation(sys.Top, sys.Machines[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for s, set := range sets {
+		fmt.Printf("a%d -> %d top state(s)\n", s, len(set))
+	}
+	// Output:
+	// a0 -> 2 top state(s)
+	// a1 -> 1 top state(s)
+	// a2 -> 1 top state(s)
+}
+
+// ExampleBuildFaultGraph computes dmin for the Fig. 2 system.
+func ExampleBuildFaultGraph() {
+	sys, err := core.NewSystem([]*dfsm.Machine{machines.Fig2A(), machines.Fig2B()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := core.BuildFaultGraph(sys.N(), sys.Parts)
+	fmt.Println("dmin:", g.Dmin())
+	fmt.Println("weakest edges:", len(g.WeakestEdges()))
+	// Output:
+	// dmin: 1
+	// weakest edges: 2
+}
+
+// ExampleRecover runs Algorithm 3 with one crashed counter.
+func ExampleRecover() {
+	sys, err := core.NewSystem([]*dfsm.Machine{
+		machines.ZeroCounter(), machines.OneCounter(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f1, err := sys.PartitionOf(machines.SumCounter(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// After events 0,0,1: A=2, B=1, F1=0. A crashes.
+	rb, _ := sys.ReportFor(1, 1)
+	rf, _ := core.ReportForPartition("F1", f1, 0)
+	res, err := core.Recover(sys.N(), []core.Report{rb, rf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("A's state:", sys.Product.Proj[res.TopState][0])
+	// Output:
+	// A's state: 2
+}
+
+// ExampleSystem_FusionExists evaluates Theorem 4's boundary.
+func ExampleSystem_FusionExists() {
+	sys, err := core.NewSystem([]*dfsm.Machine{machines.Fig2A(), machines.Fig2B()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("(2,1):", sys.FusionExists(2, 1))
+	fmt.Println("(2,2):", sys.FusionExists(2, 2))
+	// Output:
+	// (2,1): false
+	// (2,2): true
+}
+
+// ExamplePlanFusion summarizes the fusion-vs-replication trade before
+// deployment.
+func ExamplePlanFusion() {
+	sys, err := core.NewSystem([]*dfsm.Machine{
+		machines.ZeroCounter(), machines.OneCounter(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.PlanFusion(sys, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fusion %d states vs replication %d states\n",
+		p.FusionStateSpace, p.ReplicationStateSpace)
+	// Output:
+	// fusion 9 states vs replication 81 states
+}

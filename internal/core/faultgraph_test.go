@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+func TestFaultGraphFig4(t *testing.T) {
+	// Reproduce the structure of Fig. 4 on the reconstructed Fig. 2 system:
+	// G({A}) has exactly one zero-weight edge (the pair A does not
+	// separate), G({A,B}) has dmin 1, and adding M1 raises dmin to 2.
+	sys := fig2System(t)
+	a, b := sys.Parts[0], sys.Parts[1]
+	m1 := fig2M1(t, sys)
+
+	gA := core.BuildFaultGraph(sys.N(), []partition.P{a})
+	if gA.Dmin() != 0 {
+		t.Errorf("dmin(G({A})) = %d, want 0 (A merges two top states)", gA.Dmin())
+	}
+	zero := 0
+	for i := 0; i < sys.N(); i++ {
+		for j := i + 1; j < sys.N(); j++ {
+			w := gA.Weight(i, j)
+			if w == 0 {
+				zero++
+			}
+			if w < 0 || w > 1 {
+				t.Errorf("G({A}) edge (%d,%d) weight %d out of range", i, j, w)
+			}
+		}
+	}
+	if zero != 1 {
+		t.Errorf("G({A}) has %d zero edges, want 1 (Fig. 4(i): only (t0,t3))", zero)
+	}
+
+	gAB := core.BuildFaultGraph(sys.N(), []partition.P{a, b})
+	if gAB.Dmin() != 1 {
+		t.Errorf("dmin(G({A,B})) = %d, want 1 (Fig. 4(ii))", gAB.Dmin())
+	}
+
+	gABM1 := core.BuildFaultGraph(sys.N(), []partition.P{a, b, m1})
+	if gABM1.Dmin() != 2 {
+		t.Errorf("dmin(G({A,B,M1})) = %d, want 2 ({A,B,M1} tolerates one fault, Section 4)", gABM1.Dmin())
+	}
+
+	top := partition.Singletons(sys.N())
+	gABM1Top := core.BuildFaultGraph(sys.N(), []partition.P{a, b, m1, top})
+	if gABM1Top.Dmin() != 3 {
+		t.Errorf("dmin(G({A,B,M1,⊤})) = %d, want 3 (Fig. 4(iv))", gABM1Top.Dmin())
+	}
+}
+
+func TestFaultGraphAddRemoveInverse(t *testing.T) {
+	sys := fig2System(t)
+	g := core.BuildFaultGraph(sys.N(), sys.Parts)
+	before := g.String()
+	m1 := fig2M1(t, sys)
+	g.Add(m1)
+	g.Remove(m1)
+	if got := g.String(); got != before {
+		t.Fatalf("Add+Remove is not the identity:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+}
+
+func TestFaultGraphWeakestEdges(t *testing.T) {
+	sys := fig2System(t)
+	g := core.BuildFaultGraph(sys.N(), sys.Parts)
+	weak := g.WeakestEdges()
+	if len(weak) == 0 {
+		t.Fatal("no weakest edges on a multi-state graph")
+	}
+	d := g.Dmin()
+	for _, e := range weak {
+		if g.Weight(e.I, e.J) != d {
+			t.Errorf("weakest edge (%d,%d) has weight %d, dmin %d", e.I, e.J, g.Weight(e.I, e.J), d)
+		}
+	}
+	// Every edge at weight dmin must be listed.
+	count := 0
+	for i := 0; i < sys.N(); i++ {
+		for j := i + 1; j < sys.N(); j++ {
+			if g.Weight(i, j) == d {
+				count++
+			}
+		}
+	}
+	if count != len(weak) {
+		t.Errorf("WeakestEdges returned %d edges, graph has %d at dmin", len(weak), count)
+	}
+}
+
+func TestFaultGraphEdgesAtMost(t *testing.T) {
+	sys := fig2System(t)
+	g := core.BuildFaultGraph(sys.N(), sys.Parts)
+	all := g.EdgesAtMost(1 << 30)
+	if want := sys.N() * (sys.N() - 1) / 2; len(all) != want {
+		t.Fatalf("EdgesAtMost(∞) returned %d edges, want %d", len(all), want)
+	}
+	none := g.EdgesAtMost(-1)
+	if len(none) != 0 {
+		t.Fatalf("EdgesAtMost(-1) returned %d edges, want 0", len(none))
+	}
+}
+
+func TestFaultGraphSingleState(t *testing.T) {
+	g := core.NewFaultGraph(1)
+	if g.Dmin() < 1<<30 {
+		t.Errorf("single-state dmin = %d, want max int", g.Dmin())
+	}
+	if len(g.WeakestEdges()) != 0 {
+		t.Error("single-state graph has weakest edges")
+	}
+}
+
+func TestFaultGraphString(t *testing.T) {
+	g := core.NewFaultGraph(2)
+	s := g.String()
+	if !strings.Contains(s, "dmin=0") {
+		t.Errorf("String() = %q, want dmin=0 mentioned", s)
+	}
+}
+
+// TestFaultGraphWeightSymmetric is a property test: Weight(i,j) equals
+// Weight(j,i) and is bounded by the number of machines, for random
+// partition sets.
+func TestFaultGraphWeightSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		k := 1 + r.Intn(4)
+		parts := make([]partition.P, k)
+		for i := range parts {
+			assign := make([]int, n)
+			for j := range assign {
+				assign[j] = r.Intn(n)
+			}
+			parts[i] = partition.FromAssignment(assign)
+		}
+		g := core.BuildFaultGraph(n, parts)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				w := g.Weight(i, j)
+				if w != g.Weight(j, i) {
+					return false
+				}
+				if w < 0 || w > k {
+					return false
+				}
+				if i == j && w != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoversMatchesDefinition: Covers(p, edges) iff p separates each pair.
+func TestCoversMatchesDefinition(t *testing.T) {
+	p := partition.MustFromBlocks(4, [][]int{{0, 1}, {2}, {3}})
+	if core.Covers(p, []core.Edge{{I: 0, J: 1}}) {
+		t.Error("Covers says p separates 0,1 but they share a block")
+	}
+	if !core.Covers(p, []core.Edge{{I: 0, J: 2}, {I: 2, J: 3}}) {
+		t.Error("Covers says p does not separate (0,2),(2,3)")
+	}
+	if !core.Covers(p, nil) {
+		t.Error("Covers of the empty edge set must be true")
+	}
+}
+
+// TestDminMonotoneUnderAdd is the property behind Theorems 3–5: adding a
+// machine never lowers any edge weight and raises each by at most one.
+func TestDminMonotoneUnderAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		assign := make([]int, n)
+		for j := range assign {
+			assign[j] = rng.Intn(3)
+		}
+		base := partition.FromAssignment(assign)
+		g := core.BuildFaultGraph(n, []partition.P{base})
+		d0 := g.Dmin()
+		for j := range assign {
+			assign[j] = rng.Intn(3)
+		}
+		g.Add(partition.FromAssignment(assign))
+		d1 := g.Dmin()
+		if d1 < d0 || d1 > d0+1 {
+			t.Fatalf("dmin went %d -> %d after adding one machine", d0, d1)
+		}
+	}
+}

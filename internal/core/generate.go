@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/partition"
+)
+
+// GenerateOptions tunes Algorithm 2. The zero value is the paper's
+// algorithm with deterministic candidate selection.
+type GenerateOptions struct {
+	// MaxMachines aborts generation if more than this many fusion machines
+	// would be required (0 = no limit). Useful as a guard in services.
+	MaxMachines int
+	// Recompute forces a full fault-graph rebuild on every outer iteration
+	// instead of the incremental Add; used by the ablation benchmark, never
+	// needed in production.
+	Recompute bool
+	// NoGuardedClosure disables the abort-early guarded closure for
+	// candidate evaluation (see partition.CloseGuarded); used by the
+	// ablation benchmark. The guarded and unguarded paths return identical
+	// fusions.
+	NoGuardedClosure bool
+}
+
+// guardedClosureLimit bounds the weakest-edge count up to which the
+// guarded closure is profitable: its per-union violation scan is linear in
+// the edge count, so past this size the plain closure plus one final
+// Covers check wins.
+const guardedClosureLimit = 64
+
+// GenerateFusion implements Algorithm 2 of the paper: it returns the
+// smallest set of machines F (as closed partitions of ⊤'s state set) such
+// that A ∪ F tolerates f crash faults, i.e. dmin(A ∪ F) > f. By Theorem 5
+// the returned set has exactly max(0, f − dmin(A) + 1) machines and is a
+// minimal (f,|F|)-fusion. By Theorem 2 the same set tolerates ⌊f/2⌋
+// Byzantine faults.
+//
+// Each outer iteration starts from ⊤ (which always raises dmin by one) and
+// walks down the closed-partition lattice: among the lower-cover candidates
+// that still cover every weakest edge of the current fault graph — the
+// paper's "dmin(F ∪ A ∪ F) > dmin(A ∪ F)" test on line 6 — it descends
+// into the smallest one, stopping when no candidate qualifies. Candidate
+// evaluation is parallelized inside partition.LowerCoverFiltered.
+//
+// Complexity: O(N³·|Σ|·f) as shown in Section 5.1.
+func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("core: cannot tolerate %d faults", f)
+	}
+	n := s.N()
+	g := BuildFaultGraph(n, s.Parts)
+	var fusions []partition.P
+
+	for g.Dmin() <= f {
+		if opts.MaxMachines > 0 && len(fusions) >= opts.MaxMachines {
+			return nil, fmt.Errorf("core: fusion for f=%d needs more than %d machines (dmin currently %d)",
+				f, opts.MaxMachines, g.Dmin())
+		}
+		required := g.WeakestEdges()
+
+		// Start at ⊤, which separates every pair and therefore always
+		// covers the required edges. Descend through merge closures rather
+		// than the maximality-filtered lower cover: every closed partition
+		// strictly below m is ≤ some merge closure of m, so the down-set
+		// explored is identical while skipping the O(B⁴·N) maximality
+		// filter (see partition.MergeClosures).
+		m := partition.Singletons(n)
+		for m.NumBlocks() > 1 {
+			cands := qualifyingCandidates(s, m, required, opts)
+			if len(cands) == 0 {
+				break
+			}
+			m = pickCandidate(cands)
+		}
+
+		fusions = append(fusions, m)
+		if opts.Recompute {
+			parts := append(append([]partition.P{}, s.Parts...), fusions...)
+			g = BuildFaultGraph(n, parts)
+		} else {
+			g.Add(m)
+		}
+	}
+	return fusions, nil
+}
+
+// qualifyingCandidates returns the merge closures of m that still separate
+// every required edge, choosing between the guarded (abort-early) and the
+// filter-after-closure evaluation paths.
+func qualifyingCandidates(s *System, m partition.P, required []Edge, opts GenerateOptions) []partition.P {
+	if !opts.NoGuardedClosure && len(required) <= guardedClosureLimit {
+		forbidden := make([][2]int, len(required))
+		for i, e := range required {
+			forbidden[i] = [2]int{e.I, e.J}
+		}
+		return partition.MergeClosuresGuarded(s.Top, m, forbidden)
+	}
+	covers := func(p partition.P) bool { return Covers(p, required) }
+	return partition.MergeClosures(s.Top, m, covers)
+}
+
+// pickCandidate chooses deterministically among acceptable lower-cover
+// elements: fewest blocks first (descend towards small machines fast), then
+// lexicographically least normalized key. Any choice is correct (Theorem 5
+// holds for every qualifying descent); this one makes runs reproducible.
+func pickCandidate(cands []partition.P) partition.P {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.NumBlocks() < best.NumBlocks() ||
+			(c.NumBlocks() == best.NumBlocks() && c.Key() < best.Key()) {
+			best = c
+		}
+	}
+	return best
+}
+
+// GreedyDescent exposes one inner-loop descent of Algorithm 2: starting
+// from ⊤, descend the lattice keeping the given edges covered, and return
+// the final (locally minimal) machine. Used by tests and the exhaustive-
+// search ablation.
+func GreedyDescent(s *System, required []Edge) partition.P {
+	covers := func(p partition.P) bool { return Covers(p, required) }
+	m := partition.Singletons(s.N())
+	for m.NumBlocks() > 1 {
+		cands := partition.MergeClosures(s.Top, m, covers)
+		if len(cands) == 0 {
+			break
+		}
+		m = pickCandidate(cands)
+	}
+	return m
+}
+
+// ExhaustiveMinimalFusions enumerates ALL closed partitions of ⊤ (via
+// lattice descent with memoization) and returns the machines with the
+// fewest states among those that, added alone, raise dmin(A) by one. This
+// is the exponential-time (1,1)-fusion search of the authors' earlier
+// ICDCN'08 paper, kept as the ablation baseline for Algorithm 2; it is only
+// feasible for small tops.
+//
+// maxNodes caps the number of lattice nodes visited; exceeding it returns
+// an error.
+func ExhaustiveMinimalFusions(s *System, maxNodes int) ([]partition.P, error) {
+	all, err := EnumerateClosedPartitions(s, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	g := BuildFaultGraph(s.N(), s.Parts)
+	required := g.WeakestEdges()
+
+	bestBlocks := -1
+	var best []partition.P
+	for _, p := range all {
+		if !Covers(p, required) {
+			continue
+		}
+		switch {
+		case bestBlocks == -1 || p.NumBlocks() < bestBlocks:
+			bestBlocks = p.NumBlocks()
+			best = []partition.P{p}
+		case p.NumBlocks() == bestBlocks:
+			best = append(best, p)
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no closed partition covers the weakest edges (impossible: ⊤ does)")
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i].Key() < best[j].Key() })
+	return best, nil
+}
+
+// EnumerateClosedPartitions returns every closed partition of ⊤'s state
+// set, found by BFS downward from ⊤ through lower covers of *merges* (every
+// closed partition below p is below the closure of some two-state merge of
+// p, so the traversal is complete). The count can be exponential; maxNodes
+// bounds the walk.
+func EnumerateClosedPartitions(s *System, maxNodes int) ([]partition.P, error) {
+	top := partition.Singletons(s.N())
+	seen := map[string]bool{top.Key(): true}
+	queue := []partition.P{top}
+	var all []partition.P
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		all = append(all, p)
+		if maxNodes > 0 && len(all) > maxNodes {
+			return nil, fmt.Errorf("core: closed-partition lattice exceeds %d nodes", maxNodes)
+		}
+		blocks := p.Blocks()
+		for i := 0; i < len(blocks); i++ {
+			for j := i + 1; j < len(blocks); j++ {
+				c := partition.CloseMergingStates(s.Top, p, blocks[i][0], blocks[j][0])
+				if !seen[c.Key()] {
+					seen[c.Key()] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	return all, nil
+}

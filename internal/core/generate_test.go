@@ -1,0 +1,277 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+	"repro/internal/partition"
+)
+
+func generate(t *testing.T, sys *core.System, f int) []partition.P {
+	t.Helper()
+	F, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+	if err != nil {
+		t.Fatalf("GenerateFusion(f=%d): %v", f, err)
+	}
+	return F
+}
+
+// TestGenerateFusionFig1 checks the motivating example: one 3-state fusion
+// machine suffices to tolerate one crash fault in the two mod-3 counters.
+func TestGenerateFusionFig1(t *testing.T) {
+	sys := fig1System(t)
+	F := generate(t, sys, 1)
+	if len(F) != 1 {
+		t.Fatalf("got %d fusion machines, want 1 (f − dmin + 1 = 1)", len(F))
+	}
+	if got := F[0].NumBlocks(); got != 3 {
+		t.Errorf("fusion machine has %d states, want 3 (paper: F1 or F2)", got)
+	}
+	ok, err := sys.IsFusion(F, 1)
+	if err != nil || !ok {
+		t.Fatalf("generated set is not a (1,1)-fusion: %v %v", ok, err)
+	}
+}
+
+// TestGenerateFusionCounts verifies Theorem 5's cardinality claim on several
+// systems: |F| = max(0, f − dmin(A) + 1).
+func TestGenerateFusionCounts(t *testing.T) {
+	systems := []struct {
+		name string
+		ms   []*dfsm.Machine
+	}{
+		{"fig1", []*dfsm.Machine{machines.ZeroCounter(), machines.OneCounter()}},
+		{"fig2", []*dfsm.Machine{machines.Fig2A(), machines.Fig2B()}},
+		{"parity", []*dfsm.Machine{machines.EvenParity(), machines.OddParity(), machines.ToggleSwitch()}},
+	}
+	for _, tc := range systems {
+		sys, err := core.NewSystem(tc.ms)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		d := sys.Dmin()
+		for f := 0; f <= 3; f++ {
+			F := generate(t, sys, f)
+			want := f - d + 1
+			if want < 0 {
+				want = 0
+			}
+			if len(F) != want {
+				t.Errorf("%s: f=%d dmin=%d: got %d machines, want %d", tc.name, f, d, len(F), want)
+			}
+			ok, err := sys.IsFusion(F, f)
+			if err != nil || !ok {
+				t.Errorf("%s: f=%d: generated set is not a fusion (%v, %v)", tc.name, f, ok, err)
+			}
+		}
+	}
+}
+
+// TestGeneratedFusionIsLocallyMinimal: no generated machine can be replaced
+// by a strictly smaller lattice element (part of Theorem 5's minimality).
+func TestGeneratedFusionIsLocallyMinimal(t *testing.T) {
+	for _, msf := range []struct {
+		ms []*dfsm.Machine
+		f  int
+	}{
+		{[]*dfsm.Machine{machines.ZeroCounter(), machines.OneCounter()}, 1},
+		{[]*dfsm.Machine{machines.Fig2A(), machines.Fig2B()}, 2},
+	} {
+		sys, err := core.NewSystem(msf.ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		F := generate(t, sys, msf.f)
+		minimal, err := core.IsLocallyMinimalFusion(sys, F, msf.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !minimal {
+			t.Errorf("f=%d: generated fusion is not locally minimal", msf.f)
+		}
+	}
+}
+
+// TestSubsetOfFusionTheorem3: dropping t machines from an (f,m)-fusion
+// leaves an (f−t, m−t)-fusion.
+func TestSubsetOfFusionTheorem3(t *testing.T) {
+	sys := fig1System(t)
+	F := generate(t, sys, 3) // (3,3)-fusion of the counters (dmin=1)
+	if len(F) != 3 {
+		t.Fatalf("got %d machines, want 3", len(F))
+	}
+	for drop := 0; drop <= 3; drop++ {
+		sub := core.SubsetFusion(F, drop)
+		ok, err := sys.IsFusion(sub, 3-drop)
+		if err != nil || !ok {
+			t.Errorf("dropping %d machines: remaining set is not a (%d,%d)-fusion (%v, %v)",
+				drop, 3-drop, len(sub), ok, err)
+		}
+	}
+}
+
+// TestGenerateRecomputeMatchesIncremental: the ablation flag must not change
+// the result, only the cost.
+func TestGenerateRecomputeMatchesIncremental(t *testing.T) {
+	sys := fig2System(t)
+	a, err := core.GenerateFusion(sys, 2, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.GenerateFusion(sys, 2, core.GenerateOptions{Recompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("incremental %d machines, recompute %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Errorf("machine %d differs between incremental and recompute runs", i)
+		}
+	}
+}
+
+// TestGenerateGuardedMatchesUnguarded: the abort-early closure path and the
+// filter-after-closure path must return identical fusions.
+func TestGenerateGuardedMatchesUnguarded(t *testing.T) {
+	for _, ms := range [][]*dfsm.Machine{
+		{machines.ZeroCounter(), machines.OneCounter()},
+		{machines.EvenParity(), machines.OddParity(), machines.ToggleSwitch()},
+	} {
+		sys, err := core.NewSystem(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 1; f <= 2; f++ {
+			a, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.GenerateFusion(sys, f, core.GenerateOptions{NoGuardedClosure: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("f=%d: %d vs %d machines", f, len(a), len(b))
+			}
+			for i := range a {
+				if !a[i].Equal(b[i]) {
+					t.Errorf("f=%d machine %d differs between guarded and unguarded paths", f, i)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateMaxMachinesGuard: the guard trips when the budget is too low.
+func TestGenerateMaxMachinesGuard(t *testing.T) {
+	sys := fig1System(t)
+	if _, err := core.GenerateFusion(sys, 5, core.GenerateOptions{MaxMachines: 2}); err == nil {
+		t.Fatal("GenerateFusion ignored MaxMachines")
+	}
+}
+
+// TestGenerateNegativeFaults rejects f < 0.
+func TestGenerateNegativeFaults(t *testing.T) {
+	sys := fig1System(t)
+	if _, err := core.GenerateFusion(sys, -1, core.GenerateOptions{}); err == nil {
+		t.Fatal("GenerateFusion accepted f = -1")
+	}
+}
+
+// TestExhaustiveMatchesGreedySize: on small systems the greedy descent finds
+// a machine as small as the exhaustive minimal (1,1)-fusion search (this is
+// stronger than Theorem 5, which guarantees minimality in the order, not
+// state count — but it holds on these lattices and pins the behaviour).
+func TestExhaustiveMatchesGreedySize(t *testing.T) {
+	for _, ms := range [][]*dfsm.Machine{
+		{machines.Fig2A(), machines.Fig2B()},
+		{machines.ZeroCounter(), machines.OneCounter()},
+	} {
+		sys, err := core.NewSystem(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := core.ExhaustiveMinimalFusions(sys, 100000)
+		if err != nil {
+			t.Fatalf("exhaustive: %v", err)
+		}
+		g := core.BuildFaultGraph(sys.N(), sys.Parts)
+		greedy := core.GreedyDescent(sys, g.WeakestEdges())
+		if greedy.NumBlocks() > best[0].NumBlocks() {
+			t.Errorf("greedy found %d states, exhaustive minimum is %d",
+				greedy.NumBlocks(), best[0].NumBlocks())
+		}
+	}
+}
+
+// TestEnumerateClosedPartitionsFig2 sanity-checks the lattice enumeration on
+// the Fig. 2 top: it contains ⊤, ⊥, and the partitions of A, B and M1, and
+// every enumerated partition is closed.
+func TestEnumerateClosedPartitionsFig2(t *testing.T) {
+	sys := fig2System(t)
+	all, err := core.EnumerateClosedPartitions(sys, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"top": partition.Singletons(4).Key(),
+		"bot": partition.Single(4).Key(),
+		"A":   sys.Parts[0].Key(),
+		"B":   sys.Parts[1].Key(),
+		"M1":  fig2M1(t, sys).Key(),
+	}
+	have := map[string]bool{}
+	for _, p := range all {
+		if !partition.IsClosed(sys.Top, p) {
+			t.Fatalf("enumeration produced non-closed partition %s", p)
+		}
+		have[p.Key()] = true
+	}
+	for name, key := range want {
+		if !have[key] {
+			t.Errorf("lattice enumeration is missing %s", name)
+		}
+	}
+	if len(all) < 5 {
+		t.Errorf("lattice has only %d nodes; expected at least ⊤, ⊥, A, B, M1", len(all))
+	}
+}
+
+// TestGenerateFusionRandomSystems is a randomized stress test: for random
+// machine systems, the generated set must always be a fusion of the
+// requested tolerance with the Theorem 5 cardinality.
+func TestGenerateFusionRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		ms := []*dfsm.Machine{
+			dfsm.RandomMachine(rng, "X", 2+rng.Intn(3), []string{"a", "b"}),
+			dfsm.RandomMachine(rng, "Y", 2+rng.Intn(3), []string{"a", "b"}),
+		}
+		sys, err := core.NewSystem(ms)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		f := 1 + rng.Intn(2)
+		F, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ok, err := sys.IsFusion(F, f)
+		if err != nil || !ok {
+			t.Fatalf("trial %d: generated set is not an (f=%d)-fusion: %v %v", trial, f, ok, err)
+		}
+		d := sys.Dmin()
+		want := f - d + 1
+		if want < 0 {
+			want = 0
+		}
+		if len(F) != want {
+			t.Errorf("trial %d: %d machines, want %d (f=%d dmin=%d)", trial, len(F), want, f, d)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/partition"
+)
+
+// Plan is a capacity-planning summary for protecting a system: what fusion
+// will cost versus replication before committing to generation. The CLI's
+// users asked exactly the questions Section 1 of the paper opens with —
+// "how many backups, how big" — and Theorem 4 answers them from dmin alone
+// up to machine *count*; the Plan also runs Algorithm 2 to get the sizes.
+type Plan struct {
+	// CrashFaults is the f the plan was built for.
+	CrashFaults int
+	// ByzantineFaults is what the same fusion tolerates: f/2.
+	ByzantineFaults int
+	// Dmin is the system's inherent distance.
+	Dmin int
+	// FusionMachines is the minimal backup count (Theorem 4/5).
+	FusionMachines int
+	// FusionSizes are the generated machines' state counts.
+	FusionSizes []int
+	// FusionStateSpace is Π sizes.
+	FusionStateSpace uint64
+	// ReplicationMachines is n·f.
+	ReplicationMachines int
+	// ReplicationStateSpace is (Π|Mi|)^f.
+	ReplicationStateSpace uint64
+	// Fusion holds the generated partitions, ready for FusionMachines.
+	Fusion []partition.P
+}
+
+// PlanFusion builds the full plan for tolerating f crash faults.
+func PlanFusion(s *System, f int) (*Plan, error) {
+	F, err := GenerateFusion(s, f, GenerateOptions{})
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		CrashFaults:         f,
+		ByzantineFaults:     f / 2,
+		Dmin:                s.Dmin(),
+		FusionMachines:      len(F),
+		FusionStateSpace:    1,
+		ReplicationMachines: len(s.Machines) * f,
+		ReplicationStateSpace: func() uint64 {
+			total := uint64(1)
+			for c := 0; c < f; c++ {
+				for _, m := range s.Machines {
+					total *= uint64(m.NumStates())
+				}
+			}
+			return total
+		}(),
+		Fusion: F,
+	}
+	for _, q := range F {
+		p.FusionSizes = append(p.FusionSizes, q.NumBlocks())
+		p.FusionStateSpace *= uint64(q.NumBlocks())
+	}
+	return p, nil
+}
+
+// Savings returns the replication-to-fusion state-space ratio (≥ 1 means
+// fusion wins or ties).
+func (p *Plan) Savings() float64 {
+	if p.FusionStateSpace == 0 {
+		return 0
+	}
+	return float64(p.ReplicationStateSpace) / float64(p.FusionStateSpace)
+}
+
+// String renders the plan for the CLI.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for f=%d crash faults (%d Byzantine): dmin=%d\n",
+		p.CrashFaults, p.ByzantineFaults, p.Dmin)
+	sizes := make([]string, len(p.FusionSizes))
+	for i, s := range p.FusionSizes {
+		sizes[i] = fmt.Sprintf("%d", s)
+	}
+	fmt.Fprintf(&b, "  fusion:      %d machine(s), sizes [%s], state space %d\n",
+		p.FusionMachines, strings.Join(sizes, " "), p.FusionStateSpace)
+	fmt.Fprintf(&b, "  replication: %d machine(s), state space %d\n",
+		p.ReplicationMachines, p.ReplicationStateSpace)
+	fmt.Fprintf(&b, "  savings:     %.1fx\n", p.Savings())
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPlanFusionFig1(t *testing.T) {
+	sys := fig1System(t)
+	p, err := core.PlanFusion(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrashFaults != 2 || p.ByzantineFaults != 1 || p.Dmin != 1 {
+		t.Errorf("plan header wrong: %+v", p)
+	}
+	if p.FusionMachines != 2 || len(p.FusionSizes) != 2 {
+		t.Errorf("fusion count: %+v", p)
+	}
+	if p.ReplicationMachines != 4 || p.ReplicationStateSpace != 81 {
+		t.Errorf("replication accounting: %+v", p)
+	}
+	if p.FusionStateSpace != 9 { // two 3-state counters
+		t.Errorf("fusion space = %d, want 9", p.FusionStateSpace)
+	}
+	if s := p.Savings(); s != 9 {
+		t.Errorf("savings = %f, want 9", s)
+	}
+	// The embedded fusion must actually be a fusion.
+	ok, err := sys.IsFusion(p.Fusion, 2)
+	if err != nil || !ok {
+		t.Errorf("plan's fusion invalid: %v %v", ok, err)
+	}
+	out := p.String()
+	for _, want := range []string{"f=2", "dmin=1", "savings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanFusionZeroFaults(t *testing.T) {
+	sys := fig1System(t)
+	p, err := core.PlanFusion(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FusionMachines != 0 || p.FusionStateSpace != 1 {
+		t.Errorf("f=0 plan: %+v", p)
+	}
+	if p.ReplicationStateSpace != 1 {
+		t.Errorf("f=0 replication space = %d", p.ReplicationStateSpace)
+	}
+}

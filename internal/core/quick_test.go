@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/partition"
+)
+
+// randomSystem builds a 2-machine random system from a seed.
+func randomSystem(seed int64) (*core.System, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return core.NewSystem([]*dfsm.Machine{
+		dfsm.RandomMachine(rng, "X", 2+rng.Intn(4), []string{"a", "b"}),
+		dfsm.RandomMachine(rng, "Y", 2+rng.Intn(4), []string{"a", "b"}),
+	})
+}
+
+// TestQuickGeneratedDminExact: Algorithm 2 stops at dmin(A ∪ F) = f + 1
+// exactly — it never over-provisions distance.
+func TestQuickGeneratedDminExact(t *testing.T) {
+	prop := func(seed int64, fRaw uint8) bool {
+		f := int(fRaw % 3)
+		sys, err := randomSystem(seed)
+		if err != nil {
+			return false
+		}
+		F, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+		if err != nil {
+			return false
+		}
+		d := sys.DminWith(F)
+		if d <= f {
+			return false // not a fusion
+		}
+		// Exactness: if machines were added at all, dmin is exactly f+1.
+		if len(F) > 0 && d != f+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSetRepresentationRoundTrip: the quotient of any closed
+// partition has exactly that partition as its set representation.
+func TestQuickSetRepresentationRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		top := dfsm.RandomMachine(rng, "T", 2+rng.Intn(10), []string{"a", "b"})
+		n := top.NumStates()
+		x, y := rng.Intn(n), rng.Intn(n)
+		p := partition.CloseMergingStates(top, partition.Singletons(n), x, y)
+		q, err := partition.Quotient(top, p, "Q")
+		if err != nil {
+			return false
+		}
+		sets, err := core.SetRepresentation(top, q)
+		if err != nil {
+			return false
+		}
+		back, err := partition.FromBlocks(n, sets)
+		if err != nil {
+			return false
+		}
+		return back.Equal(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTruthfulRecovery: with every machine reporting truthfully,
+// Recover returns the exact top state after any event run.
+func TestQuickTruthfulRecovery(t *testing.T) {
+	prop := func(seed int64, streamLen uint8) bool {
+		sys, err := randomSystem(seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		events := make([]string, streamLen%40)
+		for i := range events {
+			events[i] = []string{"a", "b"}[rng.Intn(2)]
+		}
+		truth := sys.Top.Run(events)
+		var reports []core.Report
+		for i, m := range sys.Machines {
+			r, err := sys.ReportFor(i, m.Run(events))
+			if err != nil {
+				return false
+			}
+			reports = append(reports, r)
+		}
+		res, err := core.Recover(sys.N(), reports)
+		if err != nil {
+			// The originals alone may underdetermine ⊤ only if two top
+			// states share every machine's block — impossible, since top
+			// states are distinct component tuples.
+			return false
+		}
+		return res.TopState == truth
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFusionPartitionsAreClosed: everything Algorithm 2 emits is a
+// closed partition of the top — the structural invariant every downstream
+// consumer (quotient, recovery, report) relies on.
+func TestQuickFusionPartitionsAreClosed(t *testing.T) {
+	prop := func(seed int64) bool {
+		sys, err := randomSystem(seed)
+		if err != nil {
+			return false
+		}
+		F, err := core.GenerateFusion(sys, 2, core.GenerateOptions{})
+		if err != nil {
+			return false
+		}
+		for _, p := range F {
+			if !partition.IsClosed(sys.Top, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

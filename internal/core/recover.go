@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/partition"
+)
+
+// Report is one machine's contribution to recovery: the set of ⊤-states
+// consistent with its current state (its state's set representation,
+// Algorithm 1). A crashed machine contributes no report.
+type Report struct {
+	// Machine identifies the reporting machine (free-form, used in
+	// diagnostics and liar identification).
+	Machine string
+	// TopStates is the block of ⊤-states the machine's current state maps
+	// to, sorted ascending.
+	TopStates []int
+}
+
+// RecoverResult is the outcome of Algorithm 3.
+type RecoverResult struct {
+	// TopState is the recovered state of ⊤ (the argmax of Counts).
+	TopState int
+	// Counts[t] is the number of reports containing ⊤-state t.
+	Counts []int
+	// Runner is the second-highest count, for margin diagnostics.
+	Runner int
+	// Liars lists reporting machines whose block excludes TopState; under
+	// ≤ f/2 Byzantine faults these are exactly the faulty machines.
+	Liars []string
+}
+
+// Recover implements Algorithm 3: majority vote over the reported ⊤-state
+// sets. n is |X⊤|. It returns an error if the vote is ambiguous (two states
+// with maximal count), which cannot happen while the fault bounds of
+// Theorems 1 and 2 are respected, and otherwise the winning state plus the
+// machines whose reports contradicted it.
+//
+// Complexity: O((n_reports)·N), matching Section 5.2.
+func Recover(n int, reports []Report) (*RecoverResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: recover over %d top states", n)
+	}
+	counts := make([]int, n)
+	for _, r := range reports {
+		for _, t := range r.TopStates {
+			if t < 0 || t >= n {
+				return nil, fmt.Errorf("core: report from %q names ⊤-state %d outside [0,%d)", r.Machine, t, n)
+			}
+			counts[t]++
+		}
+	}
+	best, runner := -1, -1
+	for t, c := range counts {
+		if best == -1 || c > counts[best] {
+			runner = best
+			best = t
+		} else if runner == -1 || c > counts[runner] {
+			runner = t
+		}
+	}
+	if runner != -1 && counts[runner] == counts[best] {
+		return nil, fmt.Errorf("core: ambiguous recovery: ⊤-states %d and %d both appear in %d reports (more faults than the fusion tolerates)",
+			best, runner, counts[best])
+	}
+	res := &RecoverResult{TopState: best, Counts: counts}
+	if runner != -1 {
+		res.Runner = counts[runner]
+	}
+	for _, r := range reports {
+		if !containsSorted(r.TopStates, best) {
+			res.Liars = append(res.Liars, r.Machine)
+		}
+	}
+	sort.Strings(res.Liars)
+	return res, nil
+}
+
+func containsSorted(xs []int, v int) bool {
+	i := sort.SearchInts(xs, v)
+	return i < len(xs) && xs[i] == v
+}
+
+// ReportFor builds the report of an original machine i currently in local
+// state s, using the product projections (its set representation).
+func (sys *System) ReportFor(i, s int) (Report, error) {
+	if i < 0 || i >= len(sys.Machines) {
+		return Report{}, fmt.Errorf("core: no machine %d", i)
+	}
+	m := sys.Machines[i]
+	if s < 0 || s >= m.NumStates() {
+		return Report{}, fmt.Errorf("core: machine %q has no state %d", m.Name(), s)
+	}
+	var block []int
+	for t, tuple := range sys.Product.Proj {
+		if tuple[i] == s {
+			block = append(block, t)
+		}
+	}
+	return Report{Machine: m.Name(), TopStates: block}, nil
+}
+
+// ReportForPartition builds the report of a fusion machine (given as a
+// closed partition) currently in the state identified by block id b.
+func ReportForPartition(name string, p partition.P, b int) (Report, error) {
+	if b < 0 || b >= p.NumBlocks() {
+		return Report{}, fmt.Errorf("core: partition machine %q has no block %d", name, b)
+	}
+	return Report{Machine: name, TopStates: p.Blocks()[b]}, nil
+}
+
+// RecoverStates runs recovery and translates the winning ⊤-state back to
+// the local state of every original machine — the full crash-recovery
+// procedure of Section 5.2. It returns one local state per original
+// machine.
+func (sys *System) RecoverStates(reports []Report) ([]int, *RecoverResult, error) {
+	res, err := Recover(sys.N(), reports)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuple := sys.Product.Proj[res.TopState]
+	return append([]int(nil), tuple...), res, nil
+}

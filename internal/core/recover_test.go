@@ -1,0 +1,301 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+	"repro/internal/partition"
+)
+
+// runAll drives every machine (originals and fusion quotients) through the
+// same event sequence, returning the final local states: originals first,
+// then fusions. This is the fault-free execution of the paper's model.
+func runAll(sys *core.System, fusions []*dfsm.Machine, events []string) (orig []int, fus []int) {
+	orig = make([]int, len(sys.Machines))
+	for i, m := range sys.Machines {
+		orig[i] = m.Run(events)
+	}
+	fus = make([]int, len(fusions))
+	for i, m := range fusions {
+		fus[i] = m.Run(events)
+	}
+	return orig, fus
+}
+
+// reportsFor assembles recovery reports, skipping crashed machines and
+// letting Byzantine machines report an arbitrary wrong local state.
+func reportsFor(t *testing.T, sys *core.System, F []partition.P, fusionMachines []*dfsm.Machine,
+	orig, fus []int, crashed map[string]bool, liars map[string]int) []core.Report {
+	t.Helper()
+	var reports []core.Report
+	for i := range sys.Machines {
+		name := sys.Machines[i].Name()
+		if crashed[name] {
+			continue
+		}
+		s := orig[i]
+		if ls, ok := liars[name]; ok {
+			s = ls
+		}
+		r, err := sys.ReportFor(i, s)
+		if err != nil {
+			t.Fatalf("ReportFor(%d): %v", i, err)
+		}
+		reports = append(reports, r)
+	}
+	for i := range F {
+		name := fusionMachines[i].Name()
+		if crashed[name] {
+			continue
+		}
+		b := fus[i]
+		if lb, ok := liars[name]; ok {
+			b = lb
+		}
+		r, err := core.ReportForPartition(name, F[i], b)
+		if err != nil {
+			t.Fatalf("ReportForPartition(%d): %v", i, err)
+		}
+		reports = append(reports, r)
+	}
+	return reports
+}
+
+// TestRecoverCrashFig1 replays the paper's crash scenario on the counters:
+// one counter crashes, the remaining counter plus F1 recover its state.
+func TestRecoverCrashFig1(t *testing.T) {
+	sys := fig1System(t)
+	F, err := core.GenerateFusion(sys, 1, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fms, err := sys.FusionMachines(F, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := strings.Split("0 1 1 0 0 0 1", " ")
+	orig, fus := runAll(sys, fms, events)
+
+	reports := reportsFor(t, sys, F, fms, orig, fus,
+		map[string]bool{"0-Counter": true}, nil)
+	recovered, res, err := sys.RecoverStates(reports)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	for i := range orig {
+		if recovered[i] != orig[i] {
+			t.Errorf("machine %d: recovered state %d, want %d", i, recovered[i], orig[i])
+		}
+	}
+	if len(res.Liars) != 0 {
+		t.Errorf("crash recovery flagged liars %v", res.Liars)
+	}
+}
+
+// TestRecoverByzantineFig1: with F1 and F2 (dmin = 3), one machine may lie
+// and recovery still returns the truth and identifies the liar.
+func TestRecoverByzantineFig1(t *testing.T) {
+	sys := fig1System(t)
+	f1, err := sys.PartitionOf(machines.SumCounter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := sys.PartitionOf(machines.DiffCounter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	F := []partition.P{f1, f2}
+	fms, err := sys.FusionMachines(F, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := strings.Split("1 1 0 1 0", " ")
+	orig, fus := runAll(sys, fms, events)
+
+	// Truth: n0=2 → state 2, n1=3 → state 0. Make the 1-Counter lie.
+	truth1 := orig[1]
+	lie := (truth1 + 1) % 3
+	reports := reportsFor(t, sys, F, fms, orig, fus, nil,
+		map[string]int{"1-Counter": lie})
+	recovered, res, err := sys.RecoverStates(reports)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	for i := range orig {
+		if recovered[i] != orig[i] {
+			t.Errorf("machine %d: recovered state %d, want %d", i, recovered[i], orig[i])
+		}
+	}
+	if len(res.Liars) != 1 || res.Liars[0] != "1-Counter" {
+		t.Errorf("liars = %v, want [1-Counter]", res.Liars)
+	}
+}
+
+// TestRecoverAmbiguousBeyondBound: crashing more machines than the fusion
+// tolerates must yield an ambiguity error, not a silent wrong answer.
+func TestRecoverAmbiguousBeyondBound(t *testing.T) {
+	sys := fig1System(t)
+	F, err := core.GenerateFusion(sys, 1, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fms, err := sys.FusionMachines(F, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []string{"0", "1", "0"}
+	orig, fus := runAll(sys, fms, events)
+	// Crash both counters: only the single fusion machine remains; its
+	// block has 3 top states, so the vote ties.
+	reports := reportsFor(t, sys, F, fms, orig, fus,
+		map[string]bool{"0-Counter": true, "1-Counter": true}, nil)
+	if _, _, err := sys.RecoverStates(reports); err == nil {
+		t.Fatal("recovery succeeded with 2 crashes on a 1-fault fusion")
+	}
+}
+
+// TestRecoverRandomizedCrash: exhaustive over systems × event sequences ×
+// crash choices within the tolerance bound, recovery is exact.
+func TestRecoverRandomizedCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sys, err := core.NewSystem([]*dfsm.Machine{
+		machines.EvenParity(), machines.OddParity(), machines.ShiftRegister(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f = 2
+	F, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fms, err := sys.FusionMachines(F, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(sys.Machines)+len(fms))
+	for _, m := range sys.Machines {
+		names = append(names, m.Name())
+	}
+	for _, m := range fms {
+		names = append(names, m.Name())
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		events := make([]string, rng.Intn(20))
+		for i := range events {
+			events[i] = []string{"0", "1"}[rng.Intn(2)]
+		}
+		orig, fus := runAll(sys, fms, events)
+		// Crash up to f machines, chosen at random.
+		crashed := map[string]bool{}
+		for len(crashed) < f {
+			crashed[names[rng.Intn(len(names))]] = true
+		}
+		reports := reportsFor(t, sys, F, fms, orig, fus, crashed, nil)
+		recovered, _, err := sys.RecoverStates(reports)
+		if err != nil {
+			t.Fatalf("trial %d (crashed %v): %v", trial, crashed, err)
+		}
+		for i := range orig {
+			if recovered[i] != orig[i] {
+				t.Fatalf("trial %d: machine %d recovered %d, want %d", trial, i, recovered[i], orig[i])
+			}
+		}
+	}
+}
+
+// TestRecoverRandomizedByzantine: with a (2f)-fusion, any f machines may
+// lie arbitrarily and recovery is exact and names only true liars.
+func TestRecoverRandomizedByzantine(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sys, err := core.NewSystem([]*dfsm.Machine{
+		machines.EvenParity(), machines.OddParity(), machines.ShiftRegister(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const byz = 1
+	F, err := core.GenerateFusion(sys, 2*byz, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fms, err := sys.FusionMachines(F, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		events := make([]string, rng.Intn(20))
+		for i := range events {
+			events[i] = []string{"0", "1"}[rng.Intn(2)]
+		}
+		orig, fus := runAll(sys, fms, events)
+
+		// One liar, original or fusion, reporting a random wrong state.
+		liars := map[string]int{}
+		li := rng.Intn(len(sys.Machines) + len(fms))
+		if li < len(sys.Machines) {
+			m := sys.Machines[li]
+			wrong := (orig[li] + 1 + rng.Intn(m.NumStates()-1)) % m.NumStates()
+			liars[m.Name()] = wrong
+		} else {
+			fi := li - len(sys.Machines)
+			nb := F[fi].NumBlocks()
+			if nb < 2 {
+				continue // cannot lie with one block
+			}
+			wrong := (fus[fi] + 1 + rng.Intn(nb-1)) % nb
+			liars[fms[fi].Name()] = wrong
+		}
+
+		reports := reportsFor(t, sys, F, fms, orig, fus, nil, liars)
+		recovered, res, err := sys.RecoverStates(reports)
+		if err != nil {
+			t.Fatalf("trial %d (liars %v): %v", trial, liars, err)
+		}
+		for i := range orig {
+			if recovered[i] != orig[i] {
+				t.Fatalf("trial %d: machine %d recovered %d, want %d", trial, i, recovered[i], orig[i])
+			}
+		}
+		// A liar may accidentally report a state whose block still contains
+		// the true top state (not possible when the block changes, but be
+		// lenient: the flagged set must be a subset of the actual liars).
+		for _, l := range res.Liars {
+			if _, ok := liars[l]; !ok {
+				t.Errorf("trial %d: honest machine %s flagged as liar", trial, l)
+			}
+		}
+	}
+}
+
+// TestRecoverInputValidation covers the error paths of Recover.
+func TestRecoverInputValidation(t *testing.T) {
+	if _, err := core.Recover(0, nil); err == nil {
+		t.Error("Recover accepted n=0")
+	}
+	if _, err := core.Recover(3, []core.Report{{Machine: "x", TopStates: []int{5}}}); err == nil {
+		t.Error("Recover accepted an out-of-range top state")
+	}
+	if _, err := core.Recover(3, []core.Report{{Machine: "x", TopStates: []int{-1}}}); err == nil {
+		t.Error("Recover accepted a negative top state")
+	}
+}
+
+func TestReportForValidation(t *testing.T) {
+	sys := fig1System(t)
+	if _, err := sys.ReportFor(99, 0); err == nil {
+		t.Error("ReportFor accepted a bad machine index")
+	}
+	if _, err := sys.ReportFor(0, 99); err == nil {
+		t.Error("ReportFor accepted a bad state")
+	}
+	p := partition.Single(sys.N())
+	if _, err := core.ReportForPartition("x", p, 5); err == nil {
+		t.Error("ReportForPartition accepted a bad block")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfsm"
+)
+
+// SetRepresentation implements Algorithm 1 of the paper: given a machine a
+// with a ≤ top, it expresses every state of a as the set of top-states that
+// map onto it, by a synchronized traversal of the two machines from their
+// initial states (Fig. 5 shows the worked example).
+//
+// The result has one sorted slice of top-state ids per state of a. It
+// errors when a is not actually ≤ top, i.e. when two traversals force the
+// same top-state onto two different a-states, or when some state of a is
+// never reached (a would then have unreachable states w.r.t. top's event
+// language).
+//
+// a may have a smaller alphabet than top; foreign events self-loop, exactly
+// as in the system model of Section 2.
+func SetRepresentation(top, a *dfsm.Machine) ([][]int, error) {
+	n := top.NumStates()
+	image := make([]int, n) // top-state -> a-state
+	for i := range image {
+		image[i] = -1
+	}
+	events := top.Events()
+
+	image[top.Initial()] = a.Initial()
+	queue := []int{top.Initial()}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		as := image[t]
+		for e, ev := range events {
+			tNext := top.NextByIndex(t, e)
+			aNext := a.Next(as, ev)
+			if image[tNext] == -1 {
+				image[tNext] = aNext
+				queue = append(queue, tNext)
+			} else if image[tNext] != aNext {
+				return nil, fmt.Errorf("core: %s is not ≤ %s: top state %s maps to both %s and %s",
+					a.Name(), top.Name(), top.StateName(tNext), a.StateName(image[tNext]), a.StateName(aNext))
+			}
+		}
+	}
+
+	sets := make([][]int, a.NumStates())
+	for t := 0; t < n; t++ {
+		s := image[t]
+		if s == -1 {
+			return nil, fmt.Errorf("core: top state %s unreachable during set representation (top %q has unreachable states?)",
+				top.StateName(t), top.Name())
+		}
+		sets[s] = append(sets[s], t)
+	}
+	for s, set := range sets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("core: state %s of %s corresponds to no state of ⊤; machine not reduced w.r.t. ⊤'s event language",
+				a.StateName(s), a.Name())
+		}
+	}
+	return sets, nil
+}
+
+// StateMapping returns the per-top-state image in a (the inverse view of
+// SetRepresentation): mapping[t] is the state a occupies when top is in
+// state t.
+func StateMapping(top, a *dfsm.Machine) ([]int, error) {
+	sets, err := SetRepresentation(top, a)
+	if err != nil {
+		return nil, err
+	}
+	mapping := make([]int, top.NumStates())
+	for s, set := range sets {
+		for _, t := range set {
+			mapping[t] = s
+		}
+	}
+	return mapping, nil
+}

@@ -1,0 +1,140 @@
+// Package core implements the paper's primary contribution: fault graphs
+// and minimum Hamming distance over DFSM state spaces (Section 3),
+// (f,m)-fusion theory (Section 4), and the three algorithms of Section 5 —
+// set representation (Algorithm 1), fusion generation (Algorithm 2) and
+// recovery by voting (Algorithm 3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfsm"
+	"repro/internal/partition"
+)
+
+// System is a set of original machines A together with their reachable
+// cross product ⊤ and the closed partitions of ⊤'s state set that each
+// original machine corresponds to. All fusion machinery operates on a
+// System.
+type System struct {
+	// Machines are the original input machines A1..An.
+	Machines []*dfsm.Machine
+	// Product is the reachable cross product with projections.
+	Product *dfsm.Product
+	// Top is Product.Top, the ⊤ machine.
+	Top *dfsm.Machine
+	// Parts[i] is the closed partition of ⊤'s states induced by machine i.
+	Parts []partition.P
+}
+
+// NewSystem builds the system for a set of machines: computes ⊤ = R(A) and
+// each machine's partition of ⊤'s state set. Machine names must be unique.
+func NewSystem(machines []*dfsm.Machine) (*System, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("core: system needs at least one machine")
+	}
+	seen := make(map[string]bool, len(machines))
+	for _, m := range machines {
+		if seen[m.Name()] {
+			return nil, fmt.Errorf("core: duplicate machine name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+	prod, err := dfsm.ReachableCrossProduct(machines)
+	if err != nil {
+		return nil, err
+	}
+	n := prod.Top.NumStates()
+	parts := make([]partition.P, len(machines))
+	for i := range machines {
+		assign := make([]int, n)
+		for t, tuple := range prod.Proj {
+			assign[t] = tuple[i]
+		}
+		parts[i] = partition.FromAssignment(assign)
+		if !partition.IsClosed(prod.Top, parts[i]) {
+			// Cannot happen: a projection of the product is closed by
+			// construction. Guard anyway — a violation means Product is
+			// buggy, which recovery must never silently build on.
+			return nil, fmt.Errorf("core: projection of %q is not a closed partition of ⊤", machines[i].Name())
+		}
+	}
+	return &System{
+		Machines: append([]*dfsm.Machine(nil), machines...),
+		Product:  prod,
+		Top:      prod.Top,
+		Parts:    parts,
+	}, nil
+}
+
+// N returns |X⊤|, the number of states of the top machine.
+func (s *System) N() int { return s.Top.NumStates() }
+
+// Dmin returns dmin(A): the least fault-graph distance over the original
+// machines alone (Section 3).
+func (s *System) Dmin() int {
+	return BuildFaultGraph(s.N(), s.Parts).Dmin()
+}
+
+// DminWith returns dmin(A ∪ F) for a set of extra machines given as closed
+// partitions of ⊤'s states.
+func (s *System) DminWith(extra []partition.P) int {
+	parts := make([]partition.P, 0, len(s.Parts)+len(extra))
+	parts = append(parts, s.Parts...)
+	parts = append(parts, extra...)
+	return BuildFaultGraph(s.N(), parts).Dmin()
+}
+
+// CrashFaultsTolerated returns the number of crash faults the original set
+// tolerates with no backups: dmin(A) − 1 (Observation 1).
+func (s *System) CrashFaultsTolerated() int { return s.Dmin() - 1 }
+
+// ByzantineFaultsTolerated returns (dmin(A) − 1)/2 (Observation 1).
+func (s *System) ByzantineFaultsTolerated() int { return (s.Dmin() - 1) / 2 }
+
+// FusionExists reports whether an (f,m)-fusion of the system exists:
+// m + dmin(A) > f (Theorem 4).
+func (s *System) FusionExists(f, m int) bool { return m+s.Dmin() > f }
+
+// IsFusion reports whether F is an (f,|F|)-fusion of the system:
+// dmin(A ∪ F) > f (Definition 5). Each partition in F must be a closed
+// partition of ⊤'s state set; non-closed input is an error.
+func (s *System) IsFusion(F []partition.P, f int) (bool, error) {
+	for i, p := range F {
+		if p.N() != s.N() {
+			return false, fmt.Errorf("core: fusion candidate %d partitions %d elements, ⊤ has %d states", i, p.N(), s.N())
+		}
+		if !partition.IsClosed(s.Top, p) {
+			return false, fmt.Errorf("core: fusion candidate %d is not a closed partition of ⊤", i)
+		}
+	}
+	return s.DminWith(F) > f, nil
+}
+
+// FusionMachines materializes quotient machines for a fusion set, named
+// F1..Fm (or with the given prefix).
+func (s *System) FusionMachines(F []partition.P, prefix string) ([]*dfsm.Machine, error) {
+	if prefix == "" {
+		prefix = "F"
+	}
+	out := make([]*dfsm.Machine, len(F))
+	for i, p := range F {
+		m, err := partition.Quotient(s.Top, p, fmt.Sprintf("%s%d", prefix, i+1))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// PartitionOf returns the closed partition of ⊤ corresponding to an
+// arbitrary machine m with m ≤ ⊤, computed via Algorithm 1 (set
+// representation). It errors if m is not ≤ ⊤.
+func (s *System) PartitionOf(m *dfsm.Machine) (partition.P, error) {
+	sets, err := SetRepresentation(s.Top, m)
+	if err != nil {
+		return partition.P{}, err
+	}
+	return partition.FromBlocks(s.N(), sets)
+}

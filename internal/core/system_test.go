@@ -1,0 +1,232 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+	"repro/internal/partition"
+)
+
+// fig1System builds the mod-3 counter system of Fig. 1: A counts 0s, B
+// counts 1s; the reachable cross product has all 9 count combinations.
+func fig1System(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem([]*dfsm.Machine{machines.ZeroCounter(), machines.OneCounter()})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+// fig2System builds the Fig. 2 system of machines A and B.
+func fig2System(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem([]*dfsm.Machine{machines.Fig2A(), machines.Fig2B()})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestNewSystemFig1(t *testing.T) {
+	sys := fig1System(t)
+	if got := sys.N(); got != 9 {
+		t.Fatalf("Fig.1 top has %d states, want 9", got)
+	}
+	if got := sys.Dmin(); got != 1 {
+		t.Fatalf("dmin({A,B}) = %d, want 1 (two counters cannot tolerate any fault)", got)
+	}
+	if got := sys.CrashFaultsTolerated(); got != 0 {
+		t.Fatalf("crash faults tolerated = %d, want 0", got)
+	}
+}
+
+func TestNewSystemFig2(t *testing.T) {
+	sys := fig2System(t)
+	if got := sys.N(); got != 4 {
+		t.Fatalf("Fig.2 reachable cross product has %d states, want 4 (paper: r0..r3)", got)
+	}
+	if got := sys.Dmin(); got != 1 {
+		t.Fatalf("dmin({A,B}) = %d, want 1 (Fig. 4(ii))", got)
+	}
+	// Each original machine's partition must be closed w.r.t. the top, and
+	// must have as many blocks as the machine has states.
+	for i, p := range sys.Parts {
+		if !partition.IsClosed(sys.Top, p) {
+			t.Errorf("partition of machine %d not closed", i)
+		}
+		if p.NumBlocks() != sys.Machines[i].NumStates() {
+			t.Errorf("machine %d: %d blocks, want %d", i, p.NumBlocks(), sys.Machines[i].NumStates())
+		}
+	}
+}
+
+func TestNewSystemRejectsDuplicateNames(t *testing.T) {
+	a := machines.ZeroCounter()
+	if _, err := core.NewSystem([]*dfsm.Machine{a, machines.ZeroCounter()}); err == nil {
+		t.Fatal("NewSystem accepted two machines named 0-Counter")
+	}
+}
+
+func TestNewSystemRejectsEmpty(t *testing.T) {
+	if _, err := core.NewSystem(nil); err == nil {
+		t.Fatal("NewSystem accepted an empty machine set")
+	}
+}
+
+// TestFig1SumCounterIsFusion verifies the paper's motivating example: the
+// (n0+n1) mod 3 machine F1 is a (1,1)-fusion of the two counters.
+func TestFig1SumCounterIsFusion(t *testing.T) {
+	sys := fig1System(t)
+	f1, err := sys.PartitionOf(machines.SumCounter(3))
+	if err != nil {
+		t.Fatalf("PartitionOf(F1): %v", err)
+	}
+	if f1.NumBlocks() != 3 {
+		t.Fatalf("F1 has %d blocks, want 3", f1.NumBlocks())
+	}
+	ok, err := sys.IsFusion([]partition.P{f1}, 1)
+	if err != nil {
+		t.Fatalf("IsFusion: %v", err)
+	}
+	if !ok {
+		t.Fatal("F1 = (n0+n1) mod 3 is not a (1,1)-fusion of the counters; the paper says it is")
+	}
+}
+
+// TestFig1SumDiffTolerateByzantine verifies that {F1, F2} together with the
+// counters tolerate one Byzantine fault (dmin ≥ 3), as stated in Section 1.
+func TestFig1SumDiffTolerateByzantine(t *testing.T) {
+	sys := fig1System(t)
+	f1, err := sys.PartitionOf(machines.SumCounter(3))
+	if err != nil {
+		t.Fatalf("PartitionOf(F1): %v", err)
+	}
+	f2, err := sys.PartitionOf(machines.DiffCounter(3))
+	if err != nil {
+		t.Fatalf("PartitionOf(F2): %v", err)
+	}
+	d := sys.DminWith([]partition.P{f1, f2})
+	if d < 3 {
+		t.Fatalf("dmin({A,B,F1,F2}) = %d, want ≥ 3 for one Byzantine fault", d)
+	}
+	ok, err := sys.IsFusion([]partition.P{f1, f2}, 2)
+	if err != nil || !ok {
+		t.Fatalf("IsFusion({F1,F2}, 2) = %v, %v; want true", ok, err)
+	}
+}
+
+// TestFig2M1InLattice verifies that the reconstructed Fig. 2 machines admit
+// the 3-state machine M1 = {{a0,b0},{a2,b2}}, {{a1,b1}}, {{a0,b2}} as a
+// closed partition of the top.
+func TestFig2M1InLattice(t *testing.T) {
+	sys := fig2System(t)
+	m1 := fig2M1(t, sys)
+	if !partition.IsClosed(sys.Top, m1) {
+		t.Fatal("M1 is not a closed partition of the Fig. 2 top")
+	}
+	if m1.NumBlocks() != 3 {
+		t.Fatalf("M1 has %d blocks, want 3", m1.NumBlocks())
+	}
+	// M1 must be a (1,1)-fusion of {A,B} (Section 4 of the paper).
+	ok, err := sys.IsFusion([]partition.P{m1}, 1)
+	if err != nil || !ok {
+		t.Fatalf("IsFusion({M1}, 1) = %v, %v; want true", ok, err)
+	}
+}
+
+// fig2M1 resolves machines.Fig2M1Blocks against the actual product state
+// order.
+func fig2M1(t *testing.T, sys *core.System) partition.P {
+	t.Helper()
+	// Index top states by component tuple names.
+	type key [2]string
+	ix := map[key]int{}
+	for ti, tuple := range sys.Product.Proj {
+		k := key{sys.Machines[0].StateName(tuple[0]), sys.Machines[1].StateName(tuple[1])}
+		ix[k] = ti
+	}
+	var blocks [][]int
+	for _, blk := range machines.Fig2M1Blocks() {
+		var b []int
+		for _, pair := range blk {
+			ti, ok := ix[key{pair[0], pair[1]}]
+			if !ok {
+				t.Fatalf("tuple %v not a reachable top state", pair)
+			}
+			b = append(b, ti)
+		}
+		blocks = append(blocks, b)
+	}
+	p, err := partition.FromBlocks(sys.N(), blocks)
+	if err != nil {
+		t.Fatalf("FromBlocks: %v", err)
+	}
+	return p
+}
+
+func TestFusionExistsTheorem4(t *testing.T) {
+	sys := fig2System(t)
+	d := sys.Dmin() // 1
+	cases := []struct {
+		f, m int
+		want bool
+	}{
+		{0, 0, true},      // dmin > 0 already
+		{1, 0, false},     // 0 + 1 = 1, not > 1
+		{1, 1, true},      // 1 + 1 > 1
+		{2, 1, false},     // the paper's worked example: no (2,1)-fusion of {A,B}
+		{2, 2, true},      //
+		{d + 5, 5, false}, // m + d = d+5 not > d+5
+		{d + 4, 5, true},
+	}
+	for _, c := range cases {
+		if got := sys.FusionExists(c.f, c.m); got != c.want {
+			t.Errorf("FusionExists(f=%d, m=%d) = %v, want %v (dmin=%d)", c.f, c.m, got, c.want, d)
+		}
+	}
+}
+
+func TestFusionMachinesMaterialize(t *testing.T) {
+	sys := fig1System(t)
+	f1, err := sys.PartitionOf(machines.SumCounter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := sys.FusionMachines([]partition.P{f1}, "F")
+	if err != nil {
+		t.Fatalf("FusionMachines: %v", err)
+	}
+	if len(ms) != 1 || ms[0].NumStates() != 3 {
+		t.Fatalf("materialized fusion = %v, want one 3-state machine", ms)
+	}
+	if ms[0].Name() != "F1" {
+		t.Errorf("fusion machine named %q, want F1", ms[0].Name())
+	}
+	// The quotient must behave like the sum counter: same state after any
+	// event sequence (isomorphic up to naming).
+	if !dfsm.Isomorphic(ms[0], machines.SumCounter(3)) {
+		t.Error("materialized F1 is not isomorphic to the (n0+n1) mod 3 counter")
+	}
+}
+
+func TestIsFusionRejectsNonClosed(t *testing.T) {
+	sys := fig2System(t)
+	bad := partition.MustFromBlocks(4, [][]int{{0, 1}, {2}, {3}})
+	if partition.IsClosed(sys.Top, bad) {
+		t.Skip("chosen partition unexpectedly closed; pick another in test")
+	}
+	if _, err := sys.IsFusion([]partition.P{bad}, 1); err == nil {
+		t.Fatal("IsFusion accepted a non-closed partition")
+	}
+}
+
+func TestPartitionOfRejectsForeignMachine(t *testing.T) {
+	sys := fig1System(t)
+	// The MESI machine is unrelated to the counters' top.
+	if _, err := sys.PartitionOf(machines.MESI()); err == nil {
+		t.Fatal("PartitionOf accepted a machine that is not ≤ ⊤")
+	}
+}

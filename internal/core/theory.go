@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+)
+
+// This file collects the theorem-level helpers of Sections 3–4: direct
+// statements of Theorems 1, 2 and 4 and Observation 1 as checkable
+// functions, used by the theorem-verification experiments and exposed for
+// capacity planning (how many backups will I need before generating them?).
+
+// MinimalFusionSize returns the number of machines in any minimal
+// (f,·)-fusion of the system: max(0, f − dmin(A) + 1). This follows from
+// Theorem 4 (existence iff m + dmin > f) and is what Algorithm 2 produces
+// (Theorem 5).
+func (s *System) MinimalFusionSize(f int) int {
+	m := f - s.Dmin() + 1
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// TolerableCrash returns the number of crash faults A ∪ F tolerates:
+// dmin(A ∪ F) − 1 (Theorem 1).
+func (s *System) TolerableCrash(F []partition.P) int {
+	return s.DminWith(F) - 1
+}
+
+// TolerableByzantine returns the number of Byzantine faults A ∪ F
+// tolerates: ⌊(dmin(A ∪ F) − 1)/2⌋ (Theorem 2).
+func (s *System) TolerableByzantine(F []partition.P) int {
+	return (s.DminWith(F) - 1) / 2
+}
+
+// Distance returns d(ti,tj) over the original machines (Definition 4).
+func (s *System) Distance(ti, tj int) (int, error) {
+	n := s.N()
+	if ti < 0 || ti >= n || tj < 0 || tj >= n {
+		return 0, fmt.Errorf("core: distance(%d,%d) out of range [0,%d)", ti, tj, n)
+	}
+	d := 0
+	for _, p := range s.Parts {
+		if p.Separates(ti, tj) {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// VerifyTheorem1 operationally checks Theorem 1 on this system with the
+// given fusion: for EVERY subset of up to f = dmin−1 machine indices
+// (originals and fusions combined) and every reachable ⊤-state, the
+// surviving reports determine the ⊤-state uniquely. Exponential in the
+// machine count — intended for the small verification experiments.
+func (s *System) VerifyTheorem1(F []partition.P) error {
+	parts := append(append([]partition.P{}, s.Parts...), F...)
+	d := BuildFaultGraph(s.N(), parts).Dmin()
+	f := d - 1
+	if f < 0 {
+		f = 0
+	}
+	total := len(parts)
+	return forEachSubset(total, f, func(crashed map[int]bool) error {
+		for t := 0; t < s.N(); t++ {
+			// Count how many ⊤-states are consistent with all survivors.
+			consistent := 0
+			for cand := 0; cand < s.N(); cand++ {
+				ok := true
+				for i, p := range parts {
+					if crashed[i] {
+						continue
+					}
+					if p.BlockOf(cand) != p.BlockOf(t) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					consistent++
+				}
+			}
+			if consistent != 1 {
+				return fmt.Errorf("core: theorem 1 violated: state %d with crashes %v has %d consistent states",
+					t, keys(crashed), consistent)
+			}
+		}
+		return nil
+	})
+}
+
+// VerifyTheorem2 operationally checks Theorem 2: for every ⊤-state, every
+// liar subset of size ≤ (dmin−1)/2 and every possible lie, Algorithm 3's
+// majority vote returns the true state. Exponential; small systems only.
+func (s *System) VerifyTheorem2(F []partition.P) error {
+	parts := append(append([]partition.P{}, s.Parts...), F...)
+	d := BuildFaultGraph(s.N(), parts).Dmin()
+	fByz := (d - 1) / 2
+	if fByz <= 0 {
+		return nil // nothing to check
+	}
+	return forEachSubset(len(parts), fByz, func(liars map[int]bool) error {
+		if len(liars) == 0 {
+			return nil
+		}
+		return forEachLie(parts, liars, func(lies map[int]int) error {
+			for t := 0; t < s.N(); t++ {
+				reports := make([]Report, 0, len(parts))
+				for i, p := range parts {
+					block := p.BlockOf(t)
+					if b, lying := lies[i]; lying {
+						if b == block {
+							continue // a "lie" equal to the truth: skip case
+						}
+						block = b
+					}
+					reports = append(reports, Report{
+						Machine:   fmt.Sprintf("m%d", i),
+						TopStates: p.Blocks()[block],
+					})
+				}
+				res, err := Recover(s.N(), reports)
+				if err != nil {
+					return fmt.Errorf("core: theorem 2 violated: state %d lies %v: %v", t, lies, err)
+				}
+				if res.TopState != t {
+					return fmt.Errorf("core: theorem 2 violated: state %d recovered as %d under lies %v",
+						t, res.TopState, lies)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// forEachSubset enumerates all subsets of {0..n-1} of size ≤ k.
+func forEachSubset(n, k int, visit func(map[int]bool) error) error {
+	subset := map[int]bool{}
+	var rec func(start int) error
+	rec = func(start int) error {
+		if err := visit(subset); err != nil {
+			return err
+		}
+		if len(subset) == k {
+			return nil
+		}
+		for i := start; i < n; i++ {
+			subset[i] = true
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			delete(subset, i)
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// forEachLie enumerates one wrong block choice per liar (all combinations).
+func forEachLie(parts []partition.P, liars map[int]bool, visit func(map[int]int) error) error {
+	ids := keys(liars)
+	lies := map[int]int{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(ids) {
+			return visit(lies)
+		}
+		p := parts[ids[i]]
+		for b := 0; b < p.NumBlocks(); b++ {
+			lies[ids[i]] = b
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(lies, ids[i])
+		return nil
+	}
+	return rec(0)
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

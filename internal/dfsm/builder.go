@@ -1,0 +1,132 @@
+package dfsm
+
+import "fmt"
+
+// Builder assembles a machine incrementally by naming states, events and
+// transitions. It is the convenient front end used by the model zoo and the
+// .fsm spec parser; NewMachine is the index-based back end.
+type Builder struct {
+	name    string
+	states  []string
+	events  []string
+	stateIx map[string]int
+	eventIx map[string]int
+	// trans[state][event] = target, all by index; -1 means unset.
+	trans   map[int]map[int]int
+	initial string
+	errs    []error
+}
+
+// NewBuilder returns a Builder for a machine with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		stateIx: make(map[string]int),
+		eventIx: make(map[string]int),
+		trans:   make(map[int]map[int]int),
+	}
+}
+
+// State declares a state (idempotent) and returns its index.
+func (b *Builder) State(name string) int {
+	if i, ok := b.stateIx[name]; ok {
+		return i
+	}
+	i := len(b.states)
+	b.states = append(b.states, name)
+	b.stateIx[name] = i
+	return i
+}
+
+// Event declares an event (idempotent) and returns its index.
+func (b *Builder) Event(name string) int {
+	if i, ok := b.eventIx[name]; ok {
+		return i
+	}
+	i := len(b.events)
+	b.events = append(b.events, name)
+	b.eventIx[name] = i
+	return i
+}
+
+// Initial sets the initial state, declaring it if needed.
+func (b *Builder) Initial(state string) *Builder {
+	b.State(state)
+	b.initial = state
+	return b
+}
+
+// Transition adds from --event--> to, declaring states and the event as
+// needed. Redefining an existing transition is recorded as an error.
+func (b *Builder) Transition(from, event, to string) *Builder {
+	s := b.State(from)
+	e := b.Event(event)
+	t := b.State(to)
+	row, ok := b.trans[s]
+	if !ok {
+		row = make(map[int]int)
+		b.trans[s] = row
+	}
+	if prev, dup := row[e]; dup && prev != t {
+		b.errs = append(b.errs, fmt.Errorf("dfsm: builder %q: conflicting transition %s --%s--> {%s,%s}", b.name, from, event, b.states[prev], to))
+		return b
+	}
+	row[e] = t
+	return b
+}
+
+// Loop adds a self-loop on the given events.
+func (b *Builder) Loop(state string, events ...string) *Builder {
+	for _, e := range events {
+		b.Transition(state, e, state)
+	}
+	return b
+}
+
+// Cycle adds transitions s1 --event--> s2 --event--> ... --event--> s1.
+func (b *Builder) Cycle(event string, states ...string) *Builder {
+	for i, s := range states {
+		b.Transition(s, event, states[(i+1)%len(states)])
+	}
+	return b
+}
+
+// Build completes the machine. Missing transitions default to self-loops
+// when defaultSelfLoop is true; otherwise they are errors. The paper's
+// machines are completely specified over their own alphabets, but
+// self-looping is a convenient way to express "event ignored in this state"
+// for protocol machines such as TCP.
+func (b *Builder) Build(defaultSelfLoop bool) (*Machine, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if b.initial == "" {
+		if len(b.states) == 0 {
+			return nil, fmt.Errorf("dfsm: builder %q: no states", b.name)
+		}
+		b.initial = b.states[0]
+	}
+	delta := make([][]int, len(b.states))
+	for s := range b.states {
+		delta[s] = make([]int, len(b.events))
+		for e := range b.events {
+			if t, ok := b.trans[s][e]; ok {
+				delta[s][e] = t
+			} else if defaultSelfLoop {
+				delta[s][e] = s
+			} else {
+				return nil, fmt.Errorf("dfsm: builder %q: missing transition from %s on %s", b.name, b.states[s], b.events[e])
+			}
+		}
+	}
+	return NewMachine(b.name, b.states, b.events, delta, b.stateIx[b.initial])
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild(defaultSelfLoop bool) *Machine {
+	m, err := b.Build(defaultSelfLoop)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,112 @@
+package dfsm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder("m").Initial("off")
+	b.Transition("off", "press", "on")
+	b.Transition("on", "press", "off")
+	m, err := b.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 || m.NumEvents() != 1 {
+		t.Fatalf("built %v", m)
+	}
+	if m.Run([]string{"press", "press", "press"}) != m.StateIndex("on") {
+		t.Error("builder transitions wrong")
+	}
+}
+
+func TestBuilderDefaultSelfLoop(t *testing.T) {
+	b := NewBuilder("m").Initial("a")
+	b.Transition("a", "go", "b")
+	b.Event("stay")
+	m, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Next(m.StateIndex("b"), "stay") != m.StateIndex("b") {
+		t.Error("missing transition did not default to self-loop")
+	}
+}
+
+func TestBuilderMissingTransitionError(t *testing.T) {
+	b := NewBuilder("m").Initial("a")
+	b.Transition("a", "go", "b")
+	// b has no "go" transition.
+	if _, err := b.Build(false); err == nil {
+		t.Fatal("Build(false) accepted a partial machine")
+	}
+}
+
+func TestBuilderConflictingTransition(t *testing.T) {
+	b := NewBuilder("m").Initial("a")
+	b.Transition("a", "go", "b")
+	b.Transition("a", "go", "c")
+	if _, err := b.Build(true); err == nil {
+		t.Fatal("conflicting transition accepted")
+	}
+	// Same transition twice is fine.
+	b2 := NewBuilder("m").Initial("a")
+	b2.Transition("a", "go", "a")
+	b2.Transition("a", "go", "a")
+	if _, err := b2.Build(true); err != nil {
+		t.Fatalf("idempotent transition rejected: %v", err)
+	}
+}
+
+func TestBuilderNoStates(t *testing.T) {
+	if _, err := NewBuilder("m").Build(true); err == nil {
+		t.Fatal("empty builder accepted")
+	}
+}
+
+func TestBuilderDefaultInitial(t *testing.T) {
+	b := NewBuilder("m")
+	b.Transition("first", "e", "second")
+	b.Transition("second", "e", "first")
+	m, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StateName(m.Initial()) != "first" {
+		t.Errorf("default initial = %q, want first state declared", m.StateName(m.Initial()))
+	}
+}
+
+func TestBuilderCycleAndLoop(t *testing.T) {
+	b := NewBuilder("ring").Initial("a")
+	b.Cycle("tick", "a", "b", "c")
+	b.Loop("a", "noop")
+	b.Loop("b", "noop")
+	b.Loop("c", "noop")
+	m, err := b.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Run([]string{"tick", "noop", "tick", "tick"}) != m.StateIndex("a") {
+		t.Error("cycle did not wrap")
+	}
+}
+
+func TestBuilderMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	NewBuilder("m").MustBuild(true)
+}
+
+func TestBuilderUnreachableState(t *testing.T) {
+	b := NewBuilder("m").Initial("a")
+	b.Loop("a", "e")
+	b.Loop("island", "e")
+	if _, err := b.Build(false); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("unreachable state accepted: %v", err)
+	}
+}

@@ -1,0 +1,43 @@
+package dfsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the machine in Graphviz dot syntax for inspection of the
+// generated fusion machines (the paper's figures are exactly such drawings).
+// Parallel edges between the same pair of states are merged with a
+// comma-separated label.
+func (m *Machine) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  __init [shape=point, label=\"\"];\n")
+	fmt.Fprintf(&b, "  __init -> %q;\n", m.states[m.initial])
+	type edge struct{ from, to int }
+	labels := map[edge][]string{}
+	for s, row := range m.delta {
+		for e, t := range row {
+			k := edge{s, t}
+			labels[k] = append(labels[k], m.events[e])
+		}
+	}
+	edges := make([]edge, 0, len(labels))
+	for k := range labels {
+		edges = append(edges, k)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, k := range edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", m.states[k.from], m.states[k.to], strings.Join(labels[k], ","))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package dfsm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	m := MustMachine("toggle", []string{"off", "on"}, []string{"a", "b"},
+		[][]int{{1, 1}, {0, 0}}, 0)
+	dot := m.DOT()
+	for _, want := range []string{
+		`digraph "toggle"`,
+		`__init -> "off"`,
+		`"off" -> "on" [label="a,b"]`, // parallel edges merged
+		`"on" -> "off"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	m := MustMachine("m", []string{"a", "b", "c"}, []string{"x", "y"},
+		[][]int{{1, 2}, {2, 0}, {0, 1}}, 0)
+	if m.DOT() != m.DOT() {
+		t.Error("DOT output not deterministic")
+	}
+}

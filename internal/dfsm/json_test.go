@@ -1,0 +1,57 @@
+package dfsm
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		m := RandomMachine(rng, "rt", 1+rng.Intn(8), []string{"a", "b", "c"})
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Machine
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !m.Equal(&back) {
+			t.Fatalf("round trip changed machine:\n%s\nvs\n%s", m.Table(), back.Table())
+		}
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`{"name":"m","states":["a"],"events":["e"],"initial":"zzz","transitions":[{"from":"a","event":"e","to":"a"}]}`,
+		`{"name":"m","states":["a"],"events":["e"],"initial":"a","transitions":[{"from":"zzz","event":"e","to":"a"}]}`,
+		`{"name":"m","states":["a"],"events":["e"],"initial":"a","transitions":[{"from":"a","event":"zzz","to":"a"}]}`,
+		`{"name":"m","states":["a"],"events":["e"],"initial":"a","transitions":[{"from":"a","event":"e","to":"zzz"}]}`,
+		`{"name":"m","states":["a"],"events":["e"],"initial":"a","transitions":[]}`, // missing transition
+		`{"name":"m","states":["a","a"],"events":["e"],"initial":"a","transitions":[{"from":"a","event":"e","to":"a"}]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		var m Machine
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("case %d: bad JSON accepted", i)
+		}
+	}
+}
+
+func TestJSONIsReadable(t *testing.T) {
+	m := MustMachine("m", []string{"a", "b"}, []string{"e"}, [][]int{{1}, {0}}, 0)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"m"`, `"initial":"a"`, `"from":"a"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON %s missing %s", data, want)
+		}
+	}
+}

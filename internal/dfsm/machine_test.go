@@ -1,0 +1,156 @@
+package dfsm
+
+import (
+	"strings"
+	"testing"
+)
+
+func mod3(t *testing.T, name, event string) *Machine {
+	t.Helper()
+	m, err := NewMachine(name,
+		[]string{"c0", "c1", "c2"},
+		[]string{event},
+		[][]int{{1}, {2}, {0}}, 0)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	return m
+}
+
+func TestNewMachineBasics(t *testing.T) {
+	m := mod3(t, "A", "0")
+	if m.Name() != "A" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.NumStates() != 3 || m.NumEvents() != 1 {
+		t.Errorf("size = (%d,%d), want (3,1)", m.NumStates(), m.NumEvents())
+	}
+	if m.Initial() != 0 {
+		t.Errorf("Initial = %d", m.Initial())
+	}
+	if m.StateName(1) != "c1" || m.StateIndex("c2") != 2 || m.StateIndex("zzz") != -1 {
+		t.Error("state naming lookups broken")
+	}
+	if m.EventIndex("0") != 0 || m.EventIndex("9") != -1 || !m.HasEvent("0") || m.HasEvent("1") {
+		t.Error("event lookups broken")
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		states  []string
+		events  []string
+		delta   [][]int
+		initial int
+	}{
+		{"", []string{"s"}, []string{"e"}, [][]int{{0}}, 0},             // empty name
+		{"m", nil, []string{"e"}, nil, 0},                               // no states
+		{"m", []string{"s"}, []string{"e"}, [][]int{{0}}, 5},            // initial out of range
+		{"m", []string{"s", "s"}, []string{"e"}, [][]int{{0}, {0}}, 0},  // dup state
+		{"m", []string{"s", ""}, []string{"e"}, [][]int{{0}, {0}}, 0},   // empty state name
+		{"m", []string{"s"}, []string{"e"}, nil, 0},                     // missing delta rows
+		{"m", []string{"s"}, []string{"e"}, [][]int{{}}, 0},             // short row
+		{"m", []string{"s"}, []string{"e"}, [][]int{{7}}, 0},            // target out of range
+		{"m", []string{"s", "t"}, []string{"e"}, [][]int{{0}, {1}}, 0},  // t unreachable
+		{"m", []string{"s"}, []string{"e", "e"}, [][]int{{0, 0}}, 0},    // dup event
+		{"m", []string{"s", "t"}, []string{"e"}, [][]int{{0}, {-1}}, 0}, // negative target
+	}
+	for i, c := range cases {
+		if _, err := NewMachine(c.name, c.states, c.events, c.delta, c.initial); err == nil {
+			t.Errorf("case %d: invalid machine accepted", i)
+		}
+	}
+}
+
+func TestNextIgnoresForeignEvents(t *testing.T) {
+	m := mod3(t, "A", "0")
+	if got := m.Next(1, "1"); got != 1 {
+		t.Errorf("foreign event moved the machine: %d", got)
+	}
+	if got := m.Next(1, "0"); got != 2 {
+		t.Errorf("Next(1, 0) = %d, want 2", got)
+	}
+}
+
+func TestRun(t *testing.T) {
+	m := mod3(t, "A", "0")
+	// Four 0s and two foreign 1s: 4 mod 3 = 1.
+	if got := m.Run([]string{"0", "1", "0", "0", "1", "0"}); got != 1 {
+		t.Errorf("Run = %d, want 1", got)
+	}
+	if got := m.RunFrom(2, []string{"0", "0"}); got != 1 {
+		t.Errorf("RunFrom(2) = %d, want 1", got)
+	}
+	if got := m.Run(nil); got != m.Initial() {
+		t.Errorf("empty Run = %d, want initial", got)
+	}
+}
+
+func TestEqualAndRename(t *testing.T) {
+	a := mod3(t, "A", "0")
+	b := mod3(t, "A", "0")
+	if !a.Equal(b) {
+		t.Error("identical machines not Equal")
+	}
+	if !a.Equal(a) {
+		t.Error("machine not Equal to itself")
+	}
+	c := a.Rename("C")
+	if a.Equal(c) {
+		t.Error("renamed machine Equal to original")
+	}
+	if c.Name() != "C" || c.NumStates() != 3 {
+		t.Error("rename corrupted machine")
+	}
+	if a.Equal(nil) {
+		t.Error("machine Equal to nil")
+	}
+	d := mod3(t, "A", "1")
+	if a.Equal(d) {
+		t.Error("machines with different alphabets Equal")
+	}
+}
+
+func TestStringAndTable(t *testing.T) {
+	m := mod3(t, "A", "0")
+	if s := m.String(); !strings.Contains(s, "A") || !strings.Contains(s, "3") {
+		t.Errorf("String = %q", s)
+	}
+	tab := m.Table()
+	for _, want := range []string{"machine A", "c0", "c1", "c2", "initial=c0"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("Table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestUnionAlphabet(t *testing.T) {
+	a := mod3(t, "A", "0")
+	b := mod3(t, "B", "1")
+	got := UnionAlphabet([]*Machine{a, b, a})
+	if len(got) != 2 || got[0] != "0" || got[1] != "1" {
+		t.Errorf("UnionAlphabet = %v", got)
+	}
+	if got := UnionAlphabet(nil); len(got) != 0 {
+		t.Errorf("UnionAlphabet(nil) = %v", got)
+	}
+}
+
+func TestStatesEventsAreCopies(t *testing.T) {
+	m := mod3(t, "A", "0")
+	m.States()[0] = "mutated"
+	m.Events()[0] = "mutated"
+	if m.StateName(0) != "c0" || m.Events()[0] != "0" {
+		t.Error("accessors exposed internal slices")
+	}
+}
+
+func TestMustMachinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMachine did not panic on invalid input")
+		}
+	}()
+	MustMachine("", nil, nil, nil, 0)
+}

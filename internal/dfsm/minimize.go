@@ -1,0 +1,161 @@
+package dfsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements classical completely-specified FSM reduction
+// (Huffman 1954, Hopcroft 1971), which the paper assumes has been applied to
+// its input machines a priori ("we implicitly assume that the input machines
+// to our algorithm are reduced"). A bare DFSM has no outputs, so reduction
+// is defined with respect to a state labelling (a Moore-machine output): two
+// states are equivalent iff no event sequence distinguishes their labels.
+
+// MinimizeWithLabels returns the machine obtained by merging states that are
+// equivalent under the given per-state labels, using Moore's partition
+// refinement (O(|X|²·|Σ|) worst case, plenty for the paper's sizes). The
+// labels slice must have one entry per state. State names of the reduced
+// machine are the lexicographically least member of each class.
+func (m *Machine) MinimizeWithLabels(labels []int) (*Machine, error) {
+	if len(labels) != len(m.states) {
+		return nil, fmt.Errorf("dfsm: minimize %q: %d labels for %d states", m.name, len(labels), len(m.states))
+	}
+	n := len(m.states)
+	// class[s] is the current equivalence class of s; start from labels,
+	// normalized to 0..k-1.
+	class := make([]int, n)
+	{
+		norm := map[int]int{}
+		for s, l := range labels {
+			id, ok := norm[l]
+			if !ok {
+				id = len(norm)
+				norm[l] = id
+			}
+			class[s] = id
+		}
+	}
+
+	for {
+		// Signature of a state: its class plus the classes of its successors.
+		type sig struct {
+			own  int
+			succ string
+		}
+		sigIx := map[sig]int{}
+		next := make([]int, n)
+		for s := 0; s < n; s++ {
+			buf := make([]byte, 0, 4*len(m.events))
+			for e := range m.events {
+				c := class[m.delta[s][e]]
+				buf = append(buf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+			}
+			k := sig{own: class[s], succ: string(buf)}
+			id, ok := sigIx[k]
+			if !ok {
+				id = len(sigIx)
+				sigIx[k] = id
+			}
+			next[s] = id
+		}
+		if len(sigIx) == countClasses(class) {
+			break
+		}
+		class = next
+	}
+
+	return m.quotientByClasses(class)
+}
+
+func countClasses(class []int) int {
+	seen := map[int]bool{}
+	for _, c := range class {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// quotientByClasses builds the machine whose states are the classes. The
+// classes must be closed (successors of same-class states land in the same
+// class); this holds by construction in MinimizeWithLabels.
+func (m *Machine) quotientByClasses(class []int) (*Machine, error) {
+	k := countClasses(class)
+	// Representative (least index) and name per class.
+	repr := make([]int, k)
+	for i := range repr {
+		repr[i] = -1
+	}
+	members := make([][]string, k)
+	for s, c := range class {
+		if repr[c] == -1 || s < repr[c] {
+			repr[c] = s
+		}
+		members[c] = append(members[c], m.states[s])
+	}
+	names := make([]string, k)
+	for c := range names {
+		sort.Strings(members[c])
+		names[c] = members[c][0]
+	}
+	delta := make([][]int, k)
+	for c := range delta {
+		delta[c] = make([]int, len(m.events))
+		for e := range m.events {
+			delta[c][e] = class[m.delta[repr[c]][e]]
+		}
+	}
+	// Verify closure: every member must agree with the representative.
+	for s, c := range class {
+		for e := range m.events {
+			if class[m.delta[s][e]] != delta[c][e] {
+				return nil, fmt.Errorf("dfsm: quotient of %q: classes not closed at state %s event %s", m.name, m.states[s], m.events[e])
+			}
+		}
+	}
+	return NewMachine(m.name+"/min", names, m.events, delta, class[m.initial])
+}
+
+// Isomorphic reports whether two machines are identical up to state renaming
+// (same alphabet in the same order, and a bijection of states preserving the
+// initial state and transitions). Since DFSMs are deterministic and all
+// states are reachable, the bijection, if it exists, is unique and found by
+// parallel BFS from the initial states.
+func Isomorphic(a, b *Machine) bool {
+	if a.NumStates() != b.NumStates() || a.NumEvents() != b.NumEvents() {
+		return false
+	}
+	for e := range a.events {
+		if a.events[e] != b.events[e] {
+			return false
+		}
+	}
+	match := make([]int, a.NumStates()) // a-state -> b-state
+	for i := range match {
+		match[i] = -1
+	}
+	match[a.initial] = b.initial
+	queue := []int{a.initial}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for e := range a.events {
+			ta, tb := a.delta[s][e], b.delta[match[s]][e]
+			if match[ta] == -1 {
+				match[ta] = tb
+				queue = append(queue, ta)
+			} else if match[ta] != tb {
+				return false
+			}
+		}
+	}
+	// Check the map is injective (it is total because all states reachable).
+	seen := make([]bool, b.NumStates())
+	for _, t := range match {
+		if t == -1 || seen[t] {
+			return false
+		}
+		seen[t] = true
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package dfsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizeMergesEquivalentStates(t *testing.T) {
+	// A 6-state mod-3 counter (two redundant laps) with labels s mod 3
+	// reduces to 3 states.
+	m := MustMachine("six", []string{"s0", "s1", "s2", "s3", "s4", "s5"}, []string{"e"},
+		[][]int{{1}, {2}, {3}, {4}, {5}, {0}}, 0)
+	red, err := m.MinimizeWithLabels([]int{0, 1, 2, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumStates() != 3 {
+		t.Fatalf("reduced to %d states, want 3", red.NumStates())
+	}
+	// Behaviour preserved: label of the state after k events matches.
+	s, r := m.Initial(), red.Initial()
+	for k := 0; k < 12; k++ {
+		if s%3 != mustLabel(red, r) {
+			t.Fatalf("after %d events: original label %d, reduced label %d", k, s%3, mustLabel(red, r))
+		}
+		s = m.Next(s, "e")
+		r = red.Next(r, "e")
+	}
+}
+
+// mustLabel recovers the intended label from the reduced state's name
+// (least original state name, "s<k>").
+func mustLabel(m *Machine, s int) int {
+	name := m.StateName(s)
+	return int(name[1]-'0') % 3
+}
+
+func TestMinimizeDistinctLabelsIsIdentity(t *testing.T) {
+	m := MustMachine("m", []string{"x", "y"}, []string{"e"}, [][]int{{1}, {0}}, 0)
+	red, err := m.MinimizeWithLabels([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumStates() != 2 {
+		t.Fatalf("distinct labels must not merge: %d states", red.NumStates())
+	}
+}
+
+func TestMinimizeLabelMismatch(t *testing.T) {
+	m := MustMachine("m", []string{"x", "y"}, []string{"e"}, [][]int{{1}, {0}}, 0)
+	if _, err := m.MinimizeWithLabels([]int{0}); err == nil {
+		t.Fatal("accepted wrong label count")
+	}
+}
+
+func TestMinimizeRefinesWhenSuccessorsDiffer(t *testing.T) {
+	// Same label everywhere but a structural difference: a 2-cycle and a
+	// fixed point with the same label cannot merge if the label of what
+	// they reach differs... give them distinguishing labels downstream.
+	m := MustMachine("m", []string{"a", "b", "c"}, []string{"e"},
+		[][]int{{1}, {2}, {2}}, 0)
+	red, err := m.MinimizeWithLabels([]int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a→b→c(label 1). a and b differ: from b, one event reaches label 1;
+	// from a it takes two. So no merge.
+	if red.NumStates() != 3 {
+		t.Fatalf("got %d states, want 3", red.NumStates())
+	}
+}
+
+func TestIsomorphicPositive(t *testing.T) {
+	a := MustMachine("a", []string{"p", "q", "r"}, []string{"e"}, [][]int{{1}, {2}, {0}}, 0)
+	b := MustMachine("b", []string{"x", "y", "z"}, []string{"e"}, [][]int{{1}, {2}, {0}}, 0)
+	if !Isomorphic(a, b) {
+		t.Error("renamed cycle not isomorphic")
+	}
+	// Rotation of state indices with adjusted initial is isomorphic too.
+	c := MustMachine("c", []string{"x", "y", "z"}, []string{"e"}, [][]int{{2}, {0}, {1}}, 1)
+	if !Isomorphic(a, c) {
+		t.Error("rotated cycle not isomorphic")
+	}
+}
+
+func TestIsomorphicNegative(t *testing.T) {
+	a := MustMachine("a", []string{"p", "q", "r"}, []string{"e"}, [][]int{{1}, {2}, {0}}, 0)
+	b := MustMachine("b", []string{"x", "y", "z"}, []string{"e"}, [][]int{{1}, {2}, {2}}, 0)
+	if Isomorphic(a, b) {
+		t.Error("cycle isomorphic to a chain")
+	}
+	short := MustMachine("s", []string{"x"}, []string{"e"}, [][]int{{0}}, 0)
+	if Isomorphic(a, short) {
+		t.Error("machines of different size isomorphic")
+	}
+	other := MustMachine("o", []string{"p", "q", "r"}, []string{"f"}, [][]int{{1}, {2}, {0}}, 0)
+	if Isomorphic(a, other) {
+		t.Error("machines with different alphabets isomorphic")
+	}
+}
+
+func TestIsomorphicRandomSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		m := RandomMachine(rng, "m", 1+rng.Intn(10), []string{"a", "b"})
+		if !Isomorphic(m, m.Rename("other")) {
+			t.Fatalf("trial %d: machine not isomorphic to itself", trial)
+		}
+	}
+}

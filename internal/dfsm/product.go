@@ -1,0 +1,143 @@
+package dfsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Product is the reachable cross product R(A) of a set of machines
+// (Section 2 of the paper): the machine over the union alphabet whose states
+// are the reachable tuples of component states. It retains the projection
+// from each product state to each component's state, which is exactly the
+// "set representation" information Algorithm 1 recovers.
+type Product struct {
+	// Top is the product machine ⊤. Its state names are the component
+	// tuples rendered as {s1,s2,...}.
+	Top *Machine
+	// Components are the input machines in order.
+	Components []*Machine
+	// Proj[t][i] is the state of Components[i] when Top is in state t.
+	Proj [][]int
+}
+
+// maxProductStates bounds the BFS so that a pathological input cannot
+// exhaust memory; the paper's tops have at most a few hundred states.
+const maxProductStates = 1 << 22
+
+// ReachableCrossProduct computes R(machines). It returns an error for an
+// empty input or if the reachable product exceeds maxProductStates states.
+func ReachableCrossProduct(machines []*Machine) (*Product, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("dfsm: cross product of no machines")
+	}
+	alphabet := UnionAlphabet(machines)
+	n := len(machines)
+
+	// Per-machine, per-union-event transition resolution: next[i][e] maps a
+	// component state to its successor, with foreign events as identity.
+	next := make([][][]int, n)
+	for i, m := range machines {
+		next[i] = make([][]int, len(alphabet))
+		for e, ev := range alphabet {
+			col := make([]int, m.NumStates())
+			if k := m.EventIndex(ev); k >= 0 {
+				for s := 0; s < m.NumStates(); s++ {
+					col[s] = m.delta[s][k]
+				}
+			} else {
+				for s := 0; s < m.NumStates(); s++ {
+					col[s] = s
+				}
+			}
+			next[i][e] = col
+		}
+	}
+
+	type key string
+	encode := func(tuple []int) key {
+		var b strings.Builder
+		for i, s := range tuple {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+		return key(b.String())
+	}
+
+	initial := make([]int, n)
+	for i, m := range machines {
+		initial[i] = m.Initial()
+	}
+
+	index := map[key]int{encode(initial): 0}
+	tuples := [][]int{append([]int(nil), initial...)}
+	var delta [][]int
+
+	for head := 0; head < len(tuples); head++ {
+		cur := tuples[head]
+		row := make([]int, len(alphabet))
+		for e := range alphabet {
+			succ := make([]int, n)
+			for i := range succ {
+				succ[i] = next[i][e][cur[i]]
+			}
+			k := encode(succ)
+			t, ok := index[k]
+			if !ok {
+				t = len(tuples)
+				if t >= maxProductStates {
+					return nil, fmt.Errorf("dfsm: reachable cross product exceeds %d states", maxProductStates)
+				}
+				index[k] = t
+				tuples = append(tuples, succ)
+			}
+			row[e] = t
+		}
+		delta = append(delta, row)
+	}
+
+	names := make([]string, len(tuples))
+	for t, tuple := range tuples {
+		parts := make([]string, n)
+		for i, s := range tuple {
+			parts[i] = machines[i].StateName(s)
+		}
+		names[t] = "{" + strings.Join(parts, ",") + "}"
+	}
+	top, err := NewMachine(productName(machines), names, alphabet, delta, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Product{Top: top, Components: append([]*Machine(nil), machines...), Proj: tuples}, nil
+}
+
+func productName(machines []*Machine) string {
+	parts := make([]string, len(machines))
+	for i, m := range machines {
+		parts[i] = m.Name()
+	}
+	return "R({" + strings.Join(parts, ",") + "})"
+}
+
+// ComponentBlocks returns, for component i, the partition of the top's
+// states induced by projection: blocks[s] lists the top states whose i-th
+// component is s. This is the set representation of machine i (Fig. 5).
+func (p *Product) ComponentBlocks(i int) [][]int {
+	blocks := make([][]int, p.Components[i].NumStates())
+	for t, tuple := range p.Proj {
+		s := tuple[i]
+		blocks[s] = append(blocks[s], t)
+	}
+	return blocks
+}
+
+// StateSpace returns the product of the component sizes, i.e. the size of
+// the unreached cross product; |Top| ≤ StateSpace().
+func (p *Product) StateSpace() int {
+	total := 1
+	for _, m := range p.Components {
+		total *= m.NumStates()
+	}
+	return total
+}

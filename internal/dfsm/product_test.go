@@ -1,0 +1,144 @@
+package dfsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func counters(t *testing.T) (*Machine, *Machine) {
+	t.Helper()
+	a := MustMachine("A", []string{"a0", "a1", "a2"}, []string{"0"}, [][]int{{1}, {2}, {0}}, 0)
+	b := MustMachine("B", []string{"b0", "b1", "b2"}, []string{"1"}, [][]int{{1}, {2}, {0}}, 0)
+	return a, b
+}
+
+func TestReachableCrossProductCounters(t *testing.T) {
+	a, b := counters(t)
+	p, err := ReachableCrossProduct([]*Machine{a, b})
+	if err != nil {
+		t.Fatalf("ReachableCrossProduct: %v", err)
+	}
+	// Fig. 1(iii): the two independent mod-3 counters reach all 9 pairs.
+	if p.Top.NumStates() != 9 {
+		t.Fatalf("|R| = %d, want 9", p.Top.NumStates())
+	}
+	if p.StateSpace() != 9 {
+		t.Fatalf("StateSpace = %d, want 9", p.StateSpace())
+	}
+	if got := p.Top.NumEvents(); got != 2 {
+		t.Fatalf("top alphabet size %d, want 2", got)
+	}
+	// The projections track the component machines along any run.
+	events := []string{"0", "1", "1", "0", "0"}
+	ts := p.Top.Run(events)
+	if p.Proj[ts][0] != a.Run(events) || p.Proj[ts][1] != b.Run(events) {
+		t.Error("projection of the top run disagrees with the component runs")
+	}
+}
+
+func TestReachableCrossProductPrunes(t *testing.T) {
+	// Two copies of the same counter driven by the same event can never
+	// diverge: the reachable product is the diagonal, 3 states not 9.
+	a := MustMachine("A", []string{"a0", "a1", "a2"}, []string{"0"}, [][]int{{1}, {2}, {0}}, 0)
+	b := a.Rename("B")
+	p, err := ReachableCrossProduct([]*Machine{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Top.NumStates() != 3 {
+		t.Fatalf("|R| = %d, want 3 (diagonal)", p.Top.NumStates())
+	}
+	if p.StateSpace() != 9 {
+		t.Fatalf("StateSpace = %d, want 9 (unpruned)", p.StateSpace())
+	}
+}
+
+func TestReachableCrossProductEmpty(t *testing.T) {
+	if _, err := ReachableCrossProduct(nil); err == nil {
+		t.Fatal("cross product of zero machines accepted")
+	}
+}
+
+func TestReachableCrossProductSingle(t *testing.T) {
+	a, _ := counters(t)
+	p, err := ReachableCrossProduct([]*Machine{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Isomorphic(p.Top, a) {
+		t.Error("R({A}) is not isomorphic to A")
+	}
+}
+
+func TestComponentBlocksPartitionTheTop(t *testing.T) {
+	a, b := counters(t)
+	p, err := ReachableCrossProduct([]*Machine{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		blocks := p.ComponentBlocks(i)
+		seen := make([]bool, p.Top.NumStates())
+		for _, blk := range blocks {
+			for _, ts := range blk {
+				if seen[ts] {
+					t.Fatalf("component %d: top state %d in two blocks", i, ts)
+				}
+				seen[ts] = true
+			}
+		}
+		for ts, ok := range seen {
+			if !ok {
+				t.Fatalf("component %d: top state %d in no block", i, ts)
+			}
+		}
+	}
+}
+
+// TestProductSimulatesComponents is the key semantic property, checked on
+// random machines with random event sequences: the top machine's projection
+// always equals each component's own run.
+func TestProductSimulatesComponents(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ms := []*Machine{
+			RandomMachine(rng, "X", 1+rng.Intn(4), []string{"a", "b"}),
+			RandomMachine(rng, "Y", 1+rng.Intn(4), []string{"b", "c"}),
+			RandomMachine(rng, "Z", 1+rng.Intn(3), []string{"a", "c"}),
+		}
+		p, err := ReachableCrossProduct(ms)
+		if err != nil {
+			return false
+		}
+		alpha := UnionAlphabet(ms)
+		events := make([]string, rng.Intn(30))
+		for i := range events {
+			events[i] = alpha[rng.Intn(len(alpha))]
+		}
+		ts := p.Top.Run(events)
+		for i, m := range ms {
+			if p.Proj[ts][i] != m.Run(events) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProductStateNames(t *testing.T) {
+	a, b := counters(t)
+	p, err := ReachableCrossProduct([]*Machine{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Top.StateName(0); got != "{a0,b0}" {
+		t.Errorf("initial product state named %q, want {a0,b0}", got)
+	}
+	if got := p.Top.Name(); got != "R({A,B})" {
+		t.Errorf("product named %q", got)
+	}
+}

@@ -1,0 +1,112 @@
+package dfsm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomMachine generates a pseudo-random machine with the given number of
+// states and the given alphabet, guaranteed valid (all states reachable).
+// It is used by property-based tests and by scaling benchmarks; the paper's
+// evaluation uses hand-written protocol machines, but random machines
+// exercise the same code paths at arbitrary sizes.
+//
+// Reachability is ensured by first threading a random spanning arborescence
+// from state 0 and then filling the remaining transitions uniformly.
+func RandomMachine(rng *rand.Rand, name string, numStates int, events []string) *Machine {
+	if numStates <= 0 || len(events) == 0 {
+		panic(fmt.Sprintf("dfsm: RandomMachine(%d states, %d events)", numStates, len(events)))
+	}
+	delta := make([][]int, numStates)
+	for s := range delta {
+		delta[s] = make([]int, len(events))
+		for e := range delta[s] {
+			delta[s][e] = -1
+		}
+	}
+	// Spanning structure: state s (s>0) is entered from a random earlier
+	// state on a random event, so every state is reachable from 0.
+	perm := rng.Perm(numStates - 1)
+	for _, i := range perm {
+		s := i + 1
+		from := rng.Intn(s)
+		ev := rng.Intn(len(events))
+		// If that slot is taken, scan for a free slot on any earlier state.
+		placed := false
+		for attempts := 0; attempts < 4*numStates && !placed; attempts++ {
+			if delta[from][ev] == -1 {
+				delta[from][ev] = s
+				placed = true
+			} else {
+				from = rng.Intn(s)
+				ev = rng.Intn(len(events))
+			}
+		}
+		if !placed {
+			// Fall back to overwriting: reachability of the overwritten
+			// target will be restored by the fill below or it simply makes
+			// the machine smaller; regenerate instead for determinism.
+			delta[from][ev] = s
+		}
+	}
+	for s := range delta {
+		for e := range delta[s] {
+			if delta[s][e] == -1 {
+				delta[s][e] = rng.Intn(numStates)
+			}
+		}
+	}
+	states := make([]string, numStates)
+	for s := range states {
+		states[s] = fmt.Sprintf("s%d", s)
+	}
+	m, err := NewMachine(name, states, events, delta, 0)
+	if err != nil {
+		// The arborescence guarantees reachability; only the overwrite
+		// fallback can break it. Prune unreachable states and retry.
+		m = pruneUnreachable(name, states, events, delta)
+	}
+	return m
+}
+
+func pruneUnreachable(name string, states []string, events []string, delta [][]int) *Machine {
+	n := len(states)
+	reached := make([]bool, n)
+	reached[0] = true
+	stack := []int{0}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := range events {
+			t := delta[s][e]
+			if !reached[t] {
+				reached[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	remap := make([]int, n)
+	var keptStates []string
+	k := 0
+	for s := 0; s < n; s++ {
+		if reached[s] {
+			remap[s] = k
+			keptStates = append(keptStates, states[s])
+			k++
+		} else {
+			remap[s] = -1
+		}
+	}
+	newDelta := make([][]int, k)
+	for s := 0; s < n; s++ {
+		if !reached[s] {
+			continue
+		}
+		row := make([]int, len(events))
+		for e := range events {
+			row[e] = remap[delta[s][e]]
+		}
+		newDelta[remap[s]] = row
+	}
+	return MustMachine(name, keptStates, events, newDelta, 0)
+}

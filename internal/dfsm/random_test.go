@@ -1,0 +1,37 @@
+package dfsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomMachineValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		m := RandomMachine(rng, "r", n, []string{"a", "b"})
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid machine: %v", trial, err)
+		}
+		if m.NumStates() > n {
+			t.Fatalf("trial %d: %d states, asked for %d", trial, m.NumStates(), n)
+		}
+	}
+}
+
+func TestRandomMachineDeterministic(t *testing.T) {
+	a := RandomMachine(rand.New(rand.NewSource(5)), "r", 10, []string{"a", "b"})
+	b := RandomMachine(rand.New(rand.NewSource(5)), "r", 10, []string{"a", "b"})
+	if !a.Equal(b) {
+		t.Error("same seed produced different machines")
+	}
+}
+
+func TestRandomMachinePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero states")
+		}
+	}()
+	RandomMachine(rand.New(rand.NewSource(1)), "r", 0, []string{"a"})
+}

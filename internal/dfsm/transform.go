@@ -1,0 +1,130 @@
+package dfsm
+
+import "fmt"
+
+// Machine transformations used when assembling systems: renaming events to
+// make alphabets disjoint (independent sensors) or shared (coupling
+// machines to one stream), and relabelling states for presentation.
+
+// RenameEvents returns a copy of the machine with events renamed through
+// the mapping; events absent from the mapping keep their names. Renaming
+// must not merge two events.
+func (m *Machine) RenameEvents(mapping map[string]string) (*Machine, error) {
+	events := make([]string, len(m.events))
+	seen := make(map[string]bool, len(m.events))
+	for i, e := range m.events {
+		name := e
+		if to, ok := mapping[e]; ok {
+			name = to
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("dfsm: rename merges two events into %q", name)
+		}
+		seen[name] = true
+		events[i] = name
+	}
+	return NewMachine(m.name, m.states, events, m.delta, m.initial)
+}
+
+// PrefixEvents returns a copy with every event prefixed — the quick way to
+// make a machine's alphabet disjoint from everything else.
+func (m *Machine) PrefixEvents(prefix string) *Machine {
+	events := make([]string, len(m.events))
+	for i, e := range m.events {
+		events[i] = prefix + e
+	}
+	out, err := NewMachine(m.name, m.states, events, m.delta, m.initial)
+	if err != nil {
+		// Prefixing cannot introduce duplicates or invalidate anything.
+		panic(fmt.Sprintf("dfsm: PrefixEvents: %v", err))
+	}
+	return out
+}
+
+// RelabelStates returns a copy with states renamed through the mapping;
+// unmapped states keep their names. Relabelling must keep names unique.
+func (m *Machine) RelabelStates(mapping map[string]string) (*Machine, error) {
+	states := make([]string, len(m.states))
+	seen := make(map[string]bool, len(m.states))
+	for i, s := range m.states {
+		name := s
+		if to, ok := mapping[s]; ok {
+			name = to
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("dfsm: relabel merges two states into %q", name)
+		}
+		seen[name] = true
+		states[i] = name
+	}
+	return NewMachine(m.name, states, m.events, m.delta, m.initial)
+}
+
+// RestrictAlphabet returns the machine obtained by deleting the given
+// events (transitions on them disappear; the machine then ignores those
+// events entirely, per the system model). Deleting events can make states
+// unreachable; those are pruned. Deleting every event is an error.
+func (m *Machine) RestrictAlphabet(drop ...string) (*Machine, error) {
+	dropSet := make(map[string]bool, len(drop))
+	for _, e := range drop {
+		dropSet[e] = true
+	}
+	var events []string
+	var keepIdx []int
+	for i, e := range m.events {
+		if !dropSet[e] {
+			events = append(events, e)
+			keepIdx = append(keepIdx, i)
+		}
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("dfsm: restricting %q to the empty alphabet", m.name)
+	}
+	// Build restricted delta, then prune unreachable states.
+	n := len(m.states)
+	delta := make([][]int, n)
+	for s := 0; s < n; s++ {
+		row := make([]int, len(events))
+		for k, ei := range keepIdx {
+			row[k] = m.delta[s][ei]
+		}
+		delta[s] = row
+	}
+	reached := make([]bool, n)
+	reached[m.initial] = true
+	stack := []int{m.initial}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range delta[s] {
+			if !reached[t] {
+				reached[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	remap := make([]int, n)
+	var states []string
+	k := 0
+	for s := 0; s < n; s++ {
+		if reached[s] {
+			remap[s] = k
+			states = append(states, m.states[s])
+			k++
+		} else {
+			remap[s] = -1
+		}
+	}
+	outDelta := make([][]int, k)
+	for s := 0; s < n; s++ {
+		if !reached[s] {
+			continue
+		}
+		row := make([]int, len(events))
+		for e := range events {
+			row[e] = remap[delta[s][e]]
+		}
+		outDelta[remap[s]] = row
+	}
+	return NewMachine(m.name, states, events, outDelta, remap[m.initial])
+}

@@ -1,0 +1,96 @@
+package dfsm
+
+import "testing"
+
+func twoEvent(t *testing.T) *Machine {
+	t.Helper()
+	return MustMachine("m", []string{"p", "q"}, []string{"a", "b"},
+		[][]int{{1, 0}, {0, 1}}, 0)
+}
+
+func TestRenameEvents(t *testing.T) {
+	m := twoEvent(t)
+	r, err := m.RenameEvents(map[string]string{"a": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasEvent("x") || r.HasEvent("a") || !r.HasEvent("b") {
+		t.Errorf("events = %v", r.Events())
+	}
+	if r.Next(0, "x") != 1 {
+		t.Error("transition lost in rename")
+	}
+	if _, err := m.RenameEvents(map[string]string{"a": "b"}); err == nil {
+		t.Error("merging rename accepted")
+	}
+}
+
+func TestPrefixEvents(t *testing.T) {
+	m := twoEvent(t)
+	p := m.PrefixEvents("s1.")
+	if !p.HasEvent("s1.a") || p.HasEvent("a") {
+		t.Errorf("events = %v", p.Events())
+	}
+	// Original untouched.
+	if !m.HasEvent("a") {
+		t.Error("PrefixEvents mutated the receiver")
+	}
+	// Two prefixed copies are alphabet-disjoint: their product is the full
+	// grid.
+	q := m.PrefixEvents("s2.")
+	prod, err := ReachableCrossProduct([]*Machine{p.Rename("P"), q.Rename("Q")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Top.NumStates() != 4 {
+		t.Errorf("|product| = %d, want 4 (disjoint alphabets)", prod.Top.NumStates())
+	}
+}
+
+func TestRelabelStates(t *testing.T) {
+	m := twoEvent(t)
+	r, err := m.RelabelStates(map[string]string{"p": "start"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StateIndex("start") != 0 || r.StateIndex("p") != -1 {
+		t.Errorf("states = %v", r.States())
+	}
+	if _, err := m.RelabelStates(map[string]string{"p": "q"}); err == nil {
+		t.Error("merging relabel accepted")
+	}
+}
+
+func TestRestrictAlphabet(t *testing.T) {
+	// A 3-state machine where event "b" is the only way to reach state r.
+	m := MustMachine("m", []string{"p", "q", "r"}, []string{"a", "b"},
+		[][]int{{1, 2}, {0, 2}, {2, 2}}, 0)
+	r, err := m.RestrictAlphabet("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEvents() != 1 || r.HasEvent("b") {
+		t.Errorf("events = %v", r.Events())
+	}
+	// State r becomes unreachable and is pruned.
+	if r.NumStates() != 2 || r.StateIndex("r") != -1 {
+		t.Errorf("states = %v", r.States())
+	}
+	if r.Next(0, "a") != r.StateIndex("q") {
+		t.Error("surviving transition broken")
+	}
+	if _, err := m.RestrictAlphabet("a", "b"); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+}
+
+func TestRestrictAlphabetKeepsAll(t *testing.T) {
+	m := twoEvent(t)
+	r, err := m.RestrictAlphabet("zzz") // dropping a non-event is a no-op
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Isomorphic(m, r) {
+		t.Error("no-op restriction changed the machine")
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machines"
+)
+
+// TestFig1Reproduction asserts the paper's Fig. 1 claims end to end.
+func TestFig1Reproduction(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TopSize != 9 {
+		t.Errorf("|top| = %d, want 9", r.TopSize)
+	}
+	if !r.F1IsFusion {
+		t.Error("F1 must be a (1,1)-fusion")
+	}
+	if r.DminAB != 1 || r.DminWithF1 != 2 || r.DminWithF1F2 != 3 {
+		t.Errorf("dmin chain = (%d,%d,%d), want (1,2,3)", r.DminAB, r.DminWithF1, r.DminWithF1F2)
+	}
+	if !r.ByzantineOK {
+		t.Error("{A,B,F1,F2} must tolerate one Byzantine fault")
+	}
+	if len(r.GeneratedSizes) != 1 || r.GeneratedSizes[0] != 3 {
+		t.Errorf("Algorithm 2 sizes = %v, want [3]", r.GeneratedSizes)
+	}
+	out := FormatFig1(r)
+	if !strings.Contains(out, "Fig. 1") {
+		t.Error("FormatFig1 missing header")
+	}
+}
+
+func TestFig2Reproduction(t *testing.T) {
+	r, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ASize != 3 || r.BSize != 3 || r.TopSize != 4 {
+		t.Errorf("sizes (%d,%d,%d), want (3,3,4)", r.ASize, r.BSize, r.TopSize)
+	}
+	if !r.M1Closed || r.M1Size != 3 {
+		t.Errorf("M1 closed=%v size=%d, want true/3", r.M1Closed, r.M1Size)
+	}
+	if !strings.Contains(FormatFig2(r), "R({A,B})") {
+		t.Error("FormatFig2 missing content")
+	}
+}
+
+func TestFig3Reproduction(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ContainsA || !r.ContainsB || !r.ContainsM1 {
+		t.Errorf("lattice containment: A=%v B=%v M1=%v", r.ContainsA, r.ContainsB, r.ContainsM1)
+	}
+	if r.Size < 5 {
+		t.Errorf("lattice size %d too small", r.Size)
+	}
+	if r.BasisSize < 1 {
+		t.Error("empty basis")
+	}
+	if !strings.Contains(r.DOT, "digraph") {
+		t.Error("missing DOT output")
+	}
+	if !strings.Contains(FormatFig3(r), "lattice") {
+		t.Error("FormatFig3 missing content")
+	}
+}
+
+func TestFig4Reproduction(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Graphs) != 4 {
+		t.Fatalf("got %d graphs, want 4", len(r.Graphs))
+	}
+	wantDmin := []int{0, 1, 2, 3}
+	for i, g := range r.Graphs {
+		if g.Dmin != wantDmin[i] {
+			t.Errorf("%s: dmin %d, want %d", g.Label, g.Dmin, wantDmin[i])
+		}
+	}
+	if !strings.Contains(FormatFig4(r), "dmin") {
+		t.Error("FormatFig4 missing content")
+	}
+}
+
+func TestFig5Reproduction(t *testing.T) {
+	r, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sets) != 3 {
+		t.Fatalf("%d sets for machine A, want 3", len(r.Sets))
+	}
+	// One set must contain two top states (a0 ↔ {t0,t3} in the paper).
+	pairs := 0
+	for _, s := range r.Sets {
+		if strings.Count(s, ",") == 1 && strings.Contains(s, "{t") {
+			pairs++
+		}
+	}
+	if pairs != 1 {
+		t.Errorf("want exactly one 2-element set, got %d in %v", pairs, r.Sets)
+	}
+	if !strings.Contains(FormatFig5(r), "Algorithm 1") {
+		t.Error("FormatFig5 missing content")
+	}
+}
+
+// TestTableRowSmall runs the cheapest row end to end; the full table runs
+// under -bench and cmd/paper (seconds, not unit-test time).
+func TestTableRowSmall(t *testing.T) {
+	row, err := RunTableRow(machines.Suite{
+		Name:     "mini",
+		Machines: []string{"A", "B"},
+		F:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.TopSize != 4 {
+		t.Errorf("|top| = %d, want 4", row.TopSize)
+	}
+	if len(row.BackupSizes) != 2 {
+		t.Errorf("backups = %v, want 2 machines", row.BackupSizes)
+	}
+	if row.Replication != 81 { // (3·3)²
+		t.Errorf("replication = %d, want 81", row.Replication)
+	}
+	if row.Fusion == 0 || row.Fusion > row.Replication {
+		t.Errorf("fusion space %d vs replication %d: wrong shape", row.Fusion, row.Replication)
+	}
+	if !strings.Contains(FormatTable([]*TableRow{row}), "mini") {
+		t.Error("FormatTable missing row")
+	}
+}
+
+// TestTable1FullShape runs all five paper rows (≈2s) and asserts the
+// paper's headline: fusion state space strictly smaller than replication
+// on every row.
+func TestTable1FullShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table skipped in -short mode")
+	}
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fusion >= r.Replication {
+			t.Errorf("%s: |Fusion| = %d not smaller than |Replication| = %d", r.Suite, r.Fusion, r.Replication)
+		}
+		if len(r.BackupSizes) == 0 {
+			t.Errorf("%s: no backup machines generated", r.Suite)
+		}
+		for _, sz := range r.BackupSizes {
+			if sz > r.TopSize {
+				t.Errorf("%s: backup of %d states exceeds |top| %d", r.Suite, sz, r.TopSize)
+			}
+		}
+	}
+}
+
+func TestSensorExperiment(t *testing.T) {
+	for _, cfg := range []struct{ n, k, f int }{
+		{10, 3, 1},
+		{100, 3, 1},
+		{20, 5, 2},
+		{100, 5, 3},
+	} {
+		r, err := Sensor(cfg.n, cfg.k, cfg.f, 77)
+		if err != nil {
+			t.Fatalf("Sensor(%v): %v", cfg, err)
+		}
+		if !r.RecoveryOK {
+			t.Errorf("Sensor(%v): recovery failed", cfg)
+		}
+		if r.FusionMachines != cfg.f || r.ReplicationBackups != cfg.n*cfg.f {
+			t.Errorf("Sensor(%v): accounting wrong: %+v", cfg, r)
+		}
+		if !strings.Contains(FormatSensor(r), "Sensor network") {
+			t.Error("FormatSensor missing content")
+		}
+	}
+}
+
+func TestSensorValidation(t *testing.T) {
+	if _, err := Sensor(10, 1, 1, 1); err == nil {
+		t.Error("modulus 1 accepted")
+	}
+}
+
+// TestRecoveryExperimentSmallSuite runs the recovery experiment on the
+// cheapest suite only (the full sweep is exercised by cmd/paper).
+func TestRecoveryExperimentSmallSuite(t *testing.T) {
+	r, err := Recovery(machines.Suite{
+		Name:     "mini",
+		Machines: []string{"A", "B"},
+		F:        2,
+	}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CrashOK {
+		t.Error("crash recovery failed")
+	}
+	if r.ByzantineRuns == 0 || !r.ByzantineOK {
+		t.Errorf("byzantine recovery: runs=%d ok=%v", r.ByzantineRuns, r.ByzantineOK)
+	}
+	out := FormatRecovery([]*RecoveryResult{r})
+	if !strings.Contains(out, "mini") {
+		t.Error("FormatRecovery missing row")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/machines"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RecoveryResult summarizes the Section 5.2 recovery experiment on one
+// suite: end-to-end crash and Byzantine rounds on the simulated cluster,
+// with timing (the paper's complexity claim is O((n+m)·N)).
+type RecoveryResult struct {
+	Suite          string
+	Servers        int
+	TopSize        int
+	F              int
+	CrashOK        bool
+	CrashTime      time.Duration
+	ByzantineOK    bool
+	ByzantineTime  time.Duration
+	ByzantineRuns  int
+	CrashRuns      int
+	SetupTime      time.Duration
+	EventsPerRound int
+}
+
+// Recovery runs the recovery experiment for one paper suite: build the
+// cluster (Algorithm 2), then alternate crash and Byzantine rounds with
+// randomized schedules inside the tolerance bounds, verifying against the
+// oracle every time and averaging the Recover() wall time.
+func Recovery(s machines.Suite, rounds int, seed int64) (*RecoveryResult, error) {
+	ms, err := machines.SuiteMachines(s)
+	if err != nil {
+		return nil, err
+	}
+	setupStart := time.Now()
+	cluster, err := sim.NewCluster(ms, s.F, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &RecoveryResult{
+		Suite:          s.Name,
+		Servers:        len(cluster.ServerNames()),
+		TopSize:        cluster.System().N(),
+		F:              s.F,
+		SetupTime:      time.Since(setupStart),
+		EventsPerRound: 64,
+		CrashOK:        true,
+		ByzantineOK:    true,
+	}
+
+	gen := trace.NewGenerator(seed+1, ms)
+	var crashTotal, byzTotal time.Duration
+	for round := 0; round < rounds; round++ {
+		// Crash round: fail the first F servers.
+		events := gen.Take(res.EventsPerRound)
+		cluster.ApplyAll(events)
+		names := cluster.ServerNames()
+		for i := 0; i < s.F; i++ {
+			if err := cluster.Inject(trace.Fault{Server: names[i%len(names)], Kind: trace.Crash}); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		if _, err := cluster.Recover(); err != nil {
+			return nil, fmt.Errorf("crash round %d: %w", round, err)
+		}
+		crashTotal += time.Since(start)
+		res.CrashRuns++
+		if bad := cluster.Verify(); len(bad) != 0 {
+			res.CrashOK = false
+		}
+
+		// Byzantine round (needs f ≥ 2 for one liar).
+		if s.F >= 2 {
+			cluster.ApplyAll(gen.Take(res.EventsPerRound))
+			liar := names[(round+1)%len(names)]
+			if err := cluster.Inject(trace.Fault{Server: liar, Kind: trace.Byzantine}); err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			if _, err := cluster.Recover(); err != nil {
+				return nil, fmt.Errorf("byzantine round %d: %w", round, err)
+			}
+			byzTotal += time.Since(start)
+			res.ByzantineRuns++
+			if bad := cluster.Verify(); len(bad) != 0 {
+				res.ByzantineOK = false
+			}
+		}
+	}
+	if res.CrashRuns > 0 {
+		res.CrashTime = crashTotal / time.Duration(res.CrashRuns)
+	}
+	if res.ByzantineRuns > 0 {
+		res.ByzantineTime = byzTotal / time.Duration(res.ByzantineRuns)
+	}
+	return res, nil
+}
+
+// RecoveryAll runs the recovery experiment over every paper suite.
+func RecoveryAll(rounds int, seed int64) ([]*RecoveryResult, error) {
+	var out []*RecoveryResult
+	for _, s := range machines.PaperSuites() {
+		r, err := Recovery(s, rounds, seed)
+		if err != nil {
+			return nil, fmt.Errorf("suite %s: %w", s.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatRecovery renders recovery results.
+func FormatRecovery(rs []*RecoveryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %6s %3s %10s %12s %10s %12s\n",
+		"id", "servers", "|top|", "f", "crash ok", "crash t", "byz ok", "byz t")
+	for _, r := range rs {
+		byzOK := "-"
+		byzT := "-"
+		if r.ByzantineRuns > 0 {
+			byzOK = fmt.Sprintf("%v", r.ByzantineOK)
+			byzT = r.ByzantineTime.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "%-8s %8d %6d %3d %10v %12s %10s %12s\n",
+			r.Suite, r.Servers, r.TopSize, r.F,
+			r.CrashOK, r.CrashTime.Round(time.Microsecond), byzOK, byzT)
+	}
+	return b.String()
+}

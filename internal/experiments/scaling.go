@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+	"repro/internal/replication"
+)
+
+// ScalingPoint is one measurement of the scaling experiment: random
+// machine systems of growing size, fusion vs replication.
+type ScalingPoint struct {
+	Machines     int
+	StatesEach   int
+	TopSize      int
+	F            int
+	BackupSizes  []int
+	FusionSpace  uint64
+	ReplSpace    uint64
+	GenerateTime time.Duration
+}
+
+// ScalingConfig parameterizes the sweep.
+type ScalingConfig struct {
+	// MachineCounts and StateCounts are swept as a grid.
+	MachineCounts []int
+	StateCounts   []int
+	F             int
+	Alphabet      []string
+	Seed          int64
+}
+
+// DefaultScalingConfig is the sweep used by cmd/paper and the benches.
+func DefaultScalingConfig() ScalingConfig {
+	return ScalingConfig{
+		MachineCounts: []int{2, 3},
+		StateCounts:   []int{3, 5, 8},
+		F:             1,
+		Alphabet:      []string{"a", "b"},
+		Seed:          2009,
+	}
+}
+
+// Scaling runs the sweep: for each (machines, states) grid point it builds
+// random machines over a shared alphabet, generates a fusion with
+// Algorithm 2, and records state spaces and generation time. This is an
+// extension experiment (not in the paper) pinning the polynomial-time
+// claim of Section 5.1 across sizes.
+func Scaling(cfg ScalingConfig) ([]*ScalingPoint, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []*ScalingPoint
+	for _, n := range cfg.MachineCounts {
+		for _, k := range cfg.StateCounts {
+			ms := make([]*dfsm.Machine, n)
+			for i := range ms {
+				ms[i] = dfsm.RandomMachine(rng, fmt.Sprintf("R%d", i), k, cfg.Alphabet)
+			}
+			sys, err := core.NewSystem(ms)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			F, err := core.GenerateFusion(sys, cfg.F, core.GenerateOptions{})
+			if err != nil {
+				return nil, err
+			}
+			pt := &ScalingPoint{
+				Machines:     n,
+				StatesEach:   k,
+				TopSize:      sys.N(),
+				F:            cfg.F,
+				FusionSpace:  1,
+				ReplSpace:    replication.CrashStateSpace(ms, cfg.F),
+				GenerateTime: time.Since(start),
+			}
+			for _, p := range F {
+				pt.BackupSizes = append(pt.BackupSizes, p.NumBlocks())
+				pt.FusionSpace *= uint64(p.NumBlocks())
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// FormatScaling renders the sweep.
+func FormatScaling(pts []*ScalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-6s %-6s %-3s %-14s %-10s %-10s %-10s\n",
+		"n", "|Mi|", "|top|", "f", "backups", "|Fusion|", "|Repl|", "gen time")
+	for _, p := range pts {
+		sizes := make([]string, len(p.BackupSizes))
+		for i, s := range p.BackupSizes {
+			sizes[i] = fmt.Sprintf("%d", s)
+		}
+		fmt.Fprintf(&b, "%-4d %-6d %-6d %-3d %-14s %-10d %-10d %-10s\n",
+			p.Machines, p.StatesEach, p.TopSize, p.F,
+			"["+strings.Join(sizes, " ")+"]", p.FusionSpace, p.ReplSpace,
+			p.GenerateTime.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// ExtendedSuite runs the fusion pipeline on the extended (non-paper) zoo
+// machines, demonstrating the library beyond the paper's workloads.
+func ExtendedSuite(f int) (*TableRow, error) {
+	return RunTableRow(machines.Suite{
+		Name:     "extended",
+		Machines: []string{"Turnstile", "Thermostat", "Vending", "TokenBucket"},
+		F:        f,
+	})
+}

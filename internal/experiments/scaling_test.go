@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingSweep(t *testing.T) {
+	cfg := DefaultScalingConfig()
+	pts, err := Scaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(cfg.MachineCounts) * len(cfg.StateCounts)
+	if len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		if p.TopSize < 1 {
+			t.Errorf("point %+v: empty top", p)
+		}
+		if p.FusionSpace == 0 {
+			// A system that already tolerates f faults generates no
+			// backups; FusionSpace is the empty product 1, never 0.
+			t.Errorf("point %+v: zero fusion space", p)
+		}
+		if p.ReplSpace == 0 {
+			t.Errorf("point %+v: zero replication space", p)
+		}
+		for _, sz := range p.BackupSizes {
+			if sz > p.TopSize {
+				t.Errorf("backup of %d states on a %d-state top", sz, p.TopSize)
+			}
+		}
+	}
+	out := FormatScaling(pts)
+	if !strings.Contains(out, "|Fusion|") || strings.Count(out, "\n") != want+1 {
+		t.Errorf("FormatScaling output malformed:\n%s", out)
+	}
+}
+
+func TestScalingDeterministic(t *testing.T) {
+	a, err := Scaling(DefaultScalingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scaling(DefaultScalingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].TopSize != b[i].TopSize || a[i].FusionSpace != b[i].FusionSpace {
+			t.Fatalf("point %d: nondeterministic sweep", i)
+		}
+	}
+}
+
+func TestExtendedSuite(t *testing.T) {
+	row, err := ExtendedSuite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extended machines share no algebraic structure (disjoint
+	// alphabets, no common quotients), so the smallest fusion degenerates
+	// to the reachable cross product — exactly the case Section 1 of the
+	// paper warns about ("in some cases the smallest fusion could be the
+	// reachable cross product"). Fusion must never be WORSE than
+	// replication, and here it lands exactly equal.
+	if row.Fusion > row.Replication {
+		t.Errorf("extended suite: fusion %d exceeds replication %d", row.Fusion, row.Replication)
+	}
+	if len(row.BackupSizes) == 0 {
+		t.Error("no backups generated")
+	}
+	if row.BackupSizes[0] != row.TopSize {
+		t.Logf("note: fusion found nontrivial backup sizes %v (top %d)", row.BackupSizes, row.TopSize)
+	}
+}

@@ -1,0 +1,16 @@
+package experiments
+
+import "testing"
+
+func TestTheoremsAllHold(t *testing.T) {
+	checks, err := Theorems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.Holds {
+			t.Errorf("%s on %s FAILED: %s", c.Name, c.System, c.Detail)
+		}
+	}
+	t.Log("\n" + FormatTheorems(checks))
+}

@@ -1,0 +1,166 @@
+// Package gfp implements arithmetic and linear algebra over the prime
+// field GF(p). Section 3 of the paper draws an explicit analogy between
+// fusion machines and erasure codes over state spaces; this package is the
+// concrete code-side of that analogy: the weighted-sum backup counters of
+// the sensor-network experiments are Reed–Solomon-style evaluations over
+// GF(p), and recovering f crashed counters is solving a Vandermonde system.
+package gfp
+
+import "fmt"
+
+// Field is the prime field GF(p).
+type Field struct {
+	p   int
+	inv []int // multiplicative inverses, inv[0] unused
+}
+
+// NewField constructs GF(p); p must be prime (checked).
+func NewField(p int) (*Field, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("gfp: %d is not prime", p)
+	}
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			return nil, fmt.Errorf("gfp: %d is not prime (divisible by %d)", p, d)
+		}
+	}
+	f := &Field{p: p, inv: make([]int, p)}
+	// inv[x] by Fermat: x^(p-2) mod p.
+	for x := 1; x < p; x++ {
+		f.inv[x] = f.pow(x, p-2)
+	}
+	return f, nil
+}
+
+// MustField is NewField that panics on error.
+func MustField(p int) *Field {
+	f, err := NewField(p)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// P returns the field characteristic.
+func (f *Field) P() int { return f.p }
+
+// Norm maps any integer into [0, p).
+func (f *Field) Norm(x int) int { return ((x % f.p) + f.p) % f.p }
+
+// Add returns x+y mod p.
+func (f *Field) Add(x, y int) int { return f.Norm(x + y) }
+
+// Sub returns x−y mod p.
+func (f *Field) Sub(x, y int) int { return f.Norm(x - y) }
+
+// Mul returns x·y mod p.
+func (f *Field) Mul(x, y int) int { return f.Norm(f.Norm(x) * f.Norm(y)) }
+
+// Inv returns the multiplicative inverse of x; x must be nonzero mod p.
+func (f *Field) Inv(x int) (int, error) {
+	x = f.Norm(x)
+	if x == 0 {
+		return 0, fmt.Errorf("gfp: zero has no inverse")
+	}
+	return f.inv[x], nil
+}
+
+// pow computes x^k mod p by square-and-multiply.
+func (f *Field) pow(x, k int) int {
+	x = f.Norm(x)
+	r := 1
+	for k > 0 {
+		if k&1 == 1 {
+			r = r * x % f.p
+		}
+		x = x * x % f.p
+		k >>= 1
+	}
+	return r
+}
+
+// Pow returns x^k mod p for k ≥ 0.
+func (f *Field) Pow(x, k int) int {
+	if k < 0 {
+		panic("gfp: negative exponent")
+	}
+	return f.pow(x, k)
+}
+
+// Solve performs Gaussian elimination on a·x = rhs over GF(p), returning
+// the unique solution or an error when the matrix is singular. a is not
+// modified.
+func (f *Field) Solve(a [][]int, rhs []int) ([]int, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil
+	}
+	if len(rhs) != n {
+		return nil, fmt.Errorf("gfp: %d equations, %d right-hand sides", n, len(rhs))
+	}
+	// Augmented working copy.
+	m := make([][]int, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("gfp: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = make([]int, n+1)
+		for j, v := range a[i] {
+			m[i][j] = f.Norm(v)
+		}
+		m[i][n] = f.Norm(rhs[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("gfp: singular system (no pivot in column %d)", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		iv := f.inv[m[col][col]]
+		for c := col; c <= n; c++ {
+			m[col][c] = m[col][c] * iv % f.p
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			factor := m[r][col]
+			for c := col; c <= n; c++ {
+				m[r][c] = f.Sub(m[r][c], factor*m[col][c])
+			}
+		}
+	}
+	x := make([]int, n)
+	for i := range x {
+		x[i] = m[i][n]
+	}
+	return x, nil
+}
+
+// Vandermonde returns the k×k matrix V[m][j] = points[j]^m — the
+// coefficient minor that arises when recovering k erased counters from the
+// first k weighted-sum backups.
+func (f *Field) Vandermonde(points []int) [][]int {
+	k := len(points)
+	v := make([][]int, k)
+	for m := 0; m < k; m++ {
+		v[m] = make([]int, k)
+		for j, pt := range points {
+			v[m][j] = f.Pow(pt, m)
+		}
+	}
+	return v
+}
+
+// SolveVandermonde solves V·x = rhs for the Vandermonde matrix on the
+// given evaluation points. Distinct nonzero points mod p guarantee a
+// unique solution.
+func (f *Field) SolveVandermonde(points, rhs []int) ([]int, error) {
+	return f.Solve(f.Vandermonde(points), rhs)
+}

@@ -1,0 +1,212 @@
+package gfp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFieldPrimality(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7, 11, 13, 97} {
+		if _, err := NewField(p); err != nil {
+			t.Errorf("prime %d rejected: %v", p, err)
+		}
+	}
+	for _, p := range []int{-1, 0, 1, 4, 6, 9, 100} {
+		if _, err := NewField(p); err == nil {
+			t.Errorf("non-prime %d accepted", p)
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f := MustField(7)
+	prop := func(a, b, c int) bool {
+		x, y, z := f.Norm(a), f.Norm(b), f.Norm(c)
+		if f.Add(x, y) != f.Add(y, x) || f.Mul(x, y) != f.Mul(y, x) {
+			return false
+		}
+		if f.Mul(x, f.Add(y, z)) != f.Add(f.Mul(x, y), f.Mul(x, z)) {
+			return false
+		}
+		if f.Sub(f.Add(x, y), y) != x {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := MustField(13)
+	for x := 1; x < 13; x++ {
+		iv, err := f.Inv(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Mul(x, iv) != 1 {
+			t.Errorf("Inv(%d)=%d is not an inverse", x, iv)
+		}
+	}
+	if _, err := f.Inv(0); err == nil {
+		t.Error("Inv(0) succeeded")
+	}
+	if _, err := f.Inv(13); err == nil {
+		t.Error("Inv(p) succeeded (≡ 0)")
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := MustField(11)
+	if f.Pow(2, 10) != 1 { // Fermat
+		t.Error("2^10 mod 11 != 1")
+	}
+	if f.Pow(3, 0) != 1 || f.Pow(0, 5) != 0 {
+		t.Error("edge cases wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative exponent accepted")
+		}
+	}()
+	f.Pow(2, -1)
+}
+
+func TestNorm(t *testing.T) {
+	f := MustField(5)
+	if f.Norm(-1) != 4 || f.Norm(7) != 2 || f.Norm(0) != 0 {
+		t.Error("Norm wrong")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	f := MustField(7)
+	// x + 2y = 5, 3x + y = 4  →  over GF(7): x = ?, verify by plugging in.
+	a := [][]int{{1, 2}, {3, 1}}
+	x, err := f.Solve(a, []int{5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Add(x[0], f.Mul(2, x[1])) != 5 || f.Add(f.Mul(3, x[0]), x[1]) != 4 {
+		t.Errorf("solution %v does not satisfy the system", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	f := MustField(5)
+	if _, err := f.Solve([][]int{{1, 2}, {2, 4}}, []int{1, 2}); err == nil {
+		t.Error("singular system solved")
+	}
+	if _, err := f.Solve([][]int{{1, 2}}, []int{1, 2}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := f.Solve([][]int{{1}}, []int{1, 2}); err == nil {
+		t.Error("rhs mismatch accepted")
+	}
+	if got, err := f.Solve(nil, nil); err != nil || got != nil {
+		t.Error("empty system should be trivially solvable")
+	}
+}
+
+func TestSolveDoesNotMutate(t *testing.T) {
+	f := MustField(5)
+	a := [][]int{{1, 2}, {3, 4}}
+	rhs := []int{1, 2}
+	if _, err := f.Solve(a, rhs); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 1 || a[1][1] != 4 || rhs[0] != 1 {
+		t.Error("Solve mutated its inputs")
+	}
+}
+
+// TestSolveRandomRoundTrip: generate x, compute rhs = A·x, solve, compare.
+func TestSolveRandomRoundTrip(t *testing.T) {
+	f := MustField(13)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		a := make([][]int, n)
+		for i := range a {
+			a[i] = make([]int, n)
+			for j := range a[i] {
+				a[i][j] = rng.Intn(13)
+			}
+		}
+		want := make([]int, n)
+		for i := range want {
+			want[i] = rng.Intn(13)
+		}
+		rhs := make([]int, n)
+		for i := range rhs {
+			s := 0
+			for j := range want {
+				s = f.Add(s, f.Mul(a[i][j], want[j]))
+			}
+			rhs[i] = s
+		}
+		got, err := f.Solve(a, rhs)
+		if err != nil {
+			continue // singular matrix drawn; fine
+		}
+		for i := range got {
+			// Verify A·got = rhs (singular systems may have many solutions).
+			s := 0
+			for j := range got {
+				s = f.Add(s, f.Mul(a[i][j], got[j]))
+			}
+			if s != rhs[i] {
+				t.Fatalf("trial %d: A·x != rhs at row %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestVandermondeSolve(t *testing.T) {
+	f := MustField(11)
+	points := []int{1, 2, 3}
+	// Secret x = (4, 9, 1); rhs_m = Σ_j points[j]^m · x_j.
+	want := []int{4, 9, 1}
+	rhs := make([]int, 3)
+	for m := 0; m < 3; m++ {
+		s := 0
+		for j, pt := range points {
+			s = f.Add(s, f.Mul(f.Pow(pt, m), want[j]))
+		}
+		rhs[m] = s
+	}
+	got, err := f.SolveVandermonde(points, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVandermondeDistinctPointsNonSingular(t *testing.T) {
+	f := MustField(13)
+	// All triples of distinct nonzero points must be solvable.
+	for a := 1; a < 13; a++ {
+		for b := a + 1; b < 13; b++ {
+			for c := b + 1; c < 13; c++ {
+				if _, err := f.SolveVandermonde([]int{a, b, c}, []int{1, 2, 3}); err != nil {
+					t.Fatalf("points (%d,%d,%d): %v", a, b, c, err)
+				}
+			}
+		}
+	}
+}
+
+func TestMustFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustField(4) did not panic")
+		}
+	}()
+	MustField(4)
+}

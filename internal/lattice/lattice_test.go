@@ -1,0 +1,176 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+	"repro/internal/partition"
+)
+
+func fig2Lattice(t *testing.T) (*core.System, *Lattice) {
+	t.Helper()
+	sys, err := core.NewSystem([]*dfsm.Machine{machines.Fig2A(), machines.Fig2B()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(sys.Top, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, l
+}
+
+func TestBuildFig3Lattice(t *testing.T) {
+	sys, l := fig2Lattice(t)
+	if l.Size() < 5 {
+		t.Fatalf("lattice has %d nodes; need at least ⊤, ⊥, A, B, M1", l.Size())
+	}
+	// Fig. 3: the lattice contains A, B and M1, between ⊤ and ⊥.
+	for name, p := range map[string]partition.P{
+		"A":  sys.Parts[0],
+		"B":  sys.Parts[1],
+		"⊤":  partition.Singletons(sys.N()),
+		"⊥":  partition.Single(sys.N()),
+		"M1": partition.MustFromBlocks(sys.N(), fig2M1Blocks(t, sys)),
+	} {
+		if !l.Contains(p) {
+			t.Errorf("lattice is missing %s", name)
+		}
+	}
+	if l.Nodes[l.TopIndex()].NumBlocks() != sys.N() {
+		t.Error("node 0 is not ⊤")
+	}
+	if l.Nodes[l.BottomIndex()].NumBlocks() != 1 {
+		t.Error("last node is not ⊥")
+	}
+}
+
+func fig2M1Blocks(t *testing.T, sys *core.System) [][]int {
+	t.Helper()
+	type key [2]string
+	ix := map[key]int{}
+	for ti, tuple := range sys.Product.Proj {
+		ix[key{sys.Machines[0].StateName(tuple[0]), sys.Machines[1].StateName(tuple[1])}] = ti
+	}
+	var blocks [][]int
+	for _, blk := range machines.Fig2M1Blocks() {
+		var b []int
+		for _, pr := range blk {
+			b = append(b, ix[key{pr[0], pr[1]}])
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+// TestHasseEdgesAreCovers: every Below edge is a strict order relation with
+// nothing in between, and the order is acyclic by rank.
+func TestHasseEdgesAreCovers(t *testing.T) {
+	_, l := fig2Lattice(t)
+	for i, below := range l.Below {
+		for _, j := range below {
+			if !l.Nodes[j].StrictlyRefinedBy(l.Nodes[i]) {
+				t.Fatalf("edge %d->%d is not an order relation", j, i)
+			}
+			for k := range l.Nodes {
+				if k == i || k == j {
+					continue
+				}
+				if l.Nodes[k].StrictlyRefinedBy(l.Nodes[i]) && l.Nodes[j].StrictlyRefinedBy(l.Nodes[k]) {
+					t.Fatalf("edge %d->%d is not a cover: %d lies between", j, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestBasisIsLowerCoverOfTop: the basis must match partition.LowerCover.
+func TestBasisIsLowerCoverOfTop(t *testing.T) {
+	_, l := fig2Lattice(t)
+	want := partition.LowerCover(l.Top, partition.Singletons(l.Top.NumStates()))
+	basis := l.Basis()
+	if len(basis) != len(want) {
+		t.Fatalf("basis has %d elements, LowerCover %d", len(basis), len(want))
+	}
+	wantKeys := map[string]bool{}
+	for _, p := range want {
+		wantKeys[p.Key()] = true
+	}
+	for _, p := range basis {
+		if !wantKeys[p.Key()] {
+			t.Errorf("basis element %v not in LowerCover", p)
+		}
+	}
+}
+
+// TestAllNodesClosedAndUnique.
+func TestAllNodesClosedAndUnique(t *testing.T) {
+	_, l := fig2Lattice(t)
+	seen := map[string]bool{}
+	for _, p := range l.Nodes {
+		if !partition.IsClosed(l.Top, p) {
+			t.Fatalf("lattice node %v not closed", p)
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate node %v", p)
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestLatticeOfModCounters(t *testing.T) {
+	// The 9-state top of the two mod-3 counters has a richer lattice; it
+	// must include the SumMod3 and DiffMod3 fusion machines.
+	sys, err := core.NewSystem([]*dfsm.Machine{machines.ZeroCounter(), machines.OneCounter()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(sys.Top, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := sys.PartitionOf(machines.SumCounter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := sys.PartitionOf(machines.DiffCounter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains(f1) || !l.Contains(f2) {
+		t.Error("counter lattice is missing F1/F2")
+	}
+	if l.Find(partition.Single(9)) != l.BottomIndex() {
+		t.Error("bottom misplaced")
+	}
+	if l.Find(partition.Singletons(3)) != -1 {
+		t.Error("Find matched a partition of the wrong size")
+	}
+}
+
+func TestMaxNodesGuard(t *testing.T) {
+	sys, err := core.NewSystem([]*dfsm.Machine{machines.ZeroCounter(), machines.OneCounter()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(sys.Top, 2); err == nil {
+		t.Fatal("maxNodes guard did not trip")
+	}
+}
+
+func TestDOTAndSummary(t *testing.T) {
+	_, l := fig2Lattice(t)
+	dot := l.DOT()
+	for _, want := range []string{"digraph lattice", "⊤", "⊥", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	sum := l.Summary()
+	if !strings.Contains(sum, "closed-partition lattice") {
+		t.Errorf("Summary = %q", sum)
+	}
+}

@@ -1,0 +1,127 @@
+package machines
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dfsm"
+)
+
+// ShiftRegister returns the 2^k-state machine remembering the last k binary
+// inputs (the "Shift Register" of the results table; k=2 gives 4 states).
+// State names are the remembered bit strings, initially all zeros.
+func ShiftRegister(k int) *dfsm.Machine {
+	if k < 1 || k > 20 {
+		panic(fmt.Sprintf("machines: shift register of width %d", k))
+	}
+	n := 1 << k
+	states := make([]string, n)
+	for i := range states {
+		states[i] = fmt.Sprintf("%0*b", k, i)
+	}
+	mask := n - 1
+	delta := make([][]int, n)
+	for i := range delta {
+		delta[i] = []int{
+			(i << 1) & mask,       // shift in 0
+			((i << 1) | 1) & mask, // shift in 1
+		}
+	}
+	return dfsm.MustMachine(fmt.Sprintf("ShiftReg%d", k), states, []string{EventZero, EventOne}, delta, 0)
+}
+
+// EvenParity is the "Even Parity Checker": two states tracking whether the
+// number of 1s seen so far is even (accepting convention: state even
+// initially).
+func EvenParity() *dfsm.Machine {
+	return dfsm.MustMachine("EvenParity",
+		[]string{"even", "odd"},
+		[]string{EventZero, EventOne},
+		[][]int{
+			{0, 1}, // even: 0 keeps parity, 1 flips
+			{1, 0},
+		}, 0)
+}
+
+// OddParity is the "Odd Parity Checker": parity of the number of 0s seen.
+// Together with EvenParity it forms an incomparable pair over the same
+// alphabet (one flips on 1s, the other on 0s).
+func OddParity() *dfsm.Machine {
+	return dfsm.MustMachine("OddParity",
+		[]string{"odd", "even"},
+		[]string{EventZero, EventOne},
+		[][]int{
+			{1, 0}, // flips on 0
+			{0, 1},
+		}, 0)
+}
+
+// ToggleSwitch is the 2-state "Toggle Switch": it flips on every event of
+// the binary alphabet.
+func ToggleSwitch() *dfsm.Machine {
+	return dfsm.MustMachine("Toggle",
+		[]string{"off", "on"},
+		[]string{EventZero, EventOne},
+		[][]int{
+			{1, 1},
+			{0, 0},
+		}, 0)
+}
+
+// PatternDetector returns the KMP-style machine that tracks progress toward
+// the given binary pattern (the "Pattern Generator" of the results table;
+// the paper does not define it, so we use the standard pattern-matching
+// automaton, which has len(pattern)+1 states; the default paper
+// configuration uses pattern "101").
+func PatternDetector(pattern string) *dfsm.Machine {
+	for _, c := range pattern {
+		if c != '0' && c != '1' {
+			panic(fmt.Sprintf("machines: pattern %q is not binary", pattern))
+		}
+	}
+	k := len(pattern)
+	states := make([]string, k+1)
+	for i := range states {
+		states[i] = "p" + pattern[:i]
+	}
+	states[0] = "p_"
+	// Failure-function transitions: from progress i on bit b, the new
+	// progress is the longest suffix of pattern[:i]+b that is a prefix of
+	// pattern. After a full match the automaton reports and continues from
+	// the longest proper border (streaming detection).
+	next := func(i int, b byte) int {
+		if i == k {
+			i = border(pattern, k)
+		}
+		for {
+			if pattern[i] == b {
+				return i + 1
+			}
+			if i == 0 {
+				return 0
+			}
+			i = border(pattern, i)
+		}
+	}
+	delta := make([][]int, k+1)
+	for i := range delta {
+		delta[i] = []int{next(i, '0'), next(i, '1')}
+	}
+	name := "Pattern(" + pattern + ")"
+	return dfsm.MustMachine(name, states, []string{EventZero, EventOne}, delta, 0)
+}
+
+// border returns the length of the longest proper border (prefix==suffix)
+// of pattern[:i].
+func border(pattern string, i int) int {
+	for l := i - 1; l > 0; l-- {
+		if strings.HasPrefix(pattern, pattern[i-l:i]) {
+			return l
+		}
+	}
+	return 0
+}
+
+// PatternGenerator returns the default "Pattern Generator" used in the
+// results table: the detector for pattern 101 (4 states).
+func PatternGenerator() *dfsm.Machine { return PatternDetector("101") }

@@ -1,0 +1,149 @@
+// Package machines is the model zoo: every DFSM named in the paper's
+// figures and results table, built with standard textbook definitions, plus
+// parameterized generators (mod-k counters, shift registers, pattern
+// detectors) used by the scaling experiments.
+package machines
+
+import (
+	"fmt"
+
+	"repro/internal/dfsm"
+)
+
+// EventZero and EventOne are the binary input alphabet shared by the
+// counter/register machines of the paper's examples.
+const (
+	EventZero = "0"
+	EventOne  = "1"
+)
+
+// ModCounter returns a machine with k states c0..c{k-1} that counts
+// occurrences of the given event modulo k and ignores everything else.
+// ModCounter(3, "0") is machine A of Fig. 1; ModCounter(3, "1") is B.
+func ModCounter(name string, k int, event string) *dfsm.Machine {
+	if k < 1 {
+		panic(fmt.Sprintf("machines: mod-%d counter", k))
+	}
+	states := make([]string, k)
+	for i := range states {
+		states[i] = fmt.Sprintf("c%d", i)
+	}
+	delta := make([][]int, k)
+	for i := range delta {
+		delta[i] = []int{(i + 1) % k}
+	}
+	return dfsm.MustMachine(name, states, []string{event}, delta, 0)
+}
+
+// ZeroCounter is the "0-Counter" of the results table: a mod-3 counter of
+// event "0" (machine A of Fig. 1).
+func ZeroCounter() *dfsm.Machine { return ModCounter("0-Counter", 3, EventZero) }
+
+// OneCounter is the "1-Counter": a mod-3 counter of event "1" (machine B of
+// Fig. 1).
+func OneCounter() *dfsm.Machine { return ModCounter("1-Counter", 3, EventOne) }
+
+// SumCounter returns the machine computing (n0 + n1) mod k: it advances on
+// both binary events. SumCounter(3) is fusion F1 of Fig. 1.
+func SumCounter(k int) *dfsm.Machine {
+	states := make([]string, k)
+	for i := range states {
+		states[i] = fmt.Sprintf("f%d", i)
+	}
+	delta := make([][]int, k)
+	for i := range delta {
+		delta[i] = []int{(i + 1) % k, (i + 1) % k}
+	}
+	return dfsm.MustMachine(fmt.Sprintf("SumMod%d", k), states, []string{EventZero, EventOne}, delta, 0)
+}
+
+// DiffCounter returns the machine computing (n0 − n1) mod k: event "0"
+// increments, event "1" decrements. DiffCounter(3) is fusion F2 of Fig. 1.
+func DiffCounter(k int) *dfsm.Machine {
+	states := make([]string, k)
+	for i := range states {
+		states[i] = fmt.Sprintf("g%d", i)
+	}
+	delta := make([][]int, k)
+	for i := range delta {
+		delta[i] = []int{(i + 1) % k, (i - 1 + k) % k}
+	}
+	return dfsm.MustMachine(fmt.Sprintf("DiffMod%d", k), states, []string{EventZero, EventOne}, delta, 0)
+}
+
+// Divider is the "Divider" of the results table: a divide-by-k machine that
+// counts *all* binary events modulo k (a frequency divider). The paper does
+// not give its definition; a standard divide-by-k chain preserves the
+// relevant behaviour (a machine over the shared alphabet incomparable to
+// the single-event counters).
+func Divider(k int) *dfsm.Machine {
+	states := make([]string, k)
+	for i := range states {
+		states[i] = fmt.Sprintf("d%d", i)
+	}
+	delta := make([][]int, k)
+	for i := range delta {
+		delta[i] = []int{(i + 1) % k, (i + 1) % k}
+	}
+	return dfsm.MustMachine("Divider", states, []string{EventZero, EventOne}, delta, 0)
+}
+
+// WeightedCounter returns the machine computing (w0·n0 + w1·n1) mod k.
+// These are exactly the k-state machines ≤ R(counters) that generalize F1
+// and F2; the sensor-network experiment uses them to back up many counters
+// at once.
+func WeightedCounter(name string, k, w0, w1 int) *dfsm.Machine {
+	states := make([]string, k)
+	for i := range states {
+		states[i] = fmt.Sprintf("w%d", i)
+	}
+	norm := func(x int) int { return ((x % k) + k) % k }
+	delta := make([][]int, k)
+	for i := range delta {
+		delta[i] = []int{norm(i + w0), norm(i + w1)}
+	}
+	return dfsm.MustMachine(name, states, []string{EventZero, EventOne}, delta, 0)
+}
+
+// SensorCounters returns n mod-k counters, each counting its own event
+// "e<i>" — the sensor network of the paper's introduction (100 sensors
+// measuring independent environmental parameters).
+func SensorCounters(n, k int) []*dfsm.Machine {
+	out := make([]*dfsm.Machine, n)
+	for i := range out {
+		out[i] = ModCounter(fmt.Sprintf("Sensor%d", i), k, fmt.Sprintf("e%d", i))
+	}
+	return out
+}
+
+// SensorFusion returns the m-th backup machine for n mod-k sensors: a
+// k-state machine advancing by (m+1)·1 on every sensor event... The simple
+// and sufficient choice used here is the machine counting
+// Σ_i (i+1)^m · n_i mod k with k prime, mirroring Reed–Solomon style
+// evaluation points; for m=0 it is the plain sum counter, which the paper's
+// introduction argues suffices for one crash fault.
+func SensorFusion(n, k, m int) *dfsm.Machine {
+	states := make([]string, k)
+	for i := range states {
+		states[i] = fmt.Sprintf("f%d", i)
+	}
+	events := make([]string, n)
+	coef := make([]int, n)
+	for i := range events {
+		events[i] = fmt.Sprintf("e%d", i)
+		// (i+1)^m mod k
+		c := 1
+		for p := 0; p < m; p++ {
+			c = (c * (i + 1)) % k
+		}
+		coef[i] = c
+	}
+	delta := make([][]int, k)
+	for s := range delta {
+		delta[s] = make([]int, n)
+		for e := range events {
+			delta[s][e] = (s + coef[e]) % k
+		}
+	}
+	return dfsm.MustMachine(fmt.Sprintf("SensorFusion%d", m), states, events, delta, 0)
+}

@@ -1,0 +1,181 @@
+package machines
+
+import (
+	"fmt"
+
+	"repro/internal/dfsm"
+)
+
+// This file extends the zoo beyond the paper's table with other standard
+// protocol and hardware machines; they share alphabets with the paper's
+// machines where that makes interesting cross products, and they feed the
+// scaling experiments.
+
+// TrafficLight is the classic three-phase controller on a "timer" event,
+// with a "fault" event forcing flashing-red.
+func TrafficLight() *dfsm.Machine {
+	b := dfsm.NewBuilder("TrafficLight").Initial("red")
+	b.Cycle("timer", "red", "green", "yellow")
+	for _, s := range []string{"red", "green", "yellow"} {
+		b.Transition(s, "fault", "flash")
+	}
+	b.Transition("flash", "timer", "flash")
+	b.Transition("flash", "fault", "flash")
+	b.Transition("flash", "reset", "red")
+	for _, s := range []string{"red", "green", "yellow"} {
+		b.Loop(s, "reset")
+	}
+	return b.MustBuild(false)
+}
+
+// Elevator models an elevator over k floors with "up"/"down" requests that
+// saturate at the ends.
+func Elevator(floors int) *dfsm.Machine {
+	if floors < 2 {
+		panic(fmt.Sprintf("machines: elevator with %d floors", floors))
+	}
+	states := make([]string, floors)
+	for i := range states {
+		states[i] = fmt.Sprintf("floor%d", i)
+	}
+	delta := make([][]int, floors)
+	for i := range delta {
+		up, down := i+1, i-1
+		if up >= floors {
+			up = i
+		}
+		if down < 0 {
+			down = i
+		}
+		delta[i] = []int{up, down}
+	}
+	return dfsm.MustMachine("Elevator", states, []string{"up", "down"}, delta, 0)
+}
+
+// TokenBucket is a rate limiter with capacity c: "fill" adds a token
+// (saturating), "send" consumes one (ignored when empty).
+func TokenBucket(c int) *dfsm.Machine {
+	if c < 1 {
+		panic(fmt.Sprintf("machines: token bucket of capacity %d", c))
+	}
+	states := make([]string, c+1)
+	for i := range states {
+		states[i] = fmt.Sprintf("tokens%d", i)
+	}
+	delta := make([][]int, c+1)
+	for i := range delta {
+		fill, send := i+1, i-1
+		if fill > c {
+			fill = c
+		}
+		if send < 0 {
+			send = 0
+		}
+		delta[i] = []int{fill, send}
+	}
+	return dfsm.MustMachine("TokenBucket", states, []string{"fill", "send"}, delta, 0)
+}
+
+// GoBackN models the sender window position of a go-back-N ARQ with
+// sequence space s: "send" advances the next sequence number (mod s),
+// "nak" rewinds to the last acked number... simplified to a mod-s counter
+// with a "nak" reset, which captures the state that must be recovered.
+func GoBackN(s int) *dfsm.Machine {
+	if s < 2 {
+		panic(fmt.Sprintf("machines: go-back-N with sequence space %d", s))
+	}
+	states := make([]string, s)
+	for i := range states {
+		states[i] = fmt.Sprintf("seq%d", i)
+	}
+	delta := make([][]int, s)
+	for i := range delta {
+		delta[i] = []int{(i + 1) % s, 0}
+	}
+	return dfsm.MustMachine("GoBackN", states, []string{"send", "nak"}, delta, 0)
+}
+
+// Turnstile is the canonical two-state coin/push machine.
+func Turnstile() *dfsm.Machine {
+	return dfsm.MustMachine("Turnstile",
+		[]string{"locked", "unlocked"},
+		[]string{"coin", "push"},
+		[][]int{
+			{1, 0}, // locked: coin unlocks, push bounces
+			{1, 0}, // unlocked: coin keeps, push locks
+		}, 0)
+}
+
+// GrayCounter cycles through the k-bit Gray code on "tick" — a register
+// whose successive states differ in one bit, common in async hardware.
+func GrayCounter(k int) *dfsm.Machine {
+	if k < 1 || k > 16 {
+		panic(fmt.Sprintf("machines: %d-bit gray counter", k))
+	}
+	n := 1 << k
+	states := make([]string, n)
+	order := make([]int, n) // order[i] = gray code of i
+	pos := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		g := i ^ (i >> 1)
+		order[i] = g
+		pos[g] = i
+		states[g] = fmt.Sprintf("g%0*b", k, g)
+	}
+	delta := make([][]int, n)
+	for g := 0; g < n; g++ {
+		next := order[(pos[g]+1)%n]
+		delta[g] = []int{next}
+	}
+	return dfsm.MustMachine(fmt.Sprintf("Gray%d", k), states, []string{"tick"}, delta, pos[0])
+}
+
+// RingCounter is a one-hot ring of width k on "tick".
+func RingCounter(k int) *dfsm.Machine {
+	if k < 1 {
+		panic(fmt.Sprintf("machines: ring counter of width %d", k))
+	}
+	states := make([]string, k)
+	delta := make([][]int, k)
+	for i := range states {
+		states[i] = fmt.Sprintf("hot%d", i)
+		delta[i] = []int{(i + 1) % k}
+	}
+	return dfsm.MustMachine("RingCounter", states, []string{"tick"}, delta, 0)
+}
+
+// Thermostat is a hysteresis controller: heat turns on below the low
+// threshold, off above the high one; events are quantized temperature
+// readings "cold", "ok", "hot".
+func Thermostat() *dfsm.Machine {
+	b := dfsm.NewBuilder("Thermostat").Initial("idle")
+	b.Transition("idle", "cold", "heating")
+	b.Loop("idle", "ok", "hot")
+	b.Transition("heating", "hot", "idle")
+	b.Loop("heating", "cold", "ok")
+	return b.MustBuild(false)
+}
+
+// VendingMachine accepts nickels/dimes up to 25¢ and vends; change is
+// ignored (state saturates), the canonical FSM-textbook example.
+func VendingMachine() *dfsm.Machine {
+	b := dfsm.NewBuilder("Vending").Initial("c0")
+	credits := []string{"c0", "c5", "c10", "c15", "c20", "c25"}
+	next := func(i, add int) string {
+		j := i + add
+		if j >= len(credits) {
+			j = len(credits) - 1
+		}
+		return credits[j]
+	}
+	for i, s := range credits {
+		b.Transition(s, "nickel", next(i, 1))
+		b.Transition(s, "dime", next(i, 2))
+		if s == "c25" {
+			b.Transition(s, "vend", "c0")
+		} else {
+			b.Loop(s, "vend")
+		}
+	}
+	return b.MustBuild(false)
+}

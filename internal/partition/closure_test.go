@@ -1,0 +1,198 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dfsm"
+)
+
+// fig2Top reconstructs the 4-state top machine of Fig. 2 (see
+// machines.Fig2A/Fig2B; duplicated here to avoid an import cycle —
+// machines does not depend on partition).
+func fig2Top(t *testing.T) *dfsm.Machine {
+	t.Helper()
+	return dfsm.MustMachine("T", []string{"t0", "t1", "t2", "t3"}, []string{"0", "1"},
+		[][]int{
+			// e0, e1
+			{1, 3}, // t0
+			{2, 0}, // t1
+			{1, 3}, // t2
+			{1, 3}, // t3
+		}, 0)
+}
+
+func TestIsClosedFig2(t *testing.T) {
+	top := fig2Top(t)
+	cases := []struct {
+		blocks [][]int
+		closed bool
+	}{
+		{[][]int{{0, 3}, {1}, {2}}, true},  // machine A
+		{[][]int{{0}, {1}, {2, 3}}, true},  // machine B
+		{[][]int{{0, 2}, {1}, {3}}, true},  // machine M1
+		{[][]int{{0, 1}, {2}, {3}}, false}, // t0→t1 vs t1→t2 split
+		{[][]int{{0}, {1}, {2}, {3}}, true},
+		{[][]int{{0, 1, 2, 3}}, true},
+	}
+	for i, c := range cases {
+		p := MustFromBlocks(4, c.blocks)
+		if got := IsClosed(top, p); got != c.closed {
+			t.Errorf("case %d (%v): IsClosed = %v, want %v", i, p, got, c.closed)
+		}
+	}
+}
+
+func TestIsClosedSizeMismatch(t *testing.T) {
+	if IsClosed(fig2Top(t), Singletons(3)) {
+		t.Error("IsClosed accepted a partition of the wrong size")
+	}
+}
+
+func TestCloseProducesClosed(t *testing.T) {
+	top := fig2Top(t)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		assign := make([]int, 4)
+		for i := range assign {
+			assign[i] = r.Intn(4)
+		}
+		p := FromAssignment(assign)
+		c := Close(top, p)
+		// Closed, and coarser-or-equal to p (c ≤ p).
+		return IsClosed(top, c) && c.RefinedBy(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	top := fig2Top(t)
+	p := Close(top, MustFromBlocks(4, [][]int{{0, 1}, {2}, {3}}))
+	if !Close(top, p).Equal(p) {
+		t.Error("Close not idempotent")
+	}
+}
+
+func TestCloseOfClosedIsIdentity(t *testing.T) {
+	top := fig2Top(t)
+	a := MustFromBlocks(4, [][]int{{0, 3}, {1}, {2}})
+	if !Close(top, a).Equal(a) {
+		t.Error("Close changed an already-closed partition")
+	}
+}
+
+// TestCloseIsFinestCoarsening: every closed partition coarser than p is
+// also coarser than Close(p) — checked exhaustively on the small Fig. 2 top
+// against a brute-force enumeration of all partitions of 4 elements (there
+// are 15).
+func TestCloseIsFinestCoarsening(t *testing.T) {
+	top := fig2Top(t)
+	all := allPartitions(4)
+	for _, p := range all {
+		c := Close(top, p)
+		for _, q := range all {
+			if IsClosed(top, q) && q.RefinedBy(p) {
+				// q ≤ p and q closed ⇒ q ≤ Close(p).
+				if !q.RefinedBy(c) {
+					t.Fatalf("Close(%v)=%v is not above closed %v", p, c, q)
+				}
+			}
+		}
+	}
+}
+
+// allPartitions enumerates every partition of {0..n-1} via restricted
+// growth strings.
+func allPartitions(n int) []P {
+	var out []P
+	assign := make([]int, n)
+	var rec func(i, maxUsed int)
+	rec = func(i, maxUsed int) {
+		if i == n {
+			out = append(out, FromAssignment(assign))
+			return
+		}
+		for b := 0; b <= maxUsed+1; b++ {
+			assign[i] = b
+			next := maxUsed
+			if b > maxUsed {
+				next = b
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, -1)
+	return out
+}
+
+func TestQuotientFig2A(t *testing.T) {
+	top := fig2Top(t)
+	a := MustFromBlocks(4, [][]int{{0, 3}, {1}, {2}})
+	m, err := Quotient(top, a, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 3 {
+		t.Fatalf("|A| = %d, want 3", m.NumStates())
+	}
+	// Quotient must simulate the top: block of top-run == quotient-run.
+	events := []string{"0", "1", "0", "0", "1"}
+	ts := top.Run(events)
+	qs := m.Run(events)
+	if a.BlockOf(ts) != qs {
+		t.Errorf("after %v: top in block %d, quotient in state %d", events, a.BlockOf(ts), qs)
+	}
+	if m.StateName(0) != "{t0,t3}" {
+		t.Errorf("state 0 named %q, want {t0,t3} set notation", m.StateName(0))
+	}
+}
+
+func TestQuotientRejectsNonClosed(t *testing.T) {
+	top := fig2Top(t)
+	bad := MustFromBlocks(4, [][]int{{0, 1}, {2}, {3}})
+	if _, err := Quotient(top, bad, "bad"); err == nil {
+		t.Fatal("Quotient accepted a non-closed partition")
+	}
+}
+
+func TestQuotientSimulatesRandomly(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		top := dfsm.RandomMachine(rng, "T", 2+rng.Intn(10), []string{"a", "b"})
+		// Close a random merge to get a non-trivial closed partition.
+		n := top.NumStates()
+		x, y := rng.Intn(n), rng.Intn(n)
+		p := Close(top, Singletons(n).MergeBlocks(Singletons(n).BlockOf(x), Singletons(n).BlockOf(y)))
+		m, err := Quotient(top, p, "Q")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		events := make([]string, rng.Intn(25))
+		for i := range events {
+			events[i] = []string{"a", "b"}[rng.Intn(2)]
+		}
+		if p.BlockOf(top.Run(events)) != m.Run(events) {
+			t.Fatalf("trial %d: quotient does not simulate top", trial)
+		}
+	}
+}
+
+func TestCloseMergingStates(t *testing.T) {
+	top := fig2Top(t)
+	p := Singletons(4)
+	c := CloseMergingStates(top, p, 0, 3)
+	if !IsClosed(top, c) {
+		t.Fatal("CloseMergingStates produced non-closed partition")
+	}
+	if c.Separates(0, 3) {
+		t.Fatal("merged states still separated")
+	}
+	// Merging t0,t3 in the Fig. 2 top yields exactly machine A's partition
+	// (no further merges are forced: t0,t3 have identical successor rows).
+	if !c.Equal(MustFromBlocks(4, [][]int{{0, 3}, {1}, {2}})) {
+		t.Errorf("Close(merge t0,t3) = %v, want {0,3},{1},{2}", c)
+	}
+}

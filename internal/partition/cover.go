@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dfsm"
+)
+
+// LowerCover computes the lower cover of the machine corresponding to the
+// closed partition p (Definition 2 of the paper): the maximal closed
+// partitions strictly coarser than p. Following Lee & Yannakakis, each
+// candidate arises by merging one pair of blocks of p and closing; the
+// cover keeps the maximal (finest) candidates after deduplication.
+//
+// Complexity: O(B²) closures where B is the number of blocks of p; each
+// closure is O(N·|Σ|·α). The per-pair closures are independent, so they are
+// fanned out across a worker pool — this is the hot inner loop of
+// Algorithm 2.
+func LowerCover(top *dfsm.Machine, p P) []P {
+	return LowerCoverFiltered(top, p, nil)
+}
+
+// MergeClosures returns the deduplicated closures of all single-pair block
+// merges of p that pass the keep predicate (nil keeps everything), without
+// the maximality filter of LowerCover. Every closed partition strictly
+// coarser than p is ≤ one of the unfiltered merge closures, so descending
+// through MergeClosures explores the same down-set as descending through
+// the lower cover — Algorithm 2 uses this as its fast path because the
+// maximality filter costs O(B⁴·N) comparisons at the top of large lattices
+// while adding nothing to correctness (see core.GenerateFusion).
+func MergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
+	return mergeClosures(top, p, keep)
+}
+
+// MergeClosuresGuarded is MergeClosures specialized to the "must keep
+// separating these pairs" predicate of Algorithm 2, implemented with
+// CloseGuarded so that violating candidates abort mid-closure instead of
+// completing and failing the check afterwards. Semantically identical to
+// MergeClosures(top, p, func(c){c separates all forbidden pairs}).
+func MergeClosuresGuarded(top *dfsm.Machine, p P, forbidden [][2]int) []P {
+	blocks := p.Blocks()
+	b := len(blocks)
+	if b <= 1 {
+		return nil
+	}
+	type task struct{ i, j int }
+	tasks := make([]task, 0, b*(b-1)/2)
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			tasks = append(tasks, task{i, j})
+		}
+	}
+	candidates := make([]P, len(tasks))
+	valid := make([]bool, len(tasks))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				k := next
+				next++
+				mu.Unlock()
+				if k >= len(tasks) {
+					return
+				}
+				t := tasks[k]
+				merged := p.MergeBlocks(p.BlockOf(blocks[t.i][0]), p.BlockOf(blocks[t.j][0]))
+				if c, ok := CloseGuarded(top, merged, forbidden); ok {
+					candidates[k] = c
+					valid[k] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool)
+	var uniq []P
+	for k, ok := range valid {
+		if !ok {
+			continue
+		}
+		c := candidates[k]
+		if key := c.Key(); !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}
+
+// LowerCoverFiltered is LowerCover with an optional predicate: when keep is
+// non-nil, candidates failing keep are discarded *before* the maximality
+// filter. This restricts the cover to machines that still cover all weakest
+// fault-graph edges, matching line 6 of the paper's pseudocode (only
+// candidates that increase dmin are ever descended into).
+func LowerCoverFiltered(top *dfsm.Machine, p P, keep func(P) bool) []P {
+	uniq := mergeClosures(top, p, keep)
+
+	// Keep maximal elements: drop c if some other candidate d is strictly
+	// finer than c (c < d means c is coarser, hence not maximal).
+	var cover []P
+	for i, c := range uniq {
+		maximal := true
+		for j, d := range uniq {
+			if i == j {
+				continue
+			}
+			if c.StrictlyRefinedBy(d) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			cover = append(cover, c)
+		}
+	}
+	return cover
+}
+
+func mergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
+	blocks := p.Blocks()
+	b := len(blocks)
+	if b <= 1 {
+		return nil // bottom has no lower cover
+	}
+
+	type task struct{ i, j int }
+	tasks := make([]task, 0, b*(b-1)/2)
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			tasks = append(tasks, task{i, j})
+		}
+	}
+
+	candidates := make([]P, len(tasks))
+	valid := make([]bool, len(tasks))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				k := next
+				next++
+				mu.Unlock()
+				if k >= len(tasks) {
+					return
+				}
+				t := tasks[k]
+				c := CloseMergingStates(top, p, blocks[t.i][0], blocks[t.j][0])
+				if keep == nil || keep(c) {
+					candidates[k] = c
+					valid[k] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deduplicate.
+	seen := make(map[string]int)
+	var uniq []P
+	for k, ok := range valid {
+		if !ok {
+			continue
+		}
+		c := candidates[k]
+		key := c.Key()
+		if _, dup := seen[key]; !dup {
+			seen[key] = len(uniq)
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}

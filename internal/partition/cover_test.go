@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfsm"
+)
+
+func TestLowerCoverOfFig2Top(t *testing.T) {
+	top := fig2Top(t)
+	cover := LowerCover(top, Singletons(4))
+	if len(cover) == 0 {
+		t.Fatal("top of a 4-state machine has an empty lower cover")
+	}
+	keys := map[string]bool{}
+	for _, c := range cover {
+		if !IsClosed(top, c) {
+			t.Errorf("cover element %v not closed", c)
+		}
+		if !c.StrictlyRefinedBy(Singletons(4)) {
+			t.Errorf("cover element %v not strictly below top", c)
+		}
+		if keys[c.Key()] {
+			t.Errorf("duplicate cover element %v", c)
+		}
+		keys[c.Key()] = true
+	}
+	// Machine A's partition {0,3},{1},{2} arises from merging t0,t3 with no
+	// forced closure, so it must be in the cover (nothing closed lies
+	// strictly between it and top).
+	a := MustFromBlocks(4, [][]int{{0, 3}, {1}, {2}})
+	if !keys[a.Key()] {
+		t.Errorf("machine A's partition missing from top's lower cover: %v", cover)
+	}
+}
+
+// TestLowerCoverMaximality: no cover element is strictly below another, and
+// every closed partition strictly below p is below some cover element.
+func TestLowerCoverMaximality(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		top := dfsm.RandomMachine(rng, "T", 2+rng.Intn(7), []string{"a", "b"})
+		n := top.NumStates()
+		p := Singletons(n)
+		cover := LowerCover(top, p)
+		for i, c := range cover {
+			for j, d := range cover {
+				if i != j && c.StrictlyRefinedBy(d) {
+					t.Fatalf("trial %d: cover element %v strictly below %v", trial, c, d)
+				}
+			}
+		}
+		// Completeness on small tops: every closed partition < p must be
+		// ≤ some cover element.
+		if n <= 6 {
+			for _, q := range allPartitions(n) {
+				if !IsClosed(top, q) || !q.StrictlyRefinedBy(p) {
+					continue
+				}
+				found := false
+				for _, c := range cover {
+					if q.RefinedBy(c) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: closed %v below top but under no cover element", trial, q)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerCoverOfBottom(t *testing.T) {
+	top := fig2Top(t)
+	if cover := LowerCover(top, Single(4)); len(cover) != 0 {
+		t.Fatalf("bottom has lower cover %v", cover)
+	}
+}
+
+func TestLowerCoverFilteredPrunes(t *testing.T) {
+	top := fig2Top(t)
+	// Keep only partitions separating t1 and t2.
+	keep := func(p P) bool { return p.Separates(1, 2) }
+	cover := LowerCoverFiltered(top, Singletons(4), keep)
+	for _, c := range cover {
+		if !c.Separates(1, 2) {
+			t.Errorf("filtered cover contains %v which merges t1,t2", c)
+		}
+	}
+	// Rejecting everything yields the empty cover.
+	none := LowerCoverFiltered(top, Singletons(4), func(P) bool { return false })
+	if len(none) != 0 {
+		t.Errorf("filter-all-out returned %v", none)
+	}
+}
+
+// TestLowerCoverDescendsToBottom: repeatedly taking any cover element must
+// terminate at the single-block partition (the lattice is finite and every
+// step strictly coarsens).
+func TestLowerCoverDescendsToBottom(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	top := dfsm.RandomMachine(rng, "T", 8, []string{"a", "b"})
+	n := top.NumStates()
+	p := Singletons(n)
+	for steps := 0; ; steps++ {
+		if steps > n {
+			t.Fatal("descent did not terminate")
+		}
+		cover := LowerCover(top, p)
+		if len(cover) == 0 {
+			break
+		}
+		p = cover[rng.Intn(len(cover))]
+	}
+	if p.NumBlocks() != 1 {
+		t.Fatalf("descent stopped at %v, not bottom", p)
+	}
+}

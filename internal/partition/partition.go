@@ -1,0 +1,260 @@
+// Package partition implements partitions of a DFSM state set and the
+// closed-partition (substitution-property) machinery of Hartmanis & Stearns
+// that Sections 2.1 and 5 of the paper build on.
+//
+// A partition of {0..n-1} is stored as a normalized block-id vector: block
+// ids are assigned in order of first appearance, so two equal partitions
+// have identical vectors and can be compared or used as map keys directly.
+//
+// Order convention (Section 2.1 of the paper): P1 ≤ P2 iff each block of P2
+// is contained in a block of P1 — the *coarser* partition is the smaller
+// machine. The top ⊤ is the partition into singletons (the reachable cross
+// product itself) and the bottom ⊥ is the single-block partition.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// P is a partition of {0..n-1}. The zero value is invalid; construct with
+// Singletons, Single, FromBlocks or FromAssignment.
+type P struct {
+	blockOf []int // normalized block id per element
+	blocks  int   // number of blocks
+}
+
+// Singletons returns the finest partition of n elements (the top machine).
+func Singletons(n int) P {
+	b := make([]int, n)
+	for i := range b {
+		b[i] = i
+	}
+	return P{blockOf: b, blocks: n}
+}
+
+// Single returns the one-block partition of n elements (the bottom machine).
+func Single(n int) P {
+	return P{blockOf: make([]int, n), blocks: boolToInt(n > 0)}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FromAssignment builds a partition from an arbitrary block-id vector,
+// normalizing the ids.
+func FromAssignment(assign []int) P {
+	blockOf := make([]int, len(assign))
+	norm := make(map[int]int)
+	for i, a := range assign {
+		id, ok := norm[a]
+		if !ok {
+			id = len(norm)
+			norm[a] = id
+		}
+		blockOf[i] = id
+	}
+	return P{blockOf: blockOf, blocks: len(norm)}
+}
+
+// FromBlocks builds a partition of n elements from explicit blocks. Every
+// element must occur in exactly one block.
+func FromBlocks(n int, blocks [][]int) (P, error) {
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for b, blk := range blocks {
+		for _, x := range blk {
+			if x < 0 || x >= n {
+				return P{}, fmt.Errorf("partition: element %d out of range [0,%d)", x, n)
+			}
+			if assign[x] != -1 {
+				return P{}, fmt.Errorf("partition: element %d in two blocks", x)
+			}
+			assign[x] = b
+		}
+	}
+	for i, a := range assign {
+		if a == -1 {
+			return P{}, fmt.Errorf("partition: element %d in no block", i)
+		}
+	}
+	return FromAssignment(assign), nil
+}
+
+// MustFromBlocks is FromBlocks that panics on error.
+func MustFromBlocks(n int, blocks [][]int) P {
+	p, err := FromBlocks(n, blocks)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N returns the number of elements partitioned.
+func (p P) N() int { return len(p.blockOf) }
+
+// NumBlocks returns the number of blocks.
+func (p P) NumBlocks() int { return p.blocks }
+
+// BlockOf returns the block id of element x.
+func (p P) BlockOf(x int) int { return p.blockOf[x] }
+
+// Assignment returns a copy of the normalized block-id vector.
+func (p P) Assignment() []int { return append([]int(nil), p.blockOf...) }
+
+// Blocks materializes the blocks as sorted slices, in block-id order.
+func (p P) Blocks() [][]int {
+	out := make([][]int, p.blocks)
+	for x, b := range p.blockOf {
+		out[b] = append(out[b], x)
+	}
+	return out
+}
+
+// Separates reports whether elements x and y are in distinct blocks — i.e.
+// whether the machine corresponding to p "covers the edge (x,y)" in the
+// fault-graph terminology of Section 5.1.
+func (p P) Separates(x, y int) bool { return p.blockOf[x] != p.blockOf[y] }
+
+// Equal reports whether two (normalized) partitions are identical.
+func (p P) Equal(q P) bool {
+	if len(p.blockOf) != len(q.blockOf) || p.blocks != q.blocks {
+		return false
+	}
+	for i := range p.blockOf {
+		if p.blockOf[i] != q.blockOf[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string key identifying the partition, suitable for
+// dedup maps.
+func (p P) Key() string {
+	var b strings.Builder
+	b.Grow(2 * len(p.blockOf))
+	for _, id := range p.blockOf {
+		b.WriteByte(byte(id))
+		b.WriteByte(byte(id >> 8))
+	}
+	return b.String()
+}
+
+// RefinedBy reports p ≤ q in the paper's order: every block of q is
+// contained in a block of p (q is finer, p is coarser). Equal partitions
+// refine each other.
+func (p P) RefinedBy(q P) bool {
+	if len(p.blockOf) != len(q.blockOf) {
+		return false
+	}
+	// q refines p iff elements sharing a q-block share a p-block, i.e. the
+	// map q-block → p-block is a function.
+	qToP := make([]int, q.blocks)
+	for i := range qToP {
+		qToP[i] = -1
+	}
+	for x := range q.blockOf {
+		qb, pb := q.blockOf[x], p.blockOf[x]
+		if qToP[qb] == -1 {
+			qToP[qb] = pb
+		} else if qToP[qb] != pb {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyRefinedBy reports p < q: p ≤ q and p ≠ q.
+func (p P) StrictlyRefinedBy(q P) bool {
+	return p.RefinedBy(q) && !p.Equal(q)
+}
+
+// Incomparable reports that neither p ≤ q nor q ≤ p.
+func (p P) Incomparable(q P) bool {
+	return !p.RefinedBy(q) && !q.RefinedBy(p)
+}
+
+// MergeBlocks returns the (possibly non-closed) partition obtained from p by
+// uniting blocks a and b. If a == b it returns p.
+func (p P) MergeBlocks(a, b int) P {
+	if a == b {
+		return p
+	}
+	assign := make([]int, len(p.blockOf))
+	for i, id := range p.blockOf {
+		if id == b {
+			id = a
+		}
+		assign[i] = id
+	}
+	return FromAssignment(assign)
+}
+
+// Meet returns the coarsest common refinement of p and q (the lattice meet
+// under "finer is larger": blocks are intersections of p- and q-blocks).
+func Meet(p, q P) (P, error) {
+	if len(p.blockOf) != len(q.blockOf) {
+		return P{}, fmt.Errorf("partition: meet of partitions over %d and %d elements", len(p.blockOf), len(q.blockOf))
+	}
+	type pair struct{ a, b int }
+	ids := make(map[pair]int)
+	assign := make([]int, len(p.blockOf))
+	for x := range assign {
+		k := pair{p.blockOf[x], q.blockOf[x]}
+		id, ok := ids[k]
+		if !ok {
+			id = len(ids)
+			ids[k] = id
+		}
+		assign[x] = id
+	}
+	return FromAssignment(assign), nil
+}
+
+// Join returns the finest common coarsening of p and q: the transitive
+// closure of "same block in p or same block in q", computed with union-find.
+func Join(p, q P) (P, error) {
+	if len(p.blockOf) != len(q.blockOf) {
+		return P{}, fmt.Errorf("partition: join of partitions over %d and %d elements", len(p.blockOf), len(q.blockOf))
+	}
+	uf := NewUnionFind(len(p.blockOf))
+	firstP := make(map[int]int)
+	firstQ := make(map[int]int)
+	for x := range p.blockOf {
+		if y, ok := firstP[p.blockOf[x]]; ok {
+			uf.Union(x, y)
+		} else {
+			firstP[p.blockOf[x]] = x
+		}
+		if y, ok := firstQ[q.blockOf[x]]; ok {
+			uf.Union(x, y)
+		} else {
+			firstQ[q.blockOf[x]] = x
+		}
+	}
+	return uf.Partition(), nil
+}
+
+// String renders the partition in the paper's block notation, e.g.
+// "{0,3},{1},{2}".
+func (p P) String() string {
+	blocks := p.Blocks()
+	parts := make([]string, len(blocks))
+	for i, blk := range blocks {
+		elems := make([]string, len(blk))
+		for j, x := range blk {
+			elems[j] = fmt.Sprintf("%d", x)
+		}
+		parts[i] = "{" + strings.Join(elems, ",") + "}"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

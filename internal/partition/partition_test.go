@@ -1,0 +1,201 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletonsAndSingle(t *testing.T) {
+	top := Singletons(4)
+	if top.N() != 4 || top.NumBlocks() != 4 {
+		t.Fatalf("Singletons(4): N=%d blocks=%d", top.N(), top.NumBlocks())
+	}
+	bot := Single(4)
+	if bot.N() != 4 || bot.NumBlocks() != 1 {
+		t.Fatalf("Single(4): N=%d blocks=%d", bot.N(), bot.NumBlocks())
+	}
+	if Single(0).NumBlocks() != 0 {
+		t.Error("Single(0) should have no blocks")
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if !top.Separates(i, j) {
+				t.Errorf("top does not separate %d,%d", i, j)
+			}
+			if bot.Separates(i, j) {
+				t.Errorf("bottom separates %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestFromAssignmentNormalizes(t *testing.T) {
+	p := FromAssignment([]int{7, 7, 3, 7, 3, 9})
+	q := FromAssignment([]int{0, 0, 1, 0, 1, 2})
+	if !p.Equal(q) {
+		t.Fatalf("%v != %v after normalization", p, q)
+	}
+	if p.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3", p.NumBlocks())
+	}
+	if p.BlockOf(0) != 0 || p.BlockOf(2) != 1 || p.BlockOf(5) != 2 {
+		t.Error("normalization not first-appearance order")
+	}
+}
+
+func TestFromBlocksValidation(t *testing.T) {
+	if _, err := FromBlocks(3, [][]int{{0, 1}, {2}}); err != nil {
+		t.Fatalf("valid blocks rejected: %v", err)
+	}
+	bad := [][][]int{
+		{{0, 1}},         // element 2 missing
+		{{0, 1}, {1, 2}}, // element 1 twice
+		{{0, 5}, {1, 2}}, // out of range
+		{{-1}, {0, 1, 2}},
+	}
+	for i, blocks := range bad {
+		if _, err := FromBlocks(3, blocks); err == nil {
+			t.Errorf("case %d: invalid blocks accepted", i)
+		}
+	}
+}
+
+func TestBlocksRoundTrip(t *testing.T) {
+	p := MustFromBlocks(5, [][]int{{0, 3}, {1}, {2, 4}})
+	q := MustFromBlocks(5, p.Blocks())
+	if !p.Equal(q) {
+		t.Fatalf("Blocks round trip: %v vs %v", p, q)
+	}
+}
+
+func TestRefinedByOrder(t *testing.T) {
+	coarse := MustFromBlocks(4, [][]int{{0, 1, 2}, {3}})
+	fine := MustFromBlocks(4, [][]int{{0, 1}, {2}, {3}})
+	top := Singletons(4)
+	bot := Single(4)
+
+	if !coarse.RefinedBy(fine) {
+		t.Error("coarse ≤ fine expected")
+	}
+	if fine.RefinedBy(coarse) {
+		t.Error("fine ≤ coarse unexpected")
+	}
+	if !bot.RefinedBy(coarse) || !bot.RefinedBy(top) {
+		t.Error("bottom must be ≤ everything")
+	}
+	if !coarse.RefinedBy(top) || !fine.RefinedBy(top) {
+		t.Error("everything must be ≤ top")
+	}
+	if !coarse.RefinedBy(coarse) {
+		t.Error("≤ must be reflexive")
+	}
+	if coarse.StrictlyRefinedBy(coarse) {
+		t.Error("< must be irreflexive")
+	}
+	if !coarse.StrictlyRefinedBy(fine) {
+		t.Error("coarse < fine expected")
+	}
+	other := MustFromBlocks(4, [][]int{{0, 3}, {1}, {2}})
+	if !fine.Incomparable(other) {
+		t.Error("fine and other should be incomparable")
+	}
+}
+
+func TestMergeBlocks(t *testing.T) {
+	p := MustFromBlocks(4, [][]int{{0}, {1}, {2}, {3}})
+	q := p.MergeBlocks(p.BlockOf(1), p.BlockOf(3))
+	if q.NumBlocks() != 3 || q.Separates(1, 3) {
+		t.Fatalf("merge failed: %v", q)
+	}
+	if !p.Equal(p.MergeBlocks(2, 2)) {
+		t.Error("merging a block with itself changed the partition")
+	}
+}
+
+func TestMeetJoin(t *testing.T) {
+	p := MustFromBlocks(4, [][]int{{0, 1}, {2, 3}})
+	q := MustFromBlocks(4, [][]int{{0, 2}, {1, 3}})
+	meet, err := Meet(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meet.Equal(Singletons(4)) {
+		t.Errorf("meet = %v, want singletons", meet)
+	}
+	join, err := Join(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.Equal(Single(4)) {
+		t.Errorf("join = %v, want single block", join)
+	}
+	if _, err := Meet(p, Singletons(3)); err == nil {
+		t.Error("meet over mismatched sizes accepted")
+	}
+	if _, err := Join(p, Singletons(3)); err == nil {
+		t.Error("join over mismatched sizes accepted")
+	}
+}
+
+// Lattice laws as property tests.
+func TestLatticeLaws(t *testing.T) {
+	randomP := func(r *rand.Rand, n int) P {
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = r.Intn(n)
+		}
+		return FromAssignment(assign)
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		p, q := randomP(r, n), randomP(r, n)
+		meet, err1 := Meet(p, q)
+		join, err2 := Join(p, q)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// meet is finer than both: p ≤ meet and q ≤ meet.
+		if !p.RefinedBy(meet) || !q.RefinedBy(meet) {
+			return false
+		}
+		// join is coarser than both: join ≤ p and join ≤ q.
+		if !join.RefinedBy(p) || !join.RefinedBy(q) {
+			return false
+		}
+		// Idempotence.
+		mm, _ := Meet(p, p)
+		jj, _ := Join(p, p)
+		return mm.Equal(p) && jj.Equal(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	p := MustFromBlocks(3, [][]int{{0, 1}, {2}})
+	q := MustFromBlocks(3, [][]int{{0, 2}, {1}})
+	if p.Key() == q.Key() {
+		t.Error("different partitions share a key")
+	}
+	if p.Key() != MustFromBlocks(3, [][]int{{1, 0}, {2}}).Key() {
+		t.Error("equal partitions have different keys")
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	p := MustFromBlocks(4, [][]int{{0, 3}, {1}, {2}})
+	if got := p.String(); got != "{0,3},{1},{2}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAssignmentIsCopy(t *testing.T) {
+	p := Singletons(3)
+	p.Assignment()[0] = 99
+	if p.BlockOf(0) != 0 {
+		t.Error("Assignment exposed internal slice")
+	}
+}

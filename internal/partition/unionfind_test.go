@@ -1,0 +1,59 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets = %d", uf.Sets())
+	}
+	if !uf.Union(0, 1) {
+		t.Error("first union reported no-op")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeat union reported a merge")
+	}
+	if !uf.Same(0, 1) || uf.Same(0, 2) {
+		t.Error("Same wrong")
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 3)
+	if uf.Sets() != 2 {
+		t.Fatalf("Sets = %d, want 2", uf.Sets())
+	}
+	p := uf.Partition()
+	if p.NumBlocks() != 2 || !p.Separates(0, 4) || p.Separates(1, 3) {
+		t.Errorf("Partition = %v", p)
+	}
+}
+
+func TestUnionFindAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n = 50
+	uf := NewUnionFind(n)
+	naive := make([]int, n) // block label per element
+	for i := range naive {
+		naive[i] = i
+	}
+	for op := 0; op < 200; op++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		uf.Union(x, y)
+		lx, ly := naive[x], naive[y]
+		if lx != ly {
+			for i := range naive {
+				if naive[i] == ly {
+					naive[i] = lx
+				}
+			}
+		}
+		if op%20 == 0 {
+			want := FromAssignment(naive)
+			if !uf.Partition().Equal(want) {
+				t.Fatalf("op %d: union-find %v, naive %v", op, uf.Partition(), want)
+			}
+		}
+	}
+}

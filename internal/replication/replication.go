@@ -1,0 +1,118 @@
+// Package replication implements the traditional replication-based backup
+// scheme the paper compares against (Section 1): f extra copies of every
+// machine for f crash faults, 2f copies for f Byzantine faults, with
+// majority-vote recovery per machine. It exists as the baseline for the
+// results-table experiments and the simulator.
+package replication
+
+import (
+	"fmt"
+
+	"repro/internal/dfsm"
+)
+
+// Plan describes a replication deployment for a set of machines.
+type Plan struct {
+	// Originals are the machines being protected.
+	Originals []*dfsm.Machine
+	// CopiesPerMachine is f for crash faults, 2f for Byzantine faults.
+	CopiesPerMachine int
+	// Backups holds the replica machines: Backups[i][c] is copy c of
+	// original i (a renamed clone).
+	Backups [][]*dfsm.Machine
+}
+
+// NewCrashPlan builds the replication plan tolerating f crash faults:
+// f copies of each machine (n·f backups in total).
+func NewCrashPlan(originals []*dfsm.Machine, f int) (*Plan, error) {
+	return newPlan(originals, f)
+}
+
+// NewByzantinePlan builds the replication plan tolerating f Byzantine
+// faults: 2f copies of each machine (2·n·f backups in total), so that a
+// majority of any machine's 2f+1 instances is honest.
+func NewByzantinePlan(originals []*dfsm.Machine, f int) (*Plan, error) {
+	return newPlan(originals, 2*f)
+}
+
+func newPlan(originals []*dfsm.Machine, copies int) (*Plan, error) {
+	if copies < 0 {
+		return nil, fmt.Errorf("replication: %d copies per machine", copies)
+	}
+	p := &Plan{
+		Originals:        append([]*dfsm.Machine(nil), originals...),
+		CopiesPerMachine: copies,
+		Backups:          make([][]*dfsm.Machine, len(originals)),
+	}
+	for i, m := range originals {
+		p.Backups[i] = make([]*dfsm.Machine, copies)
+		for c := 0; c < copies; c++ {
+			p.Backups[i][c] = m.Rename(fmt.Sprintf("%s#%d", m.Name(), c+1))
+		}
+	}
+	return p, nil
+}
+
+// NumBackups returns the total number of backup machines.
+func (p *Plan) NumBackups() int { return len(p.Originals) * p.CopiesPerMachine }
+
+// BackupStateSpace returns the paper's replication state-space metric
+// (Section 6): (Π|Mi|)^f for f copies of each machine — the product of the
+// sizes of all backup machines.
+func (p *Plan) BackupStateSpace() uint64 {
+	total := uint64(1)
+	for c := 0; c < p.CopiesPerMachine; c++ {
+		for _, m := range p.Originals {
+			total *= uint64(m.NumStates())
+		}
+	}
+	return total
+}
+
+// CrashStateSpace computes (Π|Mi|)^f without building a plan.
+func CrashStateSpace(originals []*dfsm.Machine, f int) uint64 {
+	total := uint64(1)
+	for c := 0; c < f; c++ {
+		for _, m := range originals {
+			total *= uint64(m.NumStates())
+		}
+	}
+	return total
+}
+
+// RecoverMachine recovers the state of original machine i by majority vote
+// over the surviving instances' reported local states (-1 = crashed).
+// It mirrors what Algorithm 3 does for fusions, specialized to replicas:
+// all instances of a machine should agree, and under ≤ f Byzantine lies
+// among 2f+1 instances the majority value is the truth.
+func (p *Plan) RecoverMachine(i int, reportedStates []int) (int, error) {
+	if i < 0 || i >= len(p.Originals) {
+		return -1, fmt.Errorf("replication: no machine %d", i)
+	}
+	counts := map[int]int{}
+	for _, s := range reportedStates {
+		if s < 0 {
+			continue // crashed instance
+		}
+		if s >= p.Originals[i].NumStates() {
+			return -1, fmt.Errorf("replication: machine %d reports impossible state %d", i, s)
+		}
+		counts[s]++
+	}
+	best, bestCount, tie := -1, 0, false
+	for s, c := range counts {
+		switch {
+		case c > bestCount:
+			best, bestCount, tie = s, c, false
+		case c == bestCount:
+			tie = true
+		}
+	}
+	if best == -1 {
+		return -1, fmt.Errorf("replication: machine %q: all instances crashed", p.Originals[i].Name())
+	}
+	if tie {
+		return -1, fmt.Errorf("replication: machine %q: ambiguous majority", p.Originals[i].Name())
+	}
+	return best, nil
+}

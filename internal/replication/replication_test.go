@@ -1,0 +1,100 @@
+package replication
+
+import (
+	"testing"
+
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+)
+
+func suite() []*dfsm.Machine {
+	return []*dfsm.Machine{machines.ZeroCounter(), machines.OneCounter(), machines.MESI()}
+}
+
+func TestCrashPlanCounts(t *testing.T) {
+	p, err := NewCrashPlan(suite(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBackups() != 6 {
+		t.Fatalf("crash plan backups = %d, want n·f = 6", p.NumBackups())
+	}
+	// (3·3·4)² = 1296.
+	if got := p.BackupStateSpace(); got != 1296 {
+		t.Fatalf("state space = %d, want 1296", got)
+	}
+	if got := CrashStateSpace(suite(), 2); got != 1296 {
+		t.Fatalf("CrashStateSpace = %d, want 1296", got)
+	}
+}
+
+func TestByzantinePlanCounts(t *testing.T) {
+	p, err := NewByzantinePlan(suite(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBackups() != 6 {
+		t.Fatalf("byzantine plan backups = %d, want 2·n·f = 6", p.NumBackups())
+	}
+}
+
+func TestPlanRejectsNegative(t *testing.T) {
+	if _, err := NewCrashPlan(suite(), -1); err == nil {
+		t.Fatal("negative f accepted")
+	}
+}
+
+func TestBackupsAreRenamedClones(t *testing.T) {
+	p, err := NewCrashPlan(suite(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, copies := range p.Backups {
+		for c, m := range copies {
+			if m.Name() == p.Originals[i].Name() {
+				t.Errorf("backup %d/%d shares the original's name", i, c)
+			}
+			if !dfsm.Isomorphic(m, p.Originals[i]) {
+				t.Errorf("backup %d/%d is not a copy of the original", i, c)
+			}
+		}
+	}
+}
+
+func TestRecoverMachineMajority(t *testing.T) {
+	p, err := NewByzantinePlan(suite(), 1) // 2 copies + original = 3 voters
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.RecoverMachine(0, []int{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("majority = %d, want 2", got)
+	}
+	// Crash markers are skipped.
+	got, err = p.RecoverMachine(0, []int{-1, 2, 2})
+	if err != nil || got != 2 {
+		t.Fatalf("with crash: %d, %v", got, err)
+	}
+}
+
+func TestRecoverMachineErrors(t *testing.T) {
+	p, err := NewCrashPlan(suite(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RecoverMachine(9, nil); err == nil {
+		t.Error("bad machine index accepted")
+	}
+	if _, err := p.RecoverMachine(0, []int{-1, -1}); err == nil {
+		t.Error("all-crashed vote succeeded")
+	}
+	if _, err := p.RecoverMachine(0, []int{1, 2}); err == nil {
+		t.Error("tied vote succeeded")
+	}
+	if _, err := p.RecoverMachine(0, []int{99}); err == nil {
+		t.Error("impossible state accepted")
+	}
+}

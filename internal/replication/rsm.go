@@ -1,0 +1,195 @@
+package replication
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Cluster is the replication-based deployment the paper compares against:
+// every original machine runs alongside its replicas, all fed the same
+// event stream; recovery is a per-machine majority vote (crash: any
+// survivor; Byzantine: majority of 2f+1). It mirrors sim.Cluster's API so
+// experiments can swap the two.
+type Cluster struct {
+	mu sync.Mutex
+
+	plan *Plan
+	// states[i][c] is instance c of machine i; c = 0 is the original.
+	states  [][]int
+	crashed [][]bool
+	oracle  []int
+	step    int
+}
+
+// NewCluster deploys the plan: original + copies all start at the initial
+// state.
+func NewCluster(plan *Plan) *Cluster {
+	c := &Cluster{plan: plan}
+	for _, m := range plan.Originals {
+		row := make([]int, plan.CopiesPerMachine+1)
+		for j := range row {
+			row[j] = m.Initial()
+		}
+		c.states = append(c.states, row)
+		c.crashed = append(c.crashed, make([]bool, plan.CopiesPerMachine+1))
+		c.oracle = append(c.oracle, m.Initial())
+	}
+	return c
+}
+
+// InstanceName names instance c of machine i ("TCP" for the original,
+// "TCP#1" for the first replica), matching Plan.Backups naming.
+func (c *Cluster) InstanceName(i, inst int) string {
+	if inst == 0 {
+		return c.plan.Originals[i].Name()
+	}
+	return fmt.Sprintf("%s#%d", c.plan.Originals[i].Name(), inst)
+}
+
+// Instances returns all instance names, grouped by machine.
+func (c *Cluster) Instances() []string {
+	var out []string
+	for i := range c.plan.Originals {
+		for inst := 0; inst <= c.plan.CopiesPerMachine; inst++ {
+			out = append(out, c.InstanceName(i, inst))
+		}
+	}
+	return out
+}
+
+// ApplyAll broadcasts events to every live instance, one goroutine per
+// machine group (instances of one machine evolve identically, so the
+// group is the natural parallel unit).
+func (c *Cluster) ApplyAll(events []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var wg sync.WaitGroup
+	for i := range c.states {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := c.plan.Originals[i]
+			for inst := range c.states[i] {
+				if c.crashed[i][inst] {
+					continue
+				}
+				c.states[i][inst] = m.RunFrom(c.states[i][inst], events)
+			}
+			c.oracle[i] = m.RunFrom(c.oracle[i], events)
+		}(i)
+	}
+	wg.Wait()
+	c.step += len(events)
+}
+
+// Inject applies a fault to the named instance.
+func (c *Cluster) Inject(f trace.Fault) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, inst, err := c.findInstance(f.Server)
+	if err != nil {
+		return err
+	}
+	switch f.Kind {
+	case trace.Crash:
+		c.crashed[i][inst] = true
+		c.states[i][inst] = -1
+	case trace.Byzantine:
+		m := c.plan.Originals[i]
+		if m.NumStates() < 2 {
+			return nil
+		}
+		c.states[i][inst] = (c.states[i][inst] + 1) % m.NumStates()
+	default:
+		return fmt.Errorf("replication: unknown fault kind %v", f.Kind)
+	}
+	return nil
+}
+
+func (c *Cluster) findInstance(name string) (int, int, error) {
+	for i := range c.plan.Originals {
+		for inst := 0; inst <= c.plan.CopiesPerMachine; inst++ {
+			if c.InstanceName(i, inst) == name {
+				return i, inst, nil
+			}
+		}
+	}
+	return -1, -1, fmt.Errorf("replication: no instance %q", name)
+}
+
+// RecoveryOutcome summarizes one replication recovery round.
+type RecoveryOutcome struct {
+	// Restored lists repaired instances, sorted.
+	Restored []string
+}
+
+// Recover repairs every machine group by majority vote over its live
+// instances, restoring crashed and deviant instances to the majority
+// state. Errors when some group has no unambiguous majority.
+func (c *Cluster) Recover() (*RecoveryOutcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &RecoveryOutcome{}
+	for i := range c.states {
+		reported := make([]int, 0, len(c.states[i]))
+		for inst, st := range c.states[i] {
+			if c.crashed[i][inst] {
+				reported = append(reported, -1)
+			} else {
+				reported = append(reported, st)
+			}
+		}
+		want, err := c.plan.RecoverMachine(i, reported)
+		if err != nil {
+			return nil, err
+		}
+		for inst := range c.states[i] {
+			if c.crashed[i][inst] || c.states[i][inst] != want {
+				out.Restored = append(out.Restored, c.InstanceName(i, inst))
+			}
+			c.states[i][inst] = want
+			c.crashed[i][inst] = false
+		}
+	}
+	sort.Strings(out.Restored)
+	return out, nil
+}
+
+// Verify compares all instances against the fault-free oracle.
+func (c *Cluster) Verify() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var bad []string
+	for i := range c.states {
+		for inst, st := range c.states[i] {
+			if c.crashed[i][inst] || st != c.oracle[i] {
+				bad = append(bad, c.InstanceName(i, inst))
+			}
+		}
+	}
+	return bad
+}
+
+// States returns the visible states of all instances of machine i
+// (original first), -1 for crashed instances.
+func (c *Cluster) States(i int) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.states) {
+		return nil, fmt.Errorf("replication: no machine %d", i)
+	}
+	return append([]int(nil), c.states[i]...), nil
+}
+
+// TotalStates returns the summed state-space size of all backup instances,
+// the deployment-cost metric of Section 6.
+func (c *Cluster) TotalStates() int {
+	total := 0
+	for _, m := range c.plan.Originals {
+		total += m.NumStates() * c.plan.CopiesPerMachine
+	}
+	return total
+}

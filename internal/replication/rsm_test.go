@@ -1,0 +1,145 @@
+package replication
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machines"
+	"repro/internal/trace"
+)
+
+func newRSM(t *testing.T, byz bool, f int) *Cluster {
+	t.Helper()
+	var plan *Plan
+	var err error
+	if byz {
+		plan, err = NewByzantinePlan(suite(), f)
+	} else {
+		plan, err = NewCrashPlan(suite(), f)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCluster(plan)
+}
+
+func TestRSMInstances(t *testing.T) {
+	c := newRSM(t, false, 2)
+	inst := c.Instances()
+	if len(inst) != 9 { // 3 machines × (1 original + 2 copies)
+		t.Fatalf("instances = %v", inst)
+	}
+	if inst[0] != "0-Counter" || inst[1] != "0-Counter#1" {
+		t.Errorf("naming: %v", inst[:2])
+	}
+	if c.TotalStates() != 2*(3+3+4) {
+		t.Errorf("TotalStates = %d", c.TotalStates())
+	}
+}
+
+func TestRSMApplyAndVerify(t *testing.T) {
+	c := newRSM(t, false, 1)
+	c.ApplyAll([]string{"0", "1", "PrRd"})
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("fault-free run diverged: %v", bad)
+	}
+}
+
+func TestRSMCrashRecovery(t *testing.T) {
+	c := newRSM(t, false, 1)
+	c.ApplyAll([]string{"0", "0", "1", "PrWr"})
+	if err := c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Restored) != 1 || out.Restored[0] != "0-Counter" {
+		t.Fatalf("restored %v", out.Restored)
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("diverged after recovery: %v", bad)
+	}
+}
+
+func TestRSMByzantineRecovery(t *testing.T) {
+	c := newRSM(t, true, 1) // 2 copies: majority of 3
+	c.ApplyAll([]string{"1", "1"})
+	if err := c.Inject(trace.Fault{Server: "1-Counter#1", Kind: trace.Byzantine}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Restored) != 1 || out.Restored[0] != "1-Counter#1" {
+		t.Fatalf("restored %v", out.Restored)
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("diverged: %v", bad)
+	}
+}
+
+func TestRSMBeyondBound(t *testing.T) {
+	c := newRSM(t, false, 1) // 1 copy: both instances crashing is fatal
+	c.ApplyAll([]string{"0"})
+	c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash})
+	c.Inject(trace.Fault{Server: "0-Counter#1", Kind: trace.Crash})
+	if _, err := c.Recover(); err == nil {
+		t.Fatal("recovery of a fully-crashed group succeeded")
+	}
+}
+
+func TestRSMInjectErrors(t *testing.T) {
+	c := newRSM(t, false, 1)
+	if err := c.Inject(trace.Fault{Server: "ghost", Kind: trace.Crash}); err == nil {
+		t.Error("unknown instance accepted")
+	}
+	if err := c.Inject(trace.Fault{Server: "MESI", Kind: trace.FaultKind(42)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestRSMMatchesFusionCluster: replication and fusion recover identical
+// states from the same faults on the same stream — the baselines agree on
+// semantics, they differ only in cost (the paper's whole point).
+func TestRSMMatchesFusionCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ms := suite()
+	plan, err := NewCrashPlan(ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := NewCluster(plan)
+
+	events := make([]string, 40)
+	alpha := []string{"0", "1", "PrRd", "PrWr", "BusRd"}
+	for i := range events {
+		events[i] = alpha[rng.Intn(len(alpha))]
+	}
+	repl.ApplyAll(events)
+	repl.Inject(trace.Fault{Server: "MESI", Kind: trace.Crash})
+	if _, err := repl.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if bad := repl.Verify(); len(bad) != 0 {
+		t.Fatalf("replication diverged: %v", bad)
+	}
+	// The recovered MESI state must equal a fresh run's state.
+	want := machines.MESI().Run(events)
+	for i, m := range plan.Originals {
+		if m.Name() != "MESI" {
+			continue
+		}
+		states, err := repl.States(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for inst, st := range states {
+			if st != want {
+				t.Fatalf("MESI instance %d recovered to %d, fresh run says %d", inst, st, want)
+			}
+		}
+	}
+}

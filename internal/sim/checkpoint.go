@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file adds checkpointing and event journaling to the cluster. The
+// paper assumes the DFSMs themselves survive on "failure-resistant
+// permanent storage" and only the execution state is lost; a Checkpoint is
+// exactly that durable record, and the journal enables the classical
+// alternative to fusion — replay from the last checkpoint — against which
+// fusion recovery can be compared (replay costs O(events), fusion costs
+// O((n+m)·N) regardless of history length).
+
+// Checkpoint is a durable snapshot of the cluster's visible execution
+// state. It is JSON-serializable.
+type Checkpoint struct {
+	Step   int            `json:"step"`
+	States map[string]int `json:"states"`
+}
+
+// Snapshot captures the current states of all servers. Crashed servers
+// (state -1) are recorded as crashed; snapshotting mid-fault is allowed
+// but such a checkpoint cannot restore the crashed machines' states.
+func (c *Cluster) Snapshot() *Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := &Checkpoint{Step: c.step, States: make(map[string]int, len(c.servers))}
+	for _, s := range c.servers {
+		cp.States[s.name] = s.state
+	}
+	return cp
+}
+
+// Restore resets every server to the checkpointed state. The oracle is
+// reset too: a restore rewinds the simulation, it does not diverge from
+// ground truth. Unknown or missing server names are errors.
+func (c *Cluster) Restore(cp *Checkpoint) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(cp.States) != len(c.servers) {
+		return fmt.Errorf("sim: checkpoint has %d servers, cluster has %d", len(cp.States), len(c.servers))
+	}
+	for _, s := range c.servers {
+		st, ok := cp.States[s.name]
+		if !ok {
+			return fmt.Errorf("sim: checkpoint missing server %q", s.name)
+		}
+		if st < -1 || st >= s.machine.NumStates() {
+			return fmt.Errorf("sim: checkpoint state %d out of range for %q", st, s.name)
+		}
+	}
+	for i, s := range c.servers {
+		st := cp.States[s.name]
+		s.state = st
+		s.crashed = st == -1
+		s.lying = false
+		c.oracle[i] = st
+	}
+	c.step = cp.Step
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler for Checkpoint (plain struct
+// encoding; declared for documentation symmetry with UnmarshalJSON).
+func (cp *Checkpoint) MarshalJSON() ([]byte, error) {
+	type alias Checkpoint
+	return json.Marshal((*alias)(cp))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (cp *Checkpoint) UnmarshalJSON(data []byte) error {
+	type alias Checkpoint
+	return json.Unmarshal(data, (*alias)(cp))
+}
+
+// Journal records the event stream since a checkpoint, enabling
+// replay-based recovery.
+type Journal struct {
+	Base   *Checkpoint `json:"base"`
+	Events []string    `json:"events"`
+}
+
+// NewJournal starts a journal at the given checkpoint.
+func NewJournal(base *Checkpoint) *Journal {
+	return &Journal{Base: base}
+}
+
+// Append records events.
+func (j *Journal) Append(events ...string) {
+	j.Events = append(j.Events, events...)
+}
+
+// ReplayRecover rebuilds a crashed server's state by replaying the journal
+// from the checkpoint — the baseline the paper's fusion approach is an
+// alternative to. The cluster is only consulted for the machine
+// definition; the crashed server's durable state comes from the journal.
+func (c *Cluster) ReplayRecover(j *Journal, serverName string) (int, error) {
+	c.mu.Lock()
+	s := c.find(serverName)
+	c.mu.Unlock()
+	if s == nil {
+		return -1, fmt.Errorf("sim: no server %q", serverName)
+	}
+	base, ok := j.Base.States[serverName]
+	if !ok {
+		return -1, fmt.Errorf("sim: journal base missing server %q", serverName)
+	}
+	if base < 0 {
+		return -1, fmt.Errorf("sim: journal base has %q crashed; cannot replay", serverName)
+	}
+	return s.machine.RunFrom(base, j.Events), nil
+}
+
+// ApplyAllJournaled is ApplyAll that also appends to the journal.
+func (c *Cluster) ApplyAllJournaled(j *Journal, events []string) {
+	c.ApplyAll(events)
+	j.Append(events...)
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.ApplyAll([]string{"0", "1", "0"})
+	cp := c.Snapshot()
+	if cp.Step != 3 {
+		t.Fatalf("checkpoint step %d", cp.Step)
+	}
+
+	c.ApplyAll([]string{"1", "1", "1"})
+	if err := c.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if c.Step() != 3 {
+		t.Fatalf("restored step %d", c.Step())
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("restore diverged: %v", bad)
+	}
+	// Continue after restore: behaviour matches a fresh run of the prefix.
+	c.ApplyAll([]string{"0"})
+	states := c.States()
+	if states[0] != 0 { // three 0s total: 3 mod 3 = 0
+		t.Errorf("0-Counter at %d after restore+apply, want 0", states[0])
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if err := c.Restore(&Checkpoint{States: map[string]int{"x": 0}}); err == nil {
+		t.Error("short checkpoint accepted")
+	}
+	cp := c.Snapshot()
+	delete(cp.States, "F1")
+	cp.States["ghost"] = 0
+	if err := c.Restore(cp); err == nil {
+		t.Error("checkpoint with wrong server accepted")
+	}
+	cp2 := c.Snapshot()
+	cp2.States["F1"] = 99
+	if err := c.Restore(cp2); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+}
+
+func TestCheckpointJSONRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.ApplyAll([]string{"0", "1"})
+	cp := c.Snapshot()
+	data, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Step != cp.Step || len(back.States) != len(cp.States) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, cp)
+	}
+	if err := c.Restore(&back); err != nil {
+		t.Fatalf("restore from unmarshalled checkpoint: %v", err)
+	}
+}
+
+func TestReplayRecoverMatchesFusionRecovery(t *testing.T) {
+	c := newTestCluster(t, 1)
+	j := NewJournal(c.Snapshot())
+	c.ApplyAllJournaled(j, []string{"0", "1", "1", "0", "0"})
+
+	// Crash the 0-Counter.
+	if err := c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	// Replay-based recovery from the journal.
+	replayed, err := c.ReplayRecover(j, "0-Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fusion-based recovery.
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	states := c.States()
+	if states[0] != replayed {
+		t.Fatalf("fusion recovered %d, replay recovered %d", states[0], replayed)
+	}
+}
+
+func TestReplayRecoverErrors(t *testing.T) {
+	c := newTestCluster(t, 1)
+	j := NewJournal(c.Snapshot())
+	if _, err := c.ReplayRecover(j, "ghost"); err == nil {
+		t.Error("unknown server accepted")
+	}
+	delete(j.Base.States, "0-Counter")
+	if _, err := c.ReplayRecover(j, "0-Counter"); err == nil {
+		t.Error("missing base state accepted")
+	}
+	// A base that checkpointed a crashed server cannot replay.
+	c2 := newTestCluster(t, 1)
+	c2.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash})
+	j2 := NewJournal(c2.Snapshot())
+	if _, err := c2.ReplayRecover(j2, "0-Counter"); err == nil {
+		t.Error("crashed base state accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Metrics counts cluster activity for observability; all counters are
+// monotonic and safe to read concurrently.
+type Metrics struct {
+	EventsApplied    atomic.Int64
+	FaultsInjected   atomic.Int64
+	Recoveries       atomic.Int64
+	FailedRecoveries atomic.Int64
+	ServersRestored  atomic.Int64
+	LiarsCaught      atomic.Int64
+}
+
+// Snapshot returns a plain-value copy for reporting.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		EventsApplied:    m.EventsApplied.Load(),
+		FaultsInjected:   m.FaultsInjected.Load(),
+		Recoveries:       m.Recoveries.Load(),
+		FailedRecoveries: m.FailedRecoveries.Load(),
+		ServersRestored:  m.ServersRestored.Load(),
+		LiarsCaught:      m.LiarsCaught.Load(),
+	}
+}
+
+// MetricsSnapshot is an immutable view of Metrics.
+type MetricsSnapshot struct {
+	EventsApplied    int64
+	FaultsInjected   int64
+	Recoveries       int64
+	FailedRecoveries int64
+	ServersRestored  int64
+	LiarsCaught      int64
+}
+
+// String renders the snapshot on one line.
+func (s MetricsSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d faults=%d recoveries=%d failed=%d restored=%d liars=%d",
+		s.EventsApplied, s.FaultsInjected, s.Recoveries, s.FailedRecoveries,
+		s.ServersRestored, s.LiarsCaught)
+	return b.String()
+}
+
+// Metrics returns the cluster's counters.
+func (c *Cluster) Metrics() *Metrics { return &c.metrics }

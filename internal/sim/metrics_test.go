@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestMetricsCountActivity(t *testing.T) {
+	// One crash plus one Byzantine lie costs crash + 2·byz = 3 units of
+	// distance, so the fusion must be generated for f = 3 (dmin = 4).
+	c := newTestCluster(t, 3)
+	c.ApplyAll([]string{"0", "1", "0"})
+	c.Apply("1")
+	if err := c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Inject(trace.Fault{Server: "1-Counter", Kind: trace.Byzantine}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Metrics().Snapshot()
+	if s.EventsApplied != 4 {
+		t.Errorf("EventsApplied = %d, want 4", s.EventsApplied)
+	}
+	if s.FaultsInjected != 2 {
+		t.Errorf("FaultsInjected = %d, want 2", s.FaultsInjected)
+	}
+	if s.Recoveries != 1 || s.FailedRecoveries != 0 {
+		t.Errorf("Recoveries = %d/%d", s.Recoveries, s.FailedRecoveries)
+	}
+	if s.ServersRestored < 2 {
+		t.Errorf("ServersRestored = %d, want ≥ 2", s.ServersRestored)
+	}
+	if s.LiarsCaught != 1 {
+		t.Errorf("LiarsCaught = %d, want 1", s.LiarsCaught)
+	}
+	if !strings.Contains(s.String(), "events=4") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestMetricsFailedRecovery(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash})
+	c.Inject(trace.Fault{Server: "1-Counter", Kind: trace.Crash})
+	if _, err := c.Recover(); err == nil {
+		t.Fatal("over-budget recovery succeeded")
+	}
+	if got := c.Metrics().Snapshot().FailedRecoveries; got != 1 {
+		t.Errorf("FailedRecoveries = %d", got)
+	}
+}

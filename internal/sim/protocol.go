@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file implements recovery as an actual message exchange rather than
+// a direct method call: the coordinator broadcasts a state query, each
+// live server answers from its own goroutine over a channel, crashed
+// servers never answer (detected by timeout), and the coordinator votes
+// with Algorithm 3 and broadcasts restore commands. This matches the
+// paper's system model — servers share no state and communicate only
+// during recovery — and exercises the same logic as Recover through a
+// realistic asynchronous path.
+
+// stateQuery asks a server for its current report.
+type stateQuery struct {
+	reply chan<- stateAnswer
+}
+
+// stateAnswer is a server's response.
+type stateAnswer struct {
+	name   string
+	report core.Report
+}
+
+// restoreCommand tells a server to adopt a state.
+type restoreCommand struct {
+	state int
+	done  chan<- struct{}
+}
+
+// RecoverViaProtocol performs one recovery round via message passing. Each
+// live server runs a responder goroutine; answers arriving after the
+// timeout are treated as crashes (exactly how a real coordinator would
+// see a dead process). Restore commands are likewise delivered as
+// messages. The outcome matches Recover on the same cluster state.
+func (c *Cluster) RecoverViaProtocol(timeout time.Duration) (*RecoveryOutcome, error) {
+	if timeout <= 0 {
+		return nil, fmt.Errorf("sim: protocol timeout %v", timeout)
+	}
+
+	// Phase 1: query. Snapshot the server handles under the lock, then let
+	// the responders run lock-free on their snapshot.
+	c.mu.Lock()
+	type handle struct {
+		name      string
+		fusionIdx int
+		origIdx   int
+		state     int
+		crashed   bool
+		inbox     chan stateQuery
+		restore   chan restoreCommand
+	}
+	handles := make([]*handle, len(c.servers))
+	for i, s := range c.servers {
+		handles[i] = &handle{
+			name: s.name, fusionIdx: s.fusionIdx, origIdx: s.origIdx,
+			state: s.state, crashed: s.crashed,
+			inbox:   make(chan stateQuery, 1),
+			restore: make(chan restoreCommand, 1),
+		}
+	}
+	c.mu.Unlock()
+
+	answers := make(chan stateAnswer, len(handles))
+	for _, h := range handles {
+		go func(h *handle) {
+			if h.crashed {
+				return // a crashed process never answers
+			}
+			q, ok := <-h.inbox
+			if !ok {
+				return
+			}
+			var r core.Report
+			var err error
+			if h.fusionIdx >= 0 {
+				r, err = core.ReportForPartition(h.name, c.fusion[h.fusionIdx], h.state)
+			} else {
+				r, err = c.sys.ReportFor(h.origIdx, h.state)
+			}
+			if err == nil {
+				q.reply <- stateAnswer{name: h.name, report: r}
+			}
+		}(h)
+		h.inbox <- stateQuery{reply: answers}
+		close(h.inbox)
+	}
+
+	deadline := time.After(timeout)
+	var reports []core.Report
+	live := 0
+	for _, h := range handles {
+		if !h.crashed {
+			live++
+		}
+	}
+collect:
+	for len(reports) < live {
+		select {
+		case a := <-answers:
+			reports = append(reports, a.report)
+		case <-deadline:
+			break collect
+		}
+	}
+
+	// Phase 2: vote.
+	res, err := core.Recover(c.sys.N(), reports)
+	if err != nil {
+		c.metrics.FailedRecoveries.Add(1)
+		return nil, err
+	}
+
+	// Phase 3: restore via messages, then commit under the lock.
+	tuple := c.sys.Product.Proj[res.TopState]
+	done := make(chan struct{}, len(handles))
+	want := make(map[string]int, len(handles))
+	for _, h := range handles {
+		var w int
+		if h.fusionIdx >= 0 {
+			w = c.fusion[h.fusionIdx].BlockOf(res.TopState)
+		} else {
+			w = tuple[h.origIdx]
+		}
+		want[h.name] = w
+		go func(h *handle) {
+			cmd := <-h.restore
+			// The server acknowledges adoption; the coordinator commits.
+			cmd.done <- struct{}{}
+		}(h)
+		h.restore <- restoreCommand{state: w, done: done}
+		close(h.restore)
+	}
+	for range handles {
+		<-done
+	}
+
+	c.mu.Lock()
+	out := &RecoveryOutcome{TopState: res.TopState, Liars: res.Liars}
+	for _, s := range c.servers {
+		w := want[s.name]
+		if s.crashed || s.state != w {
+			out.Restored = append(out.Restored, s.name)
+		}
+		s.state = w
+		s.crashed = false
+		s.lying = false
+	}
+	c.mu.Unlock()
+	sort.Strings(out.Restored)
+	c.metrics.Recoveries.Add(1)
+	c.metrics.LiarsCaught.Add(int64(len(out.Liars)))
+	c.metrics.ServersRestored.Add(int64(len(out.Restored)))
+	return out, nil
+}

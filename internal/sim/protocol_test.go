@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+	"repro/internal/trace"
+)
+
+func TestProtocolCrashRecovery(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.ApplyAll([]string{"0", "1", "1", "0"})
+	if err := c.Inject(trace.Fault{Server: "1-Counter", Kind: trace.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.RecoverViaProtocol(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Restored) != 1 || out.Restored[0] != "1-Counter" {
+		t.Fatalf("restored = %v", out.Restored)
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("protocol recovery left divergence: %v", bad)
+	}
+}
+
+func TestProtocolByzantineRecovery(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.ApplyAll([]string{"1", "0"})
+	if err := c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Byzantine}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.RecoverViaProtocol(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Liars) != 1 || out.Liars[0] != "0-Counter" {
+		t.Fatalf("liars = %v", out.Liars)
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("divergence: %v", bad)
+	}
+}
+
+func TestProtocolMatchesDirectRecover(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 10; trial++ {
+		build := func() *Cluster {
+			c, err := NewCluster([]*dfsm.Machine{
+				machines.EvenParity(), machines.OddParity(), machines.ShiftRegister(2),
+			}, 2, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		events := make([]string, 5+rng.Intn(20))
+		for i := range events {
+			events[i] = []string{"0", "1"}[rng.Intn(2)]
+		}
+		c1, c2 := build(), build()
+		c1.ApplyAll(events)
+		c2.ApplyAll(events)
+		victim := c1.ServerNames()[rng.Intn(len(c1.ServerNames()))]
+		for _, c := range []*Cluster{c1, c2} {
+			if err := c.Inject(trace.Fault{Server: victim, Kind: trace.Crash}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		direct, err := c1.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaMsg, err := c2.RecoverViaProtocol(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.TopState != viaMsg.TopState {
+			t.Fatalf("trial %d: direct ⊤=%d, protocol ⊤=%d", trial, direct.TopState, viaMsg.TopState)
+		}
+		if len(direct.Restored) != len(viaMsg.Restored) {
+			t.Fatalf("trial %d: restored %v vs %v", trial, direct.Restored, viaMsg.Restored)
+		}
+	}
+}
+
+func TestProtocolTimeoutValidation(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if _, err := c.RecoverViaProtocol(0); err == nil {
+		t.Fatal("zero timeout accepted")
+	}
+}
+
+func TestProtocolBeyondBound(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.ApplyAll([]string{"0"})
+	c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash})
+	c.Inject(trace.Fault{Server: "1-Counter", Kind: trace.Crash})
+	if _, err := c.RecoverViaProtocol(time.Second); err == nil {
+		t.Fatal("over-budget protocol recovery succeeded")
+	}
+}

@@ -1,0 +1,322 @@
+// Package sim simulates the paper's distributed system model (Section 2):
+// independent servers, each running one DFSM, all fed the same totally
+// ordered event stream by the environment, with no communication during
+// fault-free runs. Faults (crash or Byzantine) strike between events; the
+// environment then pauses, the recovery coordinator collects the surviving
+// states and runs Algorithm 3, and execution resumes.
+//
+// The cluster runs one goroutine per server when applying event batches —
+// servers are independent, so the broadcast fan-out parallelizes cleanly.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// server is one simulated process.
+type server struct {
+	name    string
+	machine *dfsm.Machine
+	// fusionIdx is -1 for originals, else the index into Cluster.fusion.
+	fusionIdx int
+	origIdx   int // -1 for fusion servers
+
+	state   int
+	crashed bool
+	lying   bool
+}
+
+// Cluster is the simulated deployment: the original machines plus the
+// fusion backups generated for the requested fault tolerance.
+type Cluster struct {
+	mu sync.Mutex
+
+	sys    *core.System
+	fusion []partition.P
+	fms    []*dfsm.Machine
+
+	servers []*server
+	// oracle tracks the true state every server would have without faults;
+	// it is the simulation's ground truth for verification, not visible to
+	// recovery.
+	oracle []int
+
+	step    int
+	rng     *rand.Rand
+	f       int
+	metrics Metrics
+}
+
+// NewCluster builds a cluster over the given original machines that
+// tolerates f crash faults (or ⌊f/2⌋ Byzantine faults): it computes the
+// system, generates the minimal fusion with Algorithm 2, and starts every
+// server in its initial state.
+func NewCluster(originals []*dfsm.Machine, f int, seed int64) (*Cluster, error) {
+	sys, err := core.NewSystem(originals)
+	if err != nil {
+		return nil, err
+	}
+	F, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+	if err != nil {
+		return nil, err
+	}
+	fms, err := sys.FusionMachines(F, "F")
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		sys:    sys,
+		fusion: F,
+		fms:    fms,
+		rng:    rand.New(rand.NewSource(seed)),
+		f:      f,
+	}
+	for i, m := range sys.Machines {
+		c.servers = append(c.servers, &server{
+			name: m.Name(), machine: m, fusionIdx: -1, origIdx: i, state: m.Initial(),
+		})
+	}
+	for i, m := range fms {
+		c.servers = append(c.servers, &server{
+			name: m.Name(), machine: m, fusionIdx: i, origIdx: -1, state: m.Initial(),
+		})
+	}
+	c.oracle = make([]int, len(c.servers))
+	for i, s := range c.servers {
+		c.oracle[i] = s.state
+	}
+	return c, nil
+}
+
+// System exposes the underlying fusion system.
+func (c *Cluster) System() *core.System { return c.sys }
+
+// Fusion returns the generated fusion partitions.
+func (c *Cluster) Fusion() []partition.P { return append([]partition.P(nil), c.fusion...) }
+
+// FusionMachines returns the materialized fusion machines.
+func (c *Cluster) FusionMachines() []*dfsm.Machine { return append([]*dfsm.Machine(nil), c.fms...) }
+
+// ServerNames lists all server names, originals first.
+func (c *Cluster) ServerNames() []string {
+	out := make([]string, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Step returns the number of events applied so far.
+func (c *Cluster) Step() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.step
+}
+
+// Apply broadcasts one event to every live server (crashed servers miss
+// it, exactly as a failed process would; the paper recovers their state
+// from the survivors, so the stream need not be replayed to them).
+func (c *Cluster) Apply(event string) {
+	c.ApplyAll([]string{event})
+}
+
+// ApplyAll broadcasts a batch of events, fanning out across servers with
+// one goroutine per server. The oracle advances in lockstep.
+func (c *Cluster) ApplyAll(events []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var wg sync.WaitGroup
+	for i, s := range c.servers {
+		wg.Add(1)
+		go func(i int, s *server) {
+			defer wg.Done()
+			for _, ev := range events {
+				if !s.crashed {
+					s.state = s.machine.Next(s.state, ev)
+				}
+			}
+			// Oracle: replay from the oracle state regardless of faults.
+			st := c.oracle[i]
+			for _, ev := range events {
+				st = s.machine.Next(st, ev)
+			}
+			c.oracle[i] = st
+		}(i, s)
+	}
+	wg.Wait()
+	c.step += len(events)
+	c.metrics.EventsApplied.Add(int64(len(events)))
+}
+
+// Inject applies a fault to the named server. Crash loses the state;
+// Byzantine moves the server to a uniformly random *wrong* state (or leaves
+// a one-state machine alone, which cannot lie).
+func (c *Cluster) Inject(f trace.Fault) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.find(f.Server)
+	if s == nil {
+		return fmt.Errorf("sim: no server %q", f.Server)
+	}
+	c.metrics.FaultsInjected.Add(1)
+	switch f.Kind {
+	case trace.Crash:
+		s.crashed = true
+		s.state = -1
+	case trace.Byzantine:
+		n := s.machine.NumStates()
+		if n < 2 {
+			return nil
+		}
+		truth := s.state
+		s.state = (truth + 1 + c.rng.Intn(n-1)) % n
+		s.lying = true
+	default:
+		return fmt.Errorf("sim: unknown fault kind %v", f.Kind)
+	}
+	return nil
+}
+
+func (c *Cluster) find(name string) *server {
+	for _, s := range c.servers {
+		if s.name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// RecoveryOutcome summarizes one recovery round.
+type RecoveryOutcome struct {
+	// TopState is the recovered ⊤-state.
+	TopState int
+	// Restored lists servers whose state was repaired (crashed or caught
+	// lying), sorted by name.
+	Restored []string
+	// Liars is Algorithm 3's liar identification output.
+	Liars []string
+}
+
+// Recover runs the paper's recovery protocol: collect reports from all
+// non-crashed servers (liars report their corrupted state), vote with
+// Algorithm 3, then restore every server — crashed, lying or healthy — to
+// the state implied by the recovered ⊤-state. Returns an error when the
+// faults exceed what the fusion tolerates (ambiguous vote).
+func (c *Cluster) Recover() (*RecoveryOutcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var reports []core.Report
+	for _, s := range c.servers {
+		if s.crashed {
+			continue
+		}
+		var r core.Report
+		var err error
+		if s.fusionIdx >= 0 {
+			r, err = core.ReportForPartition(s.name, c.fusion[s.fusionIdx], s.state)
+		} else {
+			r, err = c.sys.ReportFor(s.origIdx, s.state)
+		}
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+	}
+	res, err := core.Recover(c.sys.N(), reports)
+	if err != nil {
+		c.metrics.FailedRecoveries.Add(1)
+		return nil, err
+	}
+	c.metrics.Recoveries.Add(1)
+	c.metrics.LiarsCaught.Add(int64(len(res.Liars)))
+
+	out := &RecoveryOutcome{TopState: res.TopState, Liars: res.Liars}
+	tuple := c.sys.Product.Proj[res.TopState]
+	for _, s := range c.servers {
+		var want int
+		if s.fusionIdx >= 0 {
+			want = c.fusion[s.fusionIdx].BlockOf(res.TopState)
+		} else {
+			want = tuple[s.origIdx]
+		}
+		if s.crashed || s.state != want {
+			out.Restored = append(out.Restored, s.name)
+		}
+		s.state = want
+		s.crashed = false
+		s.lying = false
+	}
+	sort.Strings(out.Restored)
+	c.metrics.ServersRestored.Add(int64(len(out.Restored)))
+	return out, nil
+}
+
+// Verify compares every server's state against the fault-free oracle; it
+// returns the names of divergent servers (empty = consistent).
+func (c *Cluster) Verify() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var bad []string
+	for i, s := range c.servers {
+		if s.crashed || s.state != c.oracle[i] {
+			bad = append(bad, s.name)
+		}
+	}
+	return bad
+}
+
+// States returns the current visible state of each server (-1 when
+// crashed), in ServerNames order. For inspection and the CLI.
+func (c *Cluster) States() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = s.state
+	}
+	return out
+}
+
+// RunResult is the outcome of a full scripted run.
+type RunResult struct {
+	Events     int
+	Injected   []trace.Fault
+	Outcome    *RecoveryOutcome
+	Consistent bool
+}
+
+// Run drives a complete experiment: apply the stream until the schedule's
+// cut, inject the faults, recover, apply the rest of the stream, and verify
+// against the oracle.
+func (c *Cluster) Run(events []string, sched trace.Schedule) (*RunResult, error) {
+	cut := sched.AtStep
+	if cut > len(events) {
+		cut = len(events)
+	}
+	c.ApplyAll(events[:cut])
+	for _, f := range sched.Faults {
+		if err := c.Inject(f); err != nil {
+			return nil, err
+		}
+	}
+	out, err := c.Recover()
+	if err != nil {
+		return nil, err
+	}
+	c.ApplyAll(events[cut:])
+	return &RunResult{
+		Events:     len(events),
+		Injected:   sched.Faults,
+		Outcome:    out,
+		Consistent: len(c.Verify()) == 0,
+	}, nil
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+	"repro/internal/trace"
+)
+
+func newTestCluster(t *testing.T, f int) *Cluster {
+	t.Helper()
+	c, err := NewCluster([]*dfsm.Machine{
+		machines.ZeroCounter(), machines.OneCounter(),
+	}, f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterSetup(t *testing.T) {
+	c := newTestCluster(t, 1)
+	names := c.ServerNames()
+	if len(names) != 3 { // 2 originals + 1 fusion
+		t.Fatalf("servers = %v, want 3", names)
+	}
+	if len(c.Fusion()) != 1 || len(c.FusionMachines()) != 1 {
+		t.Fatal("fusion accessors inconsistent")
+	}
+	if got := c.Verify(); len(got) != 0 {
+		t.Fatalf("fresh cluster inconsistent: %v", got)
+	}
+}
+
+func TestApplyAdvancesAllServers(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.Apply("0")
+	c.Apply("1")
+	c.ApplyAll([]string{"0", "0"})
+	if c.Step() != 4 {
+		t.Fatalf("step = %d, want 4", c.Step())
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("divergent servers after fault-free run: %v", bad)
+	}
+	// 0-Counter saw three 0s -> state 0; 1-Counter saw one 1 -> state 1.
+	states := c.States()
+	if states[0] != 0 || states[1] != 1 {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.ApplyAll([]string{"0", "1", "1", "0", "0"})
+	if err := c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(out.Restored) != 1 || out.Restored[0] != "0-Counter" {
+		t.Fatalf("restored = %v, want [0-Counter]", out.Restored)
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("recovery left divergent servers: %v", bad)
+	}
+}
+
+func TestByzantineRecovery(t *testing.T) {
+	// f=2 fusion tolerates one Byzantine fault.
+	c := newTestCluster(t, 2)
+	c.ApplyAll([]string{"1", "0", "1"})
+	if err := c.Inject(trace.Fault{Server: "1-Counter", Kind: trace.Byzantine}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(out.Liars) != 1 || out.Liars[0] != "1-Counter" {
+		t.Fatalf("liars = %v, want [1-Counter]", out.Liars)
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("divergent after Byzantine recovery: %v", bad)
+	}
+}
+
+func TestRecoveryBeyondBoundFails(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.ApplyAll([]string{"0", "1"})
+	for _, s := range []string{"0-Counter", "1-Counter"} {
+		if err := c.Inject(trace.Fault{Server: s, Kind: trace.Crash}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Recover(); err == nil {
+		t.Fatal("recovery of 2 crashes with a 1-fault fusion succeeded")
+	}
+}
+
+func TestInjectUnknownServer(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if err := c.Inject(trace.Fault{Server: "nope", Kind: trace.Crash}); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+	if err := c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.FaultKind(99)}); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}
+
+func TestCrashedServerMissesEvents(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if err := c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	c.ApplyAll([]string{"0", "0"})
+	// Crashed server is at -1, oracle says 2; Recover must fix it.
+	if states := c.States(); states[0] != -1 {
+		t.Fatalf("crashed server has state %d", states[0])
+	}
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("divergent: %v", bad)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	c := newTestCluster(t, 2)
+	gen := trace.NewGenerator(3, c.System().Machines)
+	events := gen.Take(40)
+	sched := trace.Schedule{
+		AtStep: 17,
+		Faults: []trace.Fault{
+			{Server: "0-Counter", Kind: trace.Crash},
+			{Server: "F1", Kind: trace.Crash},
+		},
+	}
+	res, err := c.Run(events, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("end-to-end run left the cluster inconsistent")
+	}
+	if res.Events != 40 {
+		t.Fatalf("events = %d", res.Events)
+	}
+}
+
+// TestRunRandomizedMatrix sweeps random schedules within tolerance for both
+// fault kinds across several suites; recovery must always restore the
+// oracle state.
+func TestRunRandomizedMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	suites := [][]*dfsm.Machine{
+		{machines.ZeroCounter(), machines.OneCounter()},
+		{machines.EvenParity(), machines.OddParity(), machines.ToggleSwitch()},
+		{machines.Fig2A(), machines.Fig2B()},
+	}
+	for si, ms := range suites {
+		for trial := 0; trial < 8; trial++ {
+			f := 1 + rng.Intn(2)
+			c, err := NewCluster(ms, f, rng.Int63())
+			if err != nil {
+				t.Fatalf("suite %d: %v", si, err)
+			}
+			gen := trace.NewGenerator(rng.Int63(), ms)
+			events := gen.Take(10 + rng.Intn(40))
+
+			kind := trace.Crash
+			k := f
+			if f >= 2 && rng.Intn(2) == 0 {
+				kind = trace.Byzantine
+				k = f / 2
+			}
+			sched, err := trace.RandomSchedule(rng, c.ServerNames(), k, kind, len(events))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(events, sched)
+			if err != nil {
+				t.Fatalf("suite %d trial %d (%v): %v", si, trial, sched, err)
+			}
+			if !res.Consistent {
+				t.Fatalf("suite %d trial %d: inconsistent after recovery (sched %+v)", si, trial, sched)
+			}
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := trace.RandomSchedule(rng, []string{"a"}, 2, trace.Crash, 5); err == nil {
+		t.Error("overfull schedule accepted")
+	}
+	if _, err := trace.RandomSchedule(rng, []string{"a"}, 1, trace.Crash, 0); err == nil {
+		t.Error("zero-step schedule accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Package spec implements a small text format (".fsm") for describing
+// DFSMs, used by the CLIs so that users can feed their own machines to the
+// fusion generator without writing Go. The format is line-oriented:
+//
+//	# comment
+//	machine TrafficLight
+//	initial red
+//	strict            # optional: missing transitions are errors
+//	red   timer -> green
+//	green timer -> yellow
+//	yellow timer -> red
+//
+//	machine Pedestrian
+//	...
+//
+// Each "machine" block declares one DFSM; states and events are declared
+// implicitly by the transitions. Without "strict", missing transitions
+// default to self-loops (events outside a state's interest are ignored,
+// the convention of the paper's system model).
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dfsm"
+)
+
+// Parse reads every machine in the stream.
+func Parse(r io.Reader) ([]*dfsm.Machine, error) {
+	var out []*dfsm.Machine
+	var b *dfsm.Builder
+	strict := false
+	flush := func() error {
+		if b == nil {
+			return nil
+		}
+		m, err := b.Build(!strict)
+		if err != nil {
+			return err
+		}
+		out = append(out, m)
+		b = nil
+		strict = false
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "machine":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("spec: line %d: want 'machine NAME'", lineNo)
+			}
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("spec: before line %d: %w", lineNo, err)
+			}
+			b = dfsm.NewBuilder(fields[1])
+		case "initial":
+			if b == nil {
+				return nil, fmt.Errorf("spec: line %d: 'initial' outside a machine block", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("spec: line %d: want 'initial STATE'", lineNo)
+			}
+			b.Initial(fields[1])
+		case "strict":
+			if b == nil {
+				return nil, fmt.Errorf("spec: line %d: 'strict' outside a machine block", lineNo)
+			}
+			strict = true
+		default:
+			// Transition: FROM EVENT -> TO
+			if b == nil {
+				return nil, fmt.Errorf("spec: line %d: transition outside a machine block", lineNo)
+			}
+			if len(fields) != 4 || fields[2] != "->" {
+				return nil, fmt.Errorf("spec: line %d: want 'FROM EVENT -> TO', got %q", lineNo, strings.TrimSpace(line))
+			}
+			b.Transition(fields[0], fields[1], fields[3])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spec: read: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("spec: no machines in input")
+	}
+	return out, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) ([]*dfsm.Machine, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Format renders machines in the spec format; Parse(Format(ms)) is
+// machine-equivalent to ms (self-loops are emitted explicitly, so the
+// round trip is exact even under "strict").
+func Format(ms []*dfsm.Machine) string {
+	var b strings.Builder
+	for i, m := range ms {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "machine %s\n", m.Name())
+		fmt.Fprintf(&b, "initial %s\n", m.StateName(m.Initial()))
+		b.WriteString("strict\n")
+		for s := 0; s < m.NumStates(); s++ {
+			for _, ev := range m.Events() {
+				fmt.Fprintf(&b, "%s %s -> %s\n", m.StateName(s), ev, m.StateName(m.Next(s, ev)))
+			}
+		}
+	}
+	return b.String()
+}

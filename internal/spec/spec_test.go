@@ -1,0 +1,133 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+)
+
+const trafficLight = `
+# three-phase light
+machine Light
+initial red
+red    timer -> green
+green  timer -> yellow
+yellow timer -> red
+`
+
+func TestParseBasic(t *testing.T) {
+	ms, err := ParseString(trafficLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("parsed %d machines", len(ms))
+	}
+	m := ms[0]
+	if m.Name() != "Light" || m.NumStates() != 3 || m.NumEvents() != 1 {
+		t.Fatalf("parsed %v", m)
+	}
+	if m.StateName(m.Run([]string{"timer", "timer"})) != "yellow" {
+		t.Error("transitions wrong")
+	}
+}
+
+func TestParseMultipleMachines(t *testing.T) {
+	src := trafficLight + `
+machine Walk
+initial dont
+dont go -> walk
+walk go -> dont
+`
+	ms, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[1].Name() != "Walk" {
+		t.Fatalf("parsed %v", ms)
+	}
+}
+
+func TestParseDefaultSelfLoop(t *testing.T) {
+	ms, err := ParseString(`
+machine M
+initial a
+a go -> b
+b back -> a
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ms[0]
+	// 'b' has no 'go' transition: defaults to self-loop.
+	if m.Next(m.StateIndex("b"), "go") != m.StateIndex("b") {
+		t.Error("missing transition did not self-loop")
+	}
+}
+
+func TestParseStrict(t *testing.T) {
+	if _, err := ParseString(`
+machine M
+initial a
+strict
+a go -> b
+`); err == nil {
+		t.Fatal("strict machine with missing transitions accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                          // no machines
+		`initial a`,                 // directive outside block
+		`strict`,                    // directive outside block
+		`a go -> b`,                 // transition outside block
+		"machine",                   // missing name
+		"machine M\ninitial",        // missing initial state
+		"machine M\na go b",         // malformed arrow
+		"machine M\na go -> b -> c", // too many fields
+	}
+	for i, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("case %d: bad spec accepted: %q", i, src)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	ms, err := ParseString("machine M # trailing\n# full line\n\ninitial a\na e -> a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].NumStates() != 1 {
+		t.Error("comments mishandled")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig := []*dfsm.Machine{machines.MESI(), machines.TCP(), machines.Fig2A()}
+	ms, err := ParseString(Format(orig))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(ms) != len(orig) {
+		t.Fatalf("round trip lost machines: %d vs %d", len(ms), len(orig))
+	}
+	for i := range orig {
+		if ms[i].Name() != orig[i].Name() {
+			t.Errorf("machine %d renamed to %s", i, ms[i].Name())
+		}
+		if !dfsm.Isomorphic(ms[i], orig[i]) {
+			t.Errorf("machine %s changed behaviour in round trip", orig[i].Name())
+		}
+	}
+}
+
+func TestFormatIsStrict(t *testing.T) {
+	out := Format([]*dfsm.Machine{machines.MESI()})
+	if !strings.Contains(out, "strict") {
+		t.Error("Format must emit strict specs")
+	}
+}

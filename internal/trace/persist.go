@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Event streams persist as plain text, one event per line, with '#'
+// comments — the natural interchange format next to the .fsm machine
+// specs. Used by faultsim to replay recorded workloads deterministically.
+
+// Save writes events one per line.
+func Save(w io.Writer, events []string) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if strings.ContainsAny(e, " \t\n#") || e == "" {
+			return fmt.Errorf("trace: event %q cannot be saved (whitespace, '#' or empty)", e)
+		}
+		if _, err := bw.WriteString(e); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a stream saved by Save; blank lines and '#' comments are
+// skipped.
+func Load(r io.Reader) ([]string, error) {
+	var events []string
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if strings.ContainsAny(text, " \t") {
+			return nil, fmt.Errorf("trace: line %d: one event per line, got %q", line, text)
+		}
+		events = append(events, text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return events, nil
+}

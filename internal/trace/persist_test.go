@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	events := []string{"0", "1", "PrRd", "recv_syn", "e42"}
+	var b strings.Builder
+	if err := Save(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip: %v vs %v", got, events)
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %q vs %q", i, got[i], events[i])
+		}
+	}
+}
+
+func TestSaveRejectsUnsafeEvents(t *testing.T) {
+	for _, bad := range []string{"two words", "tab\tchar", "", "has#hash"} {
+		var b strings.Builder
+		if err := Save(&b, []string{bad}); err == nil {
+			t.Errorf("event %q saved", bad)
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlank(t *testing.T) {
+	src := "# header\n\n0\n1 # trailing\n\n"
+	got, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "0" || got[1] != "1" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLoadRejectsMultiEventLines(t *testing.T) {
+	if _, err := Load(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("two events on one line accepted")
+	}
+}
+
+func TestLoadEmpty(t *testing.T) {
+	got, err := Load(strings.NewReader("# nothing\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

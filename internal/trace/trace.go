@@ -1,0 +1,142 @@
+// Package trace generates the event workloads that drive the experiments:
+// seeded uniform streams over a suite's union alphabet, biased streams, and
+// adversarial fault schedules. The paper's model has the environment send a
+// totally ordered request stream to all servers; a Trace is that stream.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dfsm"
+)
+
+// Generator produces deterministic event streams for a fixed alphabet.
+type Generator struct {
+	alphabet []string
+	rng      *rand.Rand
+	weights  []float64 // cumulative, same length as alphabet; nil = uniform
+}
+
+// NewGenerator returns a seeded generator over the union alphabet of the
+// given machines.
+func NewGenerator(seed int64, ms []*dfsm.Machine) *Generator {
+	return &Generator{
+		alphabet: dfsm.UnionAlphabet(ms),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NewGeneratorAlphabet returns a seeded generator over an explicit alphabet.
+func NewGeneratorAlphabet(seed int64, alphabet []string) *Generator {
+	return &Generator{
+		alphabet: append([]string(nil), alphabet...),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Alphabet returns the generator's alphabet.
+func (g *Generator) Alphabet() []string { return append([]string(nil), g.alphabet...) }
+
+// Bias sets per-event weights (must match the alphabet length; negative
+// weights are invalid). Passing nil restores the uniform distribution.
+func (g *Generator) Bias(weights []float64) error {
+	if weights == nil {
+		g.weights = nil
+		return nil
+	}
+	if len(weights) != len(g.alphabet) {
+		return fmt.Errorf("trace: %d weights for %d events", len(weights), len(g.alphabet))
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("trace: negative weight %f for event %s", w, g.alphabet[i])
+		}
+		total += w
+		cum[i] = total
+	}
+	if total == 0 {
+		return fmt.Errorf("trace: all weights zero")
+	}
+	g.weights = cum
+	return nil
+}
+
+// Next returns the next event.
+func (g *Generator) Next() string {
+	if g.weights == nil {
+		return g.alphabet[g.rng.Intn(len(g.alphabet))]
+	}
+	x := g.rng.Float64() * g.weights[len(g.weights)-1]
+	for i, c := range g.weights {
+		if x < c {
+			return g.alphabet[i]
+		}
+	}
+	return g.alphabet[len(g.alphabet)-1]
+}
+
+// Take returns the next n events.
+func (g *Generator) Take(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// FaultKind distinguishes the paper's two failure modes.
+type FaultKind int
+
+const (
+	// Crash loses the machine's execution state (fail-stop, Section 2).
+	Crash FaultKind = iota
+	// Byzantine leaves the machine running but in an arbitrary wrong state.
+	Byzantine
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Byzantine:
+		return "byzantine"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one injected failure: the named server fails after the event
+// stream has been applied (the paper stops the client stream during
+// recovery, so all faults in a schedule strike at the same cut).
+type Fault struct {
+	Server string
+	Kind   FaultKind
+}
+
+// Schedule is a fault schedule: the step index at which the environment
+// pauses, and the faults striking at that point.
+type Schedule struct {
+	AtStep int
+	Faults []Fault
+}
+
+// RandomSchedule picks k distinct servers to fail at a random step within
+// [1, maxStep], all with the given kind.
+func RandomSchedule(rng *rand.Rand, servers []string, k int, kind FaultKind, maxStep int) (Schedule, error) {
+	if k > len(servers) {
+		return Schedule{}, fmt.Errorf("trace: cannot fail %d of %d servers", k, len(servers))
+	}
+	if maxStep < 1 {
+		return Schedule{}, fmt.Errorf("trace: maxStep %d < 1", maxStep)
+	}
+	perm := rng.Perm(len(servers))
+	s := Schedule{AtStep: 1 + rng.Intn(maxStep)}
+	for i := 0; i < k; i++ {
+		s.Faults = append(s.Faults, Fault{Server: servers[perm[i]], Kind: kind})
+	}
+	return s, nil
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	ms := []*dfsm.Machine{machines.ZeroCounter(), machines.OneCounter()}
+	a := NewGenerator(42, ms).Take(100)
+	b := NewGenerator(42, ms).Take(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorAlphabet(t *testing.T) {
+	g := NewGeneratorAlphabet(1, []string{"x", "y", "z"})
+	if got := g.Alphabet(); len(got) != 3 {
+		t.Fatalf("alphabet %v", got)
+	}
+	seen := map[string]bool{}
+	for _, e := range g.Take(300) {
+		seen[e] = true
+	}
+	for _, want := range []string{"x", "y", "z"} {
+		if !seen[want] {
+			t.Errorf("event %q never generated in 300 draws", want)
+		}
+	}
+}
+
+func TestBiasSkewsDistribution(t *testing.T) {
+	g := NewGeneratorAlphabet(7, []string{"rare", "common"})
+	if err := g.Bias([]float64{1, 99}); err != nil {
+		t.Fatal(err)
+	}
+	common := 0
+	const n = 2000
+	for _, e := range g.Take(n) {
+		if e == "common" {
+			common++
+		}
+	}
+	if ratio := float64(common) / n; math.Abs(ratio-0.99) > 0.02 {
+		t.Errorf("common ratio %.3f, want ≈0.99", ratio)
+	}
+}
+
+func TestBiasValidation(t *testing.T) {
+	g := NewGeneratorAlphabet(1, []string{"a", "b"})
+	if err := g.Bias([]float64{1}); err == nil {
+		t.Error("short weights accepted")
+	}
+	if err := g.Bias([]float64{-1, 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := g.Bias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if err := g.Bias(nil); err != nil {
+		t.Errorf("resetting bias failed: %v", err)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if Crash.String() != "crash" || Byzantine.String() != "byzantine" {
+		t.Error("FaultKind strings wrong")
+	}
+	if FaultKind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestRandomScheduleDistinctServers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	servers := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 50; trial++ {
+		s, err := RandomSchedule(rng, servers, 3, Crash, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.AtStep < 1 || s.AtStep > 10 {
+			t.Fatalf("AtStep %d out of range", s.AtStep)
+		}
+		seen := map[string]bool{}
+		for _, f := range s.Faults {
+			if seen[f.Server] {
+				t.Fatalf("server %s failed twice in one schedule", f.Server)
+			}
+			seen[f.Server] = true
+		}
+	}
+}
