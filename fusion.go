@@ -17,6 +17,20 @@
 //
 // The facade re-exports the stable surface of the internal packages; see
 // the package documentation of internal/core for the theory mapping.
+//
+// # Performance
+//
+// The Algorithm 2 hot path is allocation-light end to end: the fault graph
+// keeps a weight histogram so Dmin is O(1) per outer iteration; partitions
+// carry a precomputed 64-bit hash so candidate dedup never materializes
+// string keys; closure computations recycle union-find scratch through a
+// sync.Pool and distribute work over an atomic task cursor; and the
+// reachable-cross-product BFS dedups tuples under a mixed-radix uint64
+// encoding instead of formatted strings. On the paper's Table 1 suites
+// this is a 47–73% wall-clock reduction and an ~90% allocation reduction
+// versus the straightforward implementation (see benchmarks/README.md for
+// the measured before/after and the baseline-regression workflow under
+// scripts/bench.sh).
 package fusion
 
 import (

@@ -1,0 +1,182 @@
+package core_test
+
+// Property tests pinning the optimization equivalences of the
+// allocation-light hot path: the guarded merge-closure evaluation, the
+// incremental fault-graph bookkeeping, and the hashed candidate dedup must
+// all be observationally identical to their straightforward counterparts.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/partition"
+)
+
+// randomEquivSystem builds a small random multi-machine system over a
+// shared alphabet, retrying until the top is within the size budget.
+func randomEquivSystem(t *testing.T, rng *rand.Rand, maxTop int) *core.System {
+	t.Helper()
+	events := []string{"a", "b"}
+	for {
+		n := 2 + rng.Intn(2)
+		ms := make([]*dfsm.Machine, n)
+		for i := range ms {
+			ms[i] = dfsm.RandomMachine(rng, fmt.Sprintf("M%d", i), 2+rng.Intn(3), events)
+		}
+		sys, err := core.NewSystem(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.N() <= maxTop {
+			return sys
+		}
+	}
+}
+
+// TestGuardedMergeClosuresEquivalence checks, along full Algorithm 2
+// descents of random systems, that MergeClosuresGuarded (abort-early
+// closure with the forbidden-partner index) returns exactly the candidates
+// of MergeClosures filtered by Covers — same partitions, same order.
+func TestGuardedMergeClosuresEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		sys := randomEquivSystem(t, rng, 48)
+		g := core.BuildFaultGraph(sys.N(), sys.Parts)
+		required := g.WeakestEdges()
+		forbidden := make([][2]int, len(required))
+		for i, e := range required {
+			forbidden[i] = [2]int{e.I, e.J}
+		}
+		covers := func(p partition.P) bool { return core.Covers(p, required) }
+
+		m := partition.Singletons(sys.N())
+		for m.NumBlocks() > 1 {
+			guarded := partition.MergeClosuresGuarded(sys.Top, m, forbidden)
+			plain := partition.MergeClosures(sys.Top, m, covers)
+			if len(guarded) != len(plain) {
+				t.Fatalf("trial %d: guarded returned %d candidates, unguarded %d", trial, len(guarded), len(plain))
+			}
+			for i := range guarded {
+				if !guarded[i].Equal(plain[i]) {
+					t.Fatalf("trial %d: candidate %d differs: guarded %s vs unguarded %s",
+						trial, i, guarded[i], plain[i])
+				}
+			}
+			if len(guarded) == 0 {
+				break
+			}
+			m = guarded[0]
+			for _, c := range guarded[1:] {
+				if c.Less(m) {
+					m = c
+				}
+			}
+		}
+	}
+}
+
+// TestFaultGraphIncrementalEquivalence checks that the histogram-backed
+// incremental Add/Remove bookkeeping (cached dmin, sized WeakestEdges)
+// agrees with a from-scratch BuildFaultGraph after every mutation.
+func TestFaultGraphIncrementalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(24)
+		var parts []partition.P
+		for i := 0; i < 8; i++ {
+			switch i {
+			case 0:
+				parts = append(parts, partition.Single(n)) // exercises the ⊥ early-skip
+			case 1:
+				parts = append(parts, partition.Singletons(n))
+			default:
+				assign := make([]int, n)
+				blocks := 1 + rng.Intn(n)
+				for j := range assign {
+					assign[j] = rng.Intn(blocks)
+				}
+				parts = append(parts, partition.FromAssignment(assign))
+			}
+		}
+
+		g := core.NewFaultGraph(n)
+		for i, p := range parts {
+			g.Add(p)
+			assertGraphEqual(t, trial, fmt.Sprintf("after add %d", i), g, core.BuildFaultGraph(n, parts[:i+1]))
+		}
+		// Remove in a shuffled order; compare with a rebuild of the rest.
+		order := rng.Perm(len(parts))
+		remaining := append([]partition.P(nil), parts...)
+		for _, idx := range order {
+			victim := parts[idx]
+			g.Remove(victim)
+			for j, q := range remaining {
+				if q.Equal(victim) {
+					remaining = append(remaining[:j], remaining[j+1:]...)
+					break
+				}
+			}
+			assertGraphEqual(t, trial, fmt.Sprintf("after remove %d", idx), g, core.BuildFaultGraph(n, remaining))
+		}
+	}
+}
+
+func assertGraphEqual(t *testing.T, trial int, step string, got, want *core.FaultGraph) {
+	t.Helper()
+	if got.Dmin() != want.Dmin() {
+		t.Fatalf("trial %d %s: incremental dmin %d, rebuilt dmin %d", trial, step, got.Dmin(), want.Dmin())
+	}
+	gw, ww := got.WeakestEdges(), want.WeakestEdges()
+	if len(gw) != len(ww) {
+		t.Fatalf("trial %d %s: incremental %d weakest edges, rebuilt %d", trial, step, len(gw), len(ww))
+	}
+	for i := range gw {
+		if gw[i] != ww[i] {
+			t.Fatalf("trial %d %s: weakest edge %d: %v vs %v", trial, step, i, gw[i], ww[i])
+		}
+	}
+	for i := 0; i < got.N(); i++ {
+		for j := i + 1; j < got.N(); j++ {
+			if got.Weight(i, j) != want.Weight(i, j) {
+				t.Fatalf("trial %d %s: weight(%d,%d) = %d, rebuilt %d",
+					trial, step, i, j, got.Weight(i, j), want.Weight(i, j))
+			}
+		}
+	}
+}
+
+// TestGenerateFusionAblationModes pins that all optimization toggles — the
+// incremental fault graph vs full recompute, and the guarded vs unguarded
+// closure — produce identical fusions on random systems.
+func TestGenerateFusionAblationModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		sys := randomEquivSystem(t, rng, 40)
+		f := 1 + rng.Intn(3)
+		base, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []core.GenerateOptions{
+			{Recompute: true},
+			{NoGuardedClosure: true},
+			{Recompute: true, NoGuardedClosure: true},
+		} {
+			got, err := core.GenerateFusion(sys, f, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(base) {
+				t.Fatalf("trial %d opts %+v: %d fusions vs %d", trial, opts, len(got), len(base))
+			}
+			for i := range got {
+				if !got[i].Equal(base[i]) {
+					t.Fatalf("trial %d opts %+v: fusion %d differs: %s vs %s", trial, opts, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}

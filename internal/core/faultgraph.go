@@ -14,10 +14,14 @@ import (
 //
 // The graph supports incremental machine addition (Add), which is what
 // makes Algorithm 2's outer loop cheap: adding one machine raises each edge
-// weight by at most one (the observation behind Theorem 3).
+// weight by at most one (the observation behind Theorem 3). A weight
+// histogram and a cached minimum are maintained inside Add/Remove, so
+// Dmin() is O(1) instead of an O(N²) rescan per call.
 type FaultGraph struct {
-	n int
-	w []int // w[index(i,j)] for i<j
+	n    int
+	w    []int // w[index(i,j)] for i<j
+	hist []int // hist[v] = number of edges of weight v
+	dmin int   // cached min edge weight; meaningless when the graph has no edges
 }
 
 // NewFaultGraph returns the empty fault graph (all weights zero) over n
@@ -26,7 +30,8 @@ func NewFaultGraph(n int) *FaultGraph {
 	if n < 1 {
 		panic(fmt.Sprintf("core: fault graph over %d states", n))
 	}
-	return &FaultGraph{n: n, w: make([]int, n*(n-1)/2)}
+	edges := n * (n - 1) / 2
+	return &FaultGraph{n: n, w: make([]int, edges), hist: []int{edges}, dmin: 0}
 }
 
 // BuildFaultGraph constructs G over n states for the machine set given as
@@ -56,30 +61,61 @@ func (g *FaultGraph) Add(p partition.P) {
 	if p.N() != g.n {
 		panic(fmt.Sprintf("core: adding partition over %d elements to fault graph over %d states", p.N(), g.n))
 	}
+	if p.NumBlocks() <= 1 {
+		return // ⊥ separates nothing: no edge weight changes
+	}
+	blockOf := p.View()
 	k := 0
 	for i := 0; i < g.n; i++ {
-		bi := p.BlockOf(i)
-		for j := i + 1; j < g.n; j++ {
-			if bi != p.BlockOf(j) {
-				g.w[k]++
+		bi := blockOf[i]
+		row := blockOf[i+1:]
+		for _, bj := range row {
+			if bi != bj {
+				old := g.w[k]
+				g.w[k] = old + 1
+				g.hist[old]--
+				if old+1 >= len(g.hist) {
+					g.hist = append(g.hist, 0)
+				}
+				g.hist[old+1]++
 			}
 			k++
 		}
 	}
+	// Weights only grew, so dmin can only move up; advance it to the first
+	// populated histogram bucket.
+	for g.dmin < len(g.hist) && g.hist[g.dmin] == 0 {
+		g.dmin++
+	}
 }
 
 // Remove decrements the weight of every edge the machine covers; the
-// inverse of Add, used by what-if analyses (Theorem 3 experiments).
+// inverse of Add, used by what-if analyses (Theorem 3 experiments). The
+// machine must previously have been added: edge weights cannot go negative.
 func (g *FaultGraph) Remove(p partition.P) {
 	if p.N() != g.n {
 		panic(fmt.Sprintf("core: removing partition over %d elements from fault graph over %d states", p.N(), g.n))
 	}
+	if p.NumBlocks() <= 1 {
+		return
+	}
+	blockOf := p.View()
 	k := 0
 	for i := 0; i < g.n; i++ {
-		bi := p.BlockOf(i)
-		for j := i + 1; j < g.n; j++ {
-			if bi != p.BlockOf(j) {
-				g.w[k]--
+		bi := blockOf[i]
+		row := blockOf[i+1:]
+		for _, bj := range row {
+			if bi != bj {
+				old := g.w[k]
+				if old == 0 {
+					panic("core: FaultGraph.Remove of a machine that was never added (negative edge weight)")
+				}
+				g.w[k] = old - 1
+				g.hist[old]--
+				g.hist[old-1]++
+				if old-1 < g.dmin {
+					g.dmin = old - 1
+				}
 			}
 			k++
 		}
@@ -94,35 +130,37 @@ func (g *FaultGraph) Weight(i, j int) int {
 	return g.w[g.index(i, j)]
 }
 
-// Dmin returns the least edge weight (dmin of Section 3). A single-state
-// graph has no edges; by convention its dmin is returned as a very large
-// number, since a one-state system cannot lose information.
+// Dmin returns the least edge weight (dmin of Section 3) in O(1) from the
+// cached histogram minimum. A single-state graph has no edges; by
+// convention its dmin is returned as a very large number, since a one-state
+// system cannot lose information.
 func (g *FaultGraph) Dmin() int {
 	if len(g.w) == 0 {
 		return int(^uint(0) >> 1) // max int
 	}
-	min := g.w[0]
-	for _, v := range g.w[1:] {
-		if v < min {
-			min = v
-		}
-	}
-	return min
+	return g.dmin
 }
 
 // Edge is an unordered pair of ⊤-states (fault-graph nodes).
 type Edge struct{ I, J int }
 
 // WeakestEdges returns all edges of weight exactly Dmin(), the "weakest
-// edges" Algorithm 2 must cover with the next fusion machine.
+// edges" Algorithm 2 must cover with the next fusion machine. The result
+// is sized exactly from the weight histogram, so the scan allocates once.
 func (g *FaultGraph) WeakestEdges() []Edge {
-	d := g.Dmin()
-	var out []Edge
+	if len(g.w) == 0 {
+		return nil
+	}
+	d := g.dmin
+	out := make([]Edge, 0, g.hist[d])
 	k := 0
 	for i := 0; i < g.n; i++ {
 		for j := i + 1; j < g.n; j++ {
 			if g.w[k] == d {
 				out = append(out, Edge{i, j})
+				if len(out) == cap(out) {
+					return out
+				}
 			}
 			k++
 		}
@@ -150,8 +188,9 @@ func (g *FaultGraph) EdgesAtMost(x int) []Edge {
 // Covers reports whether partition p separates both endpoints of every edge
 // in the list — the acceptance test of Algorithm 2's inner loop.
 func Covers(p partition.P, edges []Edge) bool {
+	blockOf := p.View()
 	for _, e := range edges {
-		if !p.Separates(e.I, e.J) {
+		if blockOf[e.I] == blockOf[e.J] {
 			return false
 		}
 	}
@@ -160,7 +199,12 @@ func Covers(p partition.P, edges []Edge) bool {
 
 // Clone returns a deep copy of the graph.
 func (g *FaultGraph) Clone() *FaultGraph {
-	return &FaultGraph{n: g.n, w: append([]int(nil), g.w...)}
+	return &FaultGraph{
+		n:    g.n,
+		w:    append([]int(nil), g.w...),
+		hist: append([]int(nil), g.hist...),
+		dmin: g.dmin,
+	}
 }
 
 // String renders the weight matrix; for small graphs only (Fig. 4 style).

@@ -103,13 +103,13 @@ func qualifyingCandidates(s *System, m partition.P, required []Edge, opts Genera
 
 // pickCandidate chooses deterministically among acceptable lower-cover
 // elements: fewest blocks first (descend towards small machines fast), then
-// lexicographically least normalized key. Any choice is correct (Theorem 5
-// holds for every qualifying descent); this one makes runs reproducible.
+// lexicographically least normalized vector (partition.Less). Any choice is
+// correct (Theorem 5 holds for every qualifying descent); this one makes
+// runs reproducible without materializing a string key per comparison.
 func pickCandidate(cands []partition.P) partition.P {
 	best := cands[0]
 	for _, c := range cands[1:] {
-		if c.NumBlocks() < best.NumBlocks() ||
-			(c.NumBlocks() == best.NumBlocks() && c.Key() < best.Key()) {
+		if c.Less(best) {
 			best = c
 		}
 	}
@@ -167,7 +167,7 @@ func ExhaustiveMinimalFusions(s *System, maxNodes int) ([]partition.P, error) {
 	if best == nil {
 		return nil, fmt.Errorf("core: no closed partition covers the weakest edges (impossible: ⊤ does)")
 	}
-	sort.Slice(best, func(i, j int) bool { return best[i].Key() < best[j].Key() })
+	sort.Slice(best, func(i, j int) bool { return best[i].Less(best[j]) })
 	return best, nil
 }
 
@@ -178,7 +178,8 @@ func ExhaustiveMinimalFusions(s *System, maxNodes int) ([]partition.P, error) {
 // bounds the walk.
 func EnumerateClosedPartitions(s *System, maxNodes int) ([]partition.P, error) {
 	top := partition.Singletons(s.N())
-	seen := map[string]bool{top.Key(): true}
+	seen := partition.NewSet(64)
+	seen.Add(top)
 	queue := []partition.P{top}
 	var all []partition.P
 	for len(queue) > 0 {
@@ -192,8 +193,7 @@ func EnumerateClosedPartitions(s *System, maxNodes int) ([]partition.P, error) {
 		for i := 0; i < len(blocks); i++ {
 			for j := i + 1; j < len(blocks); j++ {
 				c := partition.CloseMergingStates(s.Top, p, blocks[i][0], blocks[j][0])
-				if !seen[c.Key()] {
-					seen[c.Key()] = true
+				if seen.Add(c) {
 					queue = append(queue, c)
 				}
 			}

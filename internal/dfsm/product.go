@@ -1,7 +1,9 @@
 package dfsm
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -26,6 +28,12 @@ const maxProductStates = 1 << 22
 
 // ReachableCrossProduct computes R(machines). It returns an error for an
 // empty input or if the reachable product exceeds maxProductStates states.
+//
+// Visited tuples are deduplicated under a mixed-radix uint64 encoding
+// (Σ sᵢ·strideᵢ with strideᵢ = Π|Mⱼ| for j<i) whenever Π|Mᵢ| fits in 64
+// bits, avoiding the per-tuple string formatting that used to dominate
+// NewSystem's allocation profile; wider products fall back to a packed
+// byte-string key.
 func ReachableCrossProduct(machines []*Machine) (*Product, error) {
 	if len(machines) == 0 {
 		return nil, fmt.Errorf("dfsm: cross product of no machines")
@@ -53,48 +61,39 @@ func ReachableCrossProduct(machines []*Machine) (*Product, error) {
 		}
 	}
 
-	type key string
-	encode := func(tuple []int) key {
-		var b strings.Builder
-		for i, s := range tuple {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			fmt.Fprintf(&b, "%d", s)
-		}
-		return key(b.String())
-	}
-
 	initial := make([]int, n)
 	for i, m := range machines {
 		initial[i] = m.Initial()
 	}
 
-	index := map[key]int{encode(initial): 0}
-	tuples := [][]int{append([]int(nil), initial...)}
-	var delta [][]int
-
-	for head := 0; head < len(tuples); head++ {
-		cur := tuples[head]
-		row := make([]int, len(alphabet))
-		for e := range alphabet {
-			succ := make([]int, n)
-			for i := range succ {
-				succ[i] = next[i][e][cur[i]]
+	var (
+		tuples [][]int
+		delta  [][]int
+		err    error
+	)
+	if strides, ok := mixedRadixStrides(machines); ok {
+		encode := func(tuple []int) uint64 {
+			var k uint64
+			for i, s := range tuple {
+				k += uint64(s) * strides[i]
 			}
-			k := encode(succ)
-			t, ok := index[k]
-			if !ok {
-				t = len(tuples)
-				if t >= maxProductStates {
-					return nil, fmt.Errorf("dfsm: reachable cross product exceeds %d states", maxProductStates)
-				}
-				index[k] = t
-				tuples = append(tuples, succ)
-			}
-			row[e] = t
+			return k
 		}
-		delta = append(delta, row)
+		tuples, delta, err = productBFS(n, len(alphabet), next, initial, encode)
+	} else {
+		// Component state counts are < maxProductStates < 2^32 each, so four
+		// little-endian bytes per component are collision-free.
+		buf := make([]byte, 4*n)
+		encode := func(tuple []int) string {
+			for i, s := range tuple {
+				binary.LittleEndian.PutUint32(buf[4*i:], uint32(s))
+			}
+			return string(buf)
+		}
+		tuples, delta, err = productBFS(n, len(alphabet), next, initial, encode)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	names := make([]string, len(tuples))
@@ -110,6 +109,55 @@ func ReachableCrossProduct(machines []*Machine) (*Product, error) {
 		return nil, err
 	}
 	return &Product{Top: top, Components: append([]*Machine(nil), machines...), Proj: tuples}, nil
+}
+
+// mixedRadixStrides returns per-component strides for the uint64 tuple
+// encoding, or ok=false when Π|Mi| overflows uint64.
+func mixedRadixStrides(machines []*Machine) ([]uint64, bool) {
+	strides := make([]uint64, len(machines))
+	prod := uint64(1)
+	for i, m := range machines {
+		strides[i] = prod
+		size := uint64(m.NumStates())
+		if size == 0 || prod > math.MaxUint64/size {
+			return nil, false
+		}
+		prod *= size
+	}
+	return strides, true
+}
+
+// productBFS runs the reachable-tuple BFS with a caller-chosen comparable
+// key encoding, returning the visited tuples in discovery order and the
+// product transition table.
+func productBFS[K comparable](n, numEvents int, next [][][]int, initial []int, encode func([]int) K) ([][]int, [][]int, error) {
+	index := map[K]int{encode(initial): 0}
+	tuples := [][]int{append([]int(nil), initial...)}
+	var delta [][]int
+	succ := make([]int, n) // scratch; copied only when a new tuple is found
+
+	for head := 0; head < len(tuples); head++ {
+		cur := tuples[head]
+		row := make([]int, numEvents)
+		for e := 0; e < numEvents; e++ {
+			for i := range succ {
+				succ[i] = next[i][e][cur[i]]
+			}
+			k := encode(succ)
+			t, ok := index[k]
+			if !ok {
+				t = len(tuples)
+				if t >= maxProductStates {
+					return nil, nil, fmt.Errorf("dfsm: reachable cross product exceeds %d states", maxProductStates)
+				}
+				index[k] = t
+				tuples = append(tuples, append([]int(nil), succ...))
+			}
+			row[e] = t
+		}
+		delta = append(delta, row)
+	}
+	return tuples, delta, nil
 }
 
 func productName(machines []*Machine) string {

@@ -36,7 +36,8 @@ func Build(top *dfsm.Machine, maxNodes int) (*Lattice, error) {
 	}
 	n := top.NumStates()
 	start := partition.Singletons(n)
-	seen := map[string]bool{start.Key(): true}
+	seen := partition.NewSet(64)
+	seen.Add(start)
 	queue := []partition.P{start}
 	var nodes []partition.P
 	for len(queue) > 0 {
@@ -50,8 +51,7 @@ func Build(top *dfsm.Machine, maxNodes int) (*Lattice, error) {
 		for i := 0; i < len(blocks); i++ {
 			for j := i + 1; j < len(blocks); j++ {
 				c := partition.CloseMergingStates(top, p, blocks[i][0], blocks[j][0])
-				if !seen[c.Key()] {
-					seen[c.Key()] = true
+				if seen.Add(c) {
 					queue = append(queue, c)
 				}
 			}
@@ -62,7 +62,7 @@ func Build(top *dfsm.Machine, maxNodes int) (*Lattice, error) {
 		if nodes[i].NumBlocks() != nodes[j].NumBlocks() {
 			return nodes[i].NumBlocks() > nodes[j].NumBlocks()
 		}
-		return nodes[i].Key() < nodes[j].Key()
+		return nodes[i].Less(nodes[j])
 	})
 
 	l := &Lattice{Top: top, Nodes: nodes, Below: make([][]int, len(nodes))}

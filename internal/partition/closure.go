@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dfsm"
 )
@@ -32,6 +33,58 @@ func IsClosed(top *dfsm.Machine, p P) bool {
 	return true
 }
 
+// statePair is a pending merge whose successor merges still need
+// propagating during closure.
+type statePair struct{ a, b int }
+
+// closureScratch bundles the per-closure working set — union-find forest,
+// propagation stack, first-of-block table, and the guarded-closure
+// violation index — so MergeClosures' thousands of closures per call can
+// recycle buffers through closurePool instead of allocating each time.
+type closureScratch struct {
+	uf    *UnionFind
+	stack []statePair
+	first []int // first state seen per block id
+	// Guarded-closure state: tags[r] lists the forbidden-pair endpoints
+	// currently in root r's set; adj[s] lists s's forbidden partners.
+	tags [][]int
+	adj  [][]int
+}
+
+var closurePool = sync.Pool{New: func() any { return &closureScratch{uf: &UnionFind{}} }}
+
+func getClosureScratch(n, blocks int) *closureScratch {
+	s := closurePool.Get().(*closureScratch)
+	s.uf.Reset(n)
+	s.stack = s.stack[:0]
+	if cap(s.first) >= blocks {
+		s.first = s.first[:blocks]
+	} else {
+		s.first = make([]int, blocks)
+	}
+	for i := range s.first {
+		s.first[i] = -1
+	}
+	return s
+}
+
+// resetGuarded sizes and clears the violation index for n states.
+func (s *closureScratch) resetGuarded(n int) {
+	if cap(s.tags) >= n {
+		s.tags = s.tags[:n]
+		s.adj = s.adj[:n]
+		for i := range s.tags {
+			s.tags[i] = s.tags[i][:0]
+			s.adj[i] = s.adj[i][:0]
+		}
+	} else {
+		s.tags = make([][]int, n)
+		s.adj = make([][]int, n)
+	}
+}
+
+func putClosureScratch(s *closureScratch) { closurePool.Put(s) }
+
 // Close computes the finest closed partition that is coarser than or equal
 // to p — i.e. the largest machine (in the paper's order, the maximal closed
 // partition ≤ is reversed: Close(p) is the closed partition with the most
@@ -42,23 +95,24 @@ func IsClosed(top *dfsm.Machine, p P) bool {
 // Complexity: O(N·|Σ|·α(N)) unions in the worst case.
 func Close(top *dfsm.Machine, p P) P {
 	n := top.NumStates()
-	uf := NewUnionFind(n)
-	// Pending pairs whose successor merges still need propagating.
-	type pair struct{ a, b int }
-	var stack []pair
+	sc := getClosureScratch(n, p.NumBlocks())
+	defer putClosureScratch(sc)
+	uf := sc.uf
+	stack := sc.stack
 
 	merge := func(a, b int) {
 		if uf.Union(a, b) {
-			stack = append(stack, pair{a, b})
+			stack = append(stack, statePair{a, b})
 		}
 	}
 
-	first := make(map[int]int, p.NumBlocks())
+	blockOf := p.View()
 	for s := 0; s < n; s++ {
-		if prev, ok := first[p.BlockOf(s)]; ok {
+		b := blockOf[s]
+		if prev := sc.first[b]; prev >= 0 {
 			merge(prev, s)
 		} else {
-			first[p.BlockOf(s)] = s
+			sc.first[b] = s
 		}
 	}
 	for len(stack) > 0 {
@@ -72,6 +126,7 @@ func Close(top *dfsm.Machine, p P) P {
 			}
 		}
 	}
+	sc.stack = stack // keep the grown stack for reuse
 	return uf.Partition()
 }
 
@@ -87,36 +142,66 @@ func CloseMergingStates(top *dfsm.Machine, p P, x, y int) P {
 // uses it to discard lower-cover candidates that stop covering a weakest
 // fault-graph edge without paying for the full closure: the abort fires
 // mid-propagation, typically after a handful of unions.
+//
+// Violation detection is incremental: each union-find root carries the
+// forbidden-pair endpoints ("tags") inside its set, and a union only checks
+// the absorbed root's tags against their partners' roots — O(tags·deg) per
+// union instead of a full O(|forbidden|) rescan with two Finds per pair.
 func CloseGuarded(top *dfsm.Machine, p P, forbidden [][2]int) (P, bool) {
 	n := top.NumStates()
-	uf := NewUnionFind(n)
-	type pair struct{ a, b int }
-	var stack []pair
+	sc := getClosureScratch(n, p.NumBlocks())
+	defer putClosureScratch(sc)
+	sc.resetGuarded(n)
+	uf := sc.uf
+	stack := sc.stack
+	defer func() { sc.stack = stack }()
 
-	violates := func() bool {
-		for _, e := range forbidden {
-			if uf.Same(e[0], e[1]) {
-				return true
+	for _, e := range forbidden {
+		x, y := e[0], e[1]
+		if x == y {
+			return P{}, false // degenerate pair can never be separated
+		}
+		if len(sc.adj[x]) == 0 {
+			sc.tags[x] = append(sc.tags[x], x)
+		}
+		if len(sc.adj[y]) == 0 {
+			sc.tags[y] = append(sc.tags[y], y)
+		}
+		sc.adj[x] = append(sc.adj[x], y)
+		sc.adj[y] = append(sc.adj[y], x)
+	}
+
+	// merge unites a and b, returning false on a forbidden-pair violation.
+	merge := func(a, b int) bool {
+		ra, rb := uf.Find(a), uf.Find(b)
+		if ra == rb {
+			return true
+		}
+		uf.Union(ra, rb)
+		root := uf.Find(ra)
+		child := ra + rb - root // the absorbed root
+		stack = append(stack, statePair{a, b})
+		for _, s := range sc.tags[child] {
+			for _, t := range sc.adj[s] {
+				if uf.Find(t) == root {
+					return false
+				}
 			}
 		}
-		return false
-	}
-	merge := func(a, b int) bool {
-		if uf.Union(a, b) {
-			stack = append(stack, pair{a, b})
-			return !violates()
-		}
+		sc.tags[root] = append(sc.tags[root], sc.tags[child]...)
+		sc.tags[child] = sc.tags[child][:0]
 		return true
 	}
 
-	first := make(map[int]int, p.NumBlocks())
+	blockOf := p.View()
 	for s := 0; s < n; s++ {
-		if prev, ok := first[p.BlockOf(s)]; ok {
+		b := blockOf[s]
+		if prev := sc.first[b]; prev >= 0 {
 			if !merge(prev, s) {
 				return P{}, false
 			}
 		} else {
-			first[p.BlockOf(s)] = s
+			sc.first[b] = s
 		}
 	}
 	for len(stack) > 0 {

@@ -3,6 +3,7 @@ package partition
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dfsm"
 )
@@ -39,67 +40,9 @@ func MergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
 // completing and failing the check afterwards. Semantically identical to
 // MergeClosures(top, p, func(c){c separates all forbidden pairs}).
 func MergeClosuresGuarded(top *dfsm.Machine, p P, forbidden [][2]int) []P {
-	blocks := p.Blocks()
-	b := len(blocks)
-	if b <= 1 {
-		return nil
-	}
-	type task struct{ i, j int }
-	tasks := make([]task, 0, b*(b-1)/2)
-	for i := 0; i < b; i++ {
-		for j := i + 1; j < b; j++ {
-			tasks = append(tasks, task{i, j})
-		}
-	}
-	candidates := make([]P, len(tasks))
-	valid := make([]bool, len(tasks))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				k := next
-				next++
-				mu.Unlock()
-				if k >= len(tasks) {
-					return
-				}
-				t := tasks[k]
-				merged := p.MergeBlocks(p.BlockOf(blocks[t.i][0]), p.BlockOf(blocks[t.j][0]))
-				if c, ok := CloseGuarded(top, merged, forbidden); ok {
-					candidates[k] = c
-					valid[k] = true
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	seen := make(map[string]bool)
-	var uniq []P
-	for k, ok := range valid {
-		if !ok {
-			continue
-		}
-		c := candidates[k]
-		if key := c.Key(); !seen[key] {
-			seen[key] = true
-			uniq = append(uniq, c)
-		}
-	}
-	return uniq
+	return runMergeClosures(p, func(p P, x, y int) (P, bool) {
+		return CloseGuarded(top, p.MergeBlocks(p.BlockOf(x), p.BlockOf(y)), forbidden)
+	})
 }
 
 // LowerCoverFiltered is LowerCover with an optional predicate: when keep is
@@ -132,6 +75,20 @@ func LowerCoverFiltered(top *dfsm.Machine, p P, keep func(P) bool) []P {
 }
 
 func mergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
+	return runMergeClosures(p, func(p P, x, y int) (P, bool) {
+		c := CloseMergingStates(top, p, x, y)
+		if keep == nil || keep(c) {
+			return c, true
+		}
+		return P{}, false
+	})
+}
+
+// runMergeClosures evaluates close(p, x, y) for one representative state
+// pair (x, y) per unordered block pair of p, fanning the closures out over
+// a single worker pool with an atomic task cursor (no mutex on the hot
+// path), then deduplicates the survivors by (Hash, Equal) in task order.
+func runMergeClosures(p P, closeFn func(p P, x, y int) (P, bool)) []P {
 	blocks := p.Blocks()
 	b := len(blocks)
 	if b <= 1 {
@@ -156,43 +113,45 @@ func mergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
 	if workers < 1 {
 		workers = 1
 	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				k := next
-				next++
-				mu.Unlock()
-				if k >= len(tasks) {
-					return
-				}
-				t := tasks[k]
-				c := CloseMergingStates(top, p, blocks[t.i][0], blocks[t.j][0])
-				if keep == nil || keep(c) {
-					candidates[k] = c
-					valid[k] = true
-				}
+	var next atomic.Int64
+	if workers == 1 {
+		// Avoid goroutine + scheduler overhead for tiny lattices.
+		for k, t := range tasks {
+			if c, ok := closeFn(p, blocks[t.i][0], blocks[t.j][0]); ok {
+				candidates[k] = c
+				valid[k] = true
 			}
-		}()
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(tasks) {
+						return
+					}
+					t := tasks[k]
+					if c, ok := closeFn(p, blocks[t.i][0], blocks[t.j][0]); ok {
+						candidates[k] = c
+						valid[k] = true
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
-	// Deduplicate.
-	seen := make(map[string]int)
+	// Deduplicate by hash with Equal confirmation, preserving task order.
+	seen := NewSet(len(tasks))
 	var uniq []P
 	for k, ok := range valid {
 		if !ok {
 			continue
 		}
-		c := candidates[k]
-		key := c.Key()
-		if _, dup := seen[key]; !dup {
-			seen[key] = len(uniq)
+		if c := candidates[k]; seen.Add(c) {
 			uniq = append(uniq, c)
 		}
 	}

@@ -1,0 +1,118 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetMatchesStringKeyDedup checks that the hash-bucketed Set agrees
+// insert-by-insert with a string-keyed dedup map over a large stream of
+// random (frequently colliding) partitions.
+func TestSetMatchesStringKeyDedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	set := NewSet(0)
+	seen := make(map[string]bool)
+	for i := 0; i < 5000; i++ {
+		n := 1 + rng.Intn(12)
+		assign := make([]int, n)
+		blocks := 1 + rng.Intn(n)
+		for j := range assign {
+			assign[j] = rng.Intn(blocks)
+		}
+		p := FromAssignment(assign)
+		key := p.Key()
+		wantNew := !seen[key]
+		seen[key] = true
+		if gotNew := set.Add(p); gotNew != wantNew {
+			t.Fatalf("insert %d (%s): Set.Add=%v, string-key dedup=%v", i, p, gotNew, wantNew)
+		}
+		if !set.Contains(p) {
+			t.Fatalf("insert %d (%s): Contains=false after Add", i, p)
+		}
+	}
+	if set.Len() != len(seen) {
+		t.Fatalf("Set has %d elements, string-key dedup has %d", set.Len(), len(seen))
+	}
+}
+
+// TestHashEqualConsistency checks Hash/Equal agreement: equal partitions
+// hash identically, and partitions built through different constructors
+// (FromAssignment vs MergeBlocks vs union-find) share hashes when equal.
+func TestHashEqualConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		n := 2 + rng.Intn(10)
+		assign := make([]int, n)
+		for j := range assign {
+			assign[j] = rng.Intn(n)
+		}
+		p := FromAssignment(assign)
+		q := FromAssignment(p.Assignment())
+		if !p.Equal(q) || p.Hash() != q.Hash() {
+			t.Fatalf("round-trip changed identity: %s hash %x vs %s hash %x", p, p.Hash(), q, q.Hash())
+		}
+		if p.NumBlocks() >= 2 {
+			a, b := rng.Intn(p.NumBlocks()), rng.Intn(p.NumBlocks())
+			m1 := p.MergeBlocks(a, b)
+			// The same merge via an un-normalized assignment must agree.
+			raw := p.Assignment()
+			for j, id := range raw {
+				if id == b {
+					raw[j] = a
+				}
+			}
+			m2 := FromAssignment(raw)
+			if !m1.Equal(m2) || m1.Hash() != m2.Hash() {
+				t.Fatalf("MergeBlocks(%d,%d) of %s: in-place %s (hash %x) vs renormalized %s (hash %x)",
+					a, b, p, m1, m1.Hash(), m2, m2.Hash())
+			}
+		}
+	}
+}
+
+// TestKeyLargeBlockIDs pins the P.Key() collision fix: with the old 2-byte
+// encoding, block id 65536 truncated to the bytes of id 0, so the finest
+// partition of 65537 elements collided with the one merging element 65536
+// into block 0. The 3-byte encoding must keep them distinct.
+func TestKeyLargeBlockIDs(t *testing.T) {
+	const n = 65537
+	p := Singletons(n)
+	assign := p.Assignment()
+	assign[n-1] = 0 // merge the last element into block 0
+	q := FromAssignment(assign)
+	if p.Equal(q) {
+		t.Fatal("test partitions should differ")
+	}
+	if p.Key() == q.Key() {
+		t.Fatal("Key() collides for block ids ≥ 65536")
+	}
+	if p.Hash() == q.Hash() {
+		t.Fatal("Hash() collides for the regression pair")
+	}
+}
+
+// TestLessMatchesKeyOrder checks that the allocation-free Less order used
+// by pickCandidate agrees with the string-key order it replaced, for block
+// ids small enough that the byte encoding was order-preserving.
+func TestLessMatchesKeyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(9)
+		mk := func() P {
+			assign := make([]int, n)
+			for j := range assign {
+				assign[j] = rng.Intn(n)
+			}
+			return FromAssignment(assign)
+		}
+		p, q := mk(), mk()
+		if p.NumBlocks() != q.NumBlocks() {
+			// Less orders by block count first; Key order only applied
+			// within equal block counts in pickCandidate.
+			continue
+		}
+		if got, want := p.Less(q), p.Key() < q.Key(); got != want {
+			t.Fatalf("Less(%s, %s) = %v, key order %v", p, q, got, want)
+		}
+	}
+}

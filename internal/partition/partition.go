@@ -5,6 +5,9 @@
 // A partition of {0..n-1} is stored as a normalized block-id vector: block
 // ids are assigned in order of first appearance, so two equal partitions
 // have identical vectors and can be compared or used as map keys directly.
+// Every partition also carries a 64-bit FNV-1a hash of its vector, computed
+// once at construction; dedup maps key on Hash() and confirm with Equal,
+// which avoids materializing string keys in the Algorithm 2 hot path.
 //
 // Order convention (Section 2.1 of the paper): P1 ≤ P2 iff each block of P2
 // is contained in a block of P1 — the *coarser* partition is the smaller
@@ -21,8 +24,29 @@ import (
 // P is a partition of {0..n-1}. The zero value is invalid; construct with
 // Singletons, Single, FromBlocks or FromAssignment.
 type P struct {
-	blockOf []int // normalized block id per element
-	blocks  int   // number of blocks
+	blockOf []int  // normalized block id per element
+	blocks  int    // number of blocks
+	hash    uint64 // FNV-1a over blockOf, fixed at construction
+}
+
+// FNV-1a parameters (64-bit), applied word-wise to the normalized vector.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashAssignment(blockOf []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, id := range blockOf {
+		h ^= uint64(id)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// newP wraps an already-normalized vector; it takes ownership of blockOf.
+func newP(blockOf []int, blocks int) P {
+	return P{blockOf: blockOf, blocks: blocks, hash: hashAssignment(blockOf)}
 }
 
 // Singletons returns the finest partition of n elements (the top machine).
@@ -31,12 +55,12 @@ func Singletons(n int) P {
 	for i := range b {
 		b[i] = i
 	}
-	return P{blockOf: b, blocks: n}
+	return newP(b, n)
 }
 
 // Single returns the one-block partition of n elements (the bottom machine).
 func Single(n int) P {
-	return P{blockOf: make([]int, n), blocks: boolToInt(n > 0)}
+	return newP(make([]int, n), boolToInt(n > 0))
 }
 
 func boolToInt(b bool) int {
@@ -47,8 +71,35 @@ func boolToInt(b bool) int {
 }
 
 // FromAssignment builds a partition from an arbitrary block-id vector,
-// normalizing the ids.
+// normalizing the ids. Ids within [0,len(assign)) — the common case for
+// union-find roots — are renumbered through a scratch table without any map
+// allocation; out-of-range ids fall back to a map.
 func FromAssignment(assign []int) P {
+	n := len(assign)
+	for _, a := range assign {
+		if a < 0 || a >= n {
+			return fromAssignmentSparse(assign)
+		}
+	}
+	blockOf := make([]int, n)
+	norm := make([]int, n)
+	for i := range norm {
+		norm[i] = -1
+	}
+	blocks := 0
+	for i, a := range assign {
+		id := norm[a]
+		if id == -1 {
+			id = blocks
+			norm[a] = id
+			blocks++
+		}
+		blockOf[i] = id
+	}
+	return newP(blockOf, blocks)
+}
+
+func fromAssignmentSparse(assign []int) P {
 	blockOf := make([]int, len(assign))
 	norm := make(map[int]int)
 	for i, a := range assign {
@@ -59,7 +110,7 @@ func FromAssignment(assign []int) P {
 		}
 		blockOf[i] = id
 	}
-	return P{blockOf: blockOf, blocks: len(norm)}
+	return newP(blockOf, len(norm))
 }
 
 // FromBlocks builds a partition of n elements from explicit blocks. Every
@@ -109,6 +160,17 @@ func (p P) BlockOf(x int) int { return p.blockOf[x] }
 // Assignment returns a copy of the normalized block-id vector.
 func (p P) Assignment() []int { return append([]int(nil), p.blockOf...) }
 
+// View returns the partition's normalized block-id vector without copying.
+// The returned slice is shared with the partition and must not be modified;
+// it exists so hot loops (fault-graph edge scans) can avoid a bounds-checked
+// BlockOf call per pair.
+func (p P) View() []int { return p.blockOf }
+
+// Hash returns the 64-bit FNV-1a hash of the normalized vector. Equal
+// partitions have equal hashes; dedup maps should bucket on Hash and
+// confirm with Equal.
+func (p P) Hash() uint64 { return p.hash }
+
 // Blocks materializes the blocks as sorted slices, in block-id order.
 func (p P) Blocks() [][]int {
 	out := make([][]int, p.blocks)
@@ -125,7 +187,7 @@ func (p P) Separates(x, y int) bool { return p.blockOf[x] != p.blockOf[y] }
 
 // Equal reports whether two (normalized) partitions are identical.
 func (p P) Equal(q P) bool {
-	if len(p.blockOf) != len(q.blockOf) || p.blocks != q.blocks {
+	if len(p.blockOf) != len(q.blockOf) || p.blocks != q.blocks || p.hash != q.hash {
 		return false
 	}
 	for i := range p.blockOf {
@@ -136,14 +198,38 @@ func (p P) Equal(q P) bool {
 	return true
 }
 
-// Key returns a compact string key identifying the partition, suitable for
-// dedup maps.
+// Less orders partitions deterministically: fewer blocks first, then
+// lexicographically by the normalized vector. This is the tie-break order of
+// Algorithm 2's pickCandidate; unlike the former string-Key comparison it
+// is well defined for block ids of any magnitude.
+func (p P) Less(q P) bool {
+	if p.blocks != q.blocks {
+		return p.blocks < q.blocks
+	}
+	for i := range p.blockOf {
+		if i >= len(q.blockOf) {
+			return false
+		}
+		if p.blockOf[i] != q.blockOf[i] {
+			return p.blockOf[i] < q.blockOf[i]
+		}
+	}
+	return len(p.blockOf) < len(q.blockOf)
+}
+
+// Key returns a compact string key identifying the partition. Three bytes
+// per element cover every block id reachable under dfsm's product-state
+// bound (1<<22); the previous 2-byte encoding silently aliased distinct
+// partitions with ids ≥ 65536. The hot paths dedup via Hash/Equal (see Set)
+// instead; Key remains as the reference identity for tests and for callers
+// that need a serializable map key.
 func (p P) Key() string {
 	var b strings.Builder
-	b.Grow(2 * len(p.blockOf))
+	b.Grow(3 * len(p.blockOf))
 	for _, id := range p.blockOf {
 		b.WriteByte(byte(id))
 		b.WriteByte(byte(id >> 8))
+		b.WriteByte(byte(id >> 16))
 	}
 	return b.String()
 }
@@ -184,18 +270,31 @@ func (p P) Incomparable(q P) bool {
 
 // MergeBlocks returns the (possibly non-closed) partition obtained from p by
 // uniting blocks a and b. If a == b it returns p.
+//
+// Renumbering is done in place: with a < b, id b maps to a and ids above b
+// shift down by one, which preserves first-appearance normalization without
+// a FromAssignment pass.
 func (p P) MergeBlocks(a, b int) P {
 	if a == b {
 		return p
 	}
-	assign := make([]int, len(p.blockOf))
-	for i, id := range p.blockOf {
-		if id == b {
-			id = a
-		}
-		assign[i] = id
+	if a > b {
+		a, b = b, a
 	}
-	return FromAssignment(assign)
+	if a < 0 || b >= p.blocks {
+		return p // nonexistent block: merging it is a no-op, as before
+	}
+	blockOf := make([]int, len(p.blockOf))
+	for i, id := range p.blockOf {
+		switch {
+		case id == b:
+			id = a
+		case id > b:
+			id--
+		}
+		blockOf[i] = id
+	}
+	return newP(blockOf, p.blocks-1)
 }
 
 // Meet returns the coarsest common refinement of p and q (the lattice meet

@@ -1,0 +1,43 @@
+package partition
+
+// Set is a deduplicating set of partitions, bucketed by the 64-bit vector
+// hash with Equal confirmation on collision. It replaces the string-keyed
+// maps (P.Key()) previously used for dedup in lattice enumeration and
+// Algorithm 2's candidate handling: no per-insert key materialization, and
+// no silent aliasing for large block ids.
+type Set struct {
+	m map[uint64][]P
+	n int
+}
+
+// NewSet returns an empty set; capacity is a sizing hint.
+func NewSet(capacity int) *Set {
+	return &Set{m: make(map[uint64][]P, capacity)}
+}
+
+// Add inserts p and reports whether it was not already present.
+func (s *Set) Add(p P) bool {
+	h := p.Hash()
+	bucket := s.m[h]
+	for _, q := range bucket {
+		if p.Equal(q) {
+			return false
+		}
+	}
+	s.m[h] = append(bucket, p)
+	s.n++
+	return true
+}
+
+// Contains reports whether an equal partition is already in the set.
+func (s *Set) Contains(p P) bool {
+	for _, q := range s.m[p.Hash()] {
+		if p.Equal(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct partitions added.
+func (s *Set) Len() int { return s.n }

@@ -2,7 +2,8 @@ package partition
 
 // UnionFind is a classic disjoint-set forest with union by rank and path
 // compression. It is the workhorse of the closed-partition closure
-// computation (Hartmanis–Stearns pair algebra).
+// computation (Hartmanis–Stearns pair algebra). The zero value is an empty
+// forest; call Reset to (re)initialize it, reusing prior allocations.
 type UnionFind struct {
 	parent []int
 	rank   []byte
@@ -11,11 +12,27 @@ type UnionFind struct {
 
 // NewUnionFind returns a forest of n singleton sets.
 func NewUnionFind(n int) *UnionFind {
-	uf := &UnionFind{parent: make([]int, n), rank: make([]byte, n), sets: n}
+	uf := &UnionFind{}
+	uf.Reset(n)
+	return uf
+}
+
+// Reset reinitializes the forest to n singleton sets, reusing the backing
+// arrays when they are large enough. This is what lets the closure hot path
+// recycle forests through a sync.Pool instead of allocating per call.
+func (uf *UnionFind) Reset(n int) {
+	if cap(uf.parent) >= n {
+		uf.parent = uf.parent[:n]
+		uf.rank = uf.rank[:n]
+		clear(uf.rank)
+	} else {
+		uf.parent = make([]int, n)
+		uf.rank = make([]byte, n)
+	}
 	for i := range uf.parent {
 		uf.parent[i] = i
 	}
-	return uf
+	uf.sets = n
 }
 
 // Find returns the canonical representative of x's set.
@@ -50,11 +67,26 @@ func (uf *UnionFind) Same(x, y int) bool { return uf.Find(x) == uf.Find(y) }
 // Sets returns the current number of disjoint sets.
 func (uf *UnionFind) Sets() int { return uf.sets }
 
-// Partition snapshots the forest as a normalized partition.
+// Partition snapshots the forest as a normalized partition. Roots are
+// renumbered by first appearance through a scratch table — no map, and the
+// only allocations are the result vector and the table.
 func (uf *UnionFind) Partition() P {
-	assign := make([]int, len(uf.parent))
-	for x := range assign {
-		assign[x] = uf.Find(x)
+	n := len(uf.parent)
+	blockOf := make([]int, n)
+	norm := make([]int, n)
+	for i := range norm {
+		norm[i] = -1
 	}
-	return FromAssignment(assign)
+	blocks := 0
+	for x := 0; x < n; x++ {
+		r := uf.Find(x)
+		id := norm[r]
+		if id == -1 {
+			id = blocks
+			norm[r] = id
+			blocks++
+		}
+		blockOf[x] = id
+	}
+	return newP(blockOf, blocks)
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Promotes benchmarks/latest.txt to benchmarks/baseline.txt after review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -f benchmarks/latest.txt ]; then
+  echo "benchmarks/latest.txt not found; run scripts/bench.sh first" >&2
+  exit 1
+fi
+
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Runs the regression-tracked benchmark set and writes benchmarks/latest.txt.
+#
+# Environment:
+#   BENCH_PATTERN  go test -bench regexp   (default: the tracked hot-path set)
+#   BENCH_TIME     go test -benchtime      (default: 1s; CI smoke uses 0.2s)
+#   BENCH_COUNT    go test -count          (default: 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-^(BenchmarkFig1ModCounters|BenchmarkTable1Row[1-5]|BenchmarkCrossProductLarge|BenchmarkClosure|BenchmarkSensorNetworkScale)$}"
+TIME="${BENCH_TIME:-1s}"
+COUNT="${BENCH_COUNT:-1}"
+
+mkdir -p benchmarks
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" -count "$COUNT" . | tee benchmarks/latest.txt
