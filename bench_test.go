@@ -332,21 +332,58 @@ func BenchmarkClosure(b *testing.B) {
 	}
 }
 
-// BenchmarkApplyEvents measures broadcast event application across the
-// simulated cluster (goroutine-per-server fan-out).
-func BenchmarkApplyEvents(b *testing.B) {
+// BenchmarkApplyAll measures broadcast event application across the
+// simulated cluster on the shared execution engine: small batches run
+// inline, large windows stream through the persistent pool's server
+// shards (one task per shard instead of a goroutine per server per call).
+func BenchmarkApplyAll(b *testing.B) {
 	ms := mustMachines(b, "MESI", "TCP", "A", "B")
 	c, err := sim.NewCluster(ms, 1, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
 	gen := trace.NewGenerator(5, ms)
-	batch := gen.Take(64)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.ApplyAll(batch)
+	for _, size := range []int{64, 4096} {
+		batch := gen.Take(size)
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.ApplyAll(batch)
+			}
+		})
 	}
+}
+
+// BenchmarkWeakestEdges measures the incremental weakest-edge index on
+// the 176-state top. "query" is the per-outer-iteration call Algorithm 2
+// issues (O(|weakest|) from the bucket index, formerly an O(N²) rescan);
+// "addRemove" cycles one machine through Add / WeakestEdges / Remove to
+// include the index-maintenance cost.
+func BenchmarkWeakestEdges(b *testing.B) {
+	sys := mustSystem(b, "MESI", "TCP", "A", "B")
+	b.Run("query", func(b *testing.B) {
+		g := core.BuildFaultGraph(sys.N(), sys.Parts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(g.WeakestEdges()) == 0 {
+				b.Fatal("no weakest edges")
+			}
+		}
+	})
+	b.Run("addRemove", func(b *testing.B) {
+		g := core.BuildFaultGraph(sys.N(), sys.Parts)
+		p := sys.Parts[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Add(p)
+			if len(g.WeakestEdges()) == 0 {
+				b.Fatal("no weakest edges")
+			}
+			g.Remove(p)
+		}
+	})
 }
 
 // --- helpers ---------------------------------------------------------------

@@ -7,6 +7,7 @@
 //
 //	faultsim -zoo 0-Counter,1-Counter -f 2 -events 100 -crash 2
 //	faultsim -zoo MESI,TCP,A,B -f 2 -byzantine 1 -seed 7 -rounds 5
+//	faultsim -zoo MESI,TCP,A,B -f 2 -events 5000 -workers 8
 package main
 
 import (
@@ -31,15 +32,16 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	var (
-		zoo    = fs.String("zoo", "0-Counter,1-Counter", "comma-separated zoo machine names")
-		f      = fs.Int("f", 1, "crash-fault budget used to size the fusion")
-		events = fs.Int("events", 50, "events per round")
-		crash  = fs.Int("crash", 0, "crash faults to inject per round")
-		byz    = fs.Int("byzantine", 0, "Byzantine faults to inject per round")
-		rounds = fs.Int("rounds", 1, "rounds to run")
-		seed   = fs.Int64("seed", 1, "random seed")
-		replay = fs.String("replay", "", "read the event stream from this file instead of generating it")
-		record = fs.String("record", "", "save each round's generated event stream to this file")
+		zoo     = fs.String("zoo", "0-Counter,1-Counter", "comma-separated zoo machine names")
+		f       = fs.Int("f", 1, "crash-fault budget used to size the fusion")
+		events  = fs.Int("events", 50, "events per round")
+		crash   = fs.Int("crash", 0, "crash faults to inject per round")
+		byz     = fs.Int("byzantine", 0, "Byzantine faults to inject per round")
+		rounds  = fs.Int("rounds", 1, "rounds to run")
+		seed    = fs.Int64("seed", 1, "random seed")
+		replay  = fs.String("replay", "", "read the event stream from this file instead of generating it")
+		record  = fs.String("record", "", "save each round's generated event stream to this file")
+		workers = fs.Int("workers", 0, "worker-pool size for generation and event broadcast (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,7 +58,8 @@ func run(args []string, out io.Writer) error {
 		}
 		ms = append(ms, m)
 	}
-	cluster, err := fusion.NewCluster(ms, *f, *seed)
+	engine := fusion.NewEngine(fusion.EngineOptions{Workers: *workers})
+	cluster, err := engine.NewCluster(ms, *f, *seed)
 	if err != nil {
 		return err
 	}

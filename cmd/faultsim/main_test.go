@@ -92,3 +92,19 @@ func TestErrors(t *testing.T) {
 		t.Error("over-budget crash round succeeded")
 	}
 }
+
+func TestWorkersFlagDeterministic(t *testing.T) {
+	want, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-f", "1", "-events", "40", "-crash", "1", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"1", "3"} {
+		got, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-f", "1", "-events", "40", "-crash", "1", "-seed", "9", "-workers", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("-workers %s changed the simulation:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //
 //	fusegen -zoo MESI,TCP,A,B -f 1
 //	fusegen -spec mymachines.fsm -f 2 -dot out.dot -table
+//	fusegen -zoo MESI,TCP,A,B -f 2 -workers 8
 //	fusegen -list
 package main
 
@@ -42,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		maxM    = fs.Int("max-machines", 0, "abort if more than this many backups are needed (0 = unlimited)")
 		specOut = fs.Bool("spec-out", false, "print the backups in .fsm spec format")
 		plan    = fs.Bool("plan", false, "print the capacity plan (fusion vs replication) instead of the machines")
+		workers = fs.Int("workers", 0, "worker-pool size for candidate evaluation (0 = GOMAXPROCS)")
 	)
 	fs.Var(&specs, "spec", "machine spec file (.fsm); repeatable")
 	if err := fs.Parse(args); err != nil {
@@ -95,7 +97,8 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	F, err := fusion.GenerateWithOptions(sys, *f, fusion.GenerateOptions{MaxMachines: *maxM})
+	engine := fusion.NewEngine(fusion.EngineOptions{Workers: *workers})
+	F, err := engine.GenerateWithOptions(sys, *f, fusion.GenerateOptions{MaxMachines: *maxM})
 	if err != nil {
 		return err
 	}

@@ -118,3 +118,19 @@ func TestMultiFlag(t *testing.T) {
 		t.Errorf("multiFlag = %v", m)
 	}
 }
+
+func TestWorkersFlagDeterministic(t *testing.T) {
+	want, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-f", "1", "-table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"1", "2", "4"} {
+		got, err := runCapture(t, "-zoo", "0-Counter,1-Counter", "-f", "1", "-table", "-workers", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("-workers %s changed the generated machines:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}

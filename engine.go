@@ -1,0 +1,77 @@
+package fusion
+
+import (
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sim"
+)
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// Workers is the size of the engine's persistent worker pool. 0 means
+	// "follow runtime.GOMAXPROCS", which also makes NewEngine return the
+	// process-wide default engine instead of allocating a second pool.
+	Workers int
+}
+
+// Engine is the execution engine behind fusion generation and cluster
+// simulation: a persistent, sharded worker pool (see internal/exec) that
+// the closure fan-out of Algorithm 2, the event broadcast of simulated
+// clusters, and the sensor-network replay all draw their parallelism
+// from. Workers live for the lifetime of the engine and keep per-worker
+// scratch alive across calls, so services generating many fusions or
+// driving many clusters concurrently pay the goroutine fan-out once, not
+// per call.
+//
+// Engines only redistribute work — they never change results: Generate
+// returns the same machines and a Cluster the same simulation outcome for
+// a given seed regardless of worker count.
+//
+// The package-level Generate, GenerateWithOptions and NewCluster are thin
+// wrappers over DefaultEngine; construct a dedicated Engine when a
+// service wants capacity isolated from the shared pool.
+type Engine struct {
+	pool *exec.Pool
+}
+
+var defaultEngine = &Engine{pool: exec.Default()}
+
+// DefaultEngine returns the process-wide engine, whose pool follows
+// GOMAXPROCS.
+func DefaultEngine() *Engine { return defaultEngine }
+
+// NewEngine returns an engine with a dedicated worker pool of the given
+// size; with Workers == 0 it returns the shared default engine.
+//
+// Engines are meant to be long-lived (one per service or tenant, not one
+// per request): workers spawn lazily on first parallel use and are never
+// torn down.
+func NewEngine(opts EngineOptions) *Engine {
+	if opts.Workers <= 0 {
+		return defaultEngine
+	}
+	return &Engine{pool: exec.New(opts.Workers)}
+}
+
+// Workers returns the engine pool's current worker target.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Generate runs Algorithm 2 on this engine's pool; see the package-level
+// Generate.
+func (e *Engine) Generate(sys *System, f int) ([]Partition, error) {
+	return e.GenerateWithOptions(sys, f, GenerateOptions{})
+}
+
+// GenerateWithOptions is Generate with explicit options. The engine
+// supplies the worker pool, overriding any opts.Pool.
+func (e *Engine) GenerateWithOptions(sys *System, f int, opts GenerateOptions) ([]Partition, error) {
+	opts.Pool = e.pool
+	return core.GenerateFusion(sys, f, opts)
+}
+
+// NewCluster builds a simulated deployment tolerating f crash faults,
+// with fusion generation and event broadcast running on this engine's
+// pool; see the package-level NewCluster.
+func (e *Engine) NewCluster(ms []*Machine, f int, seed int64) (*Cluster, error) {
+	return sim.NewClusterOn(e.pool, ms, f, seed)
+}

@@ -1,0 +1,84 @@
+package fusion_test
+
+import (
+	"testing"
+
+	fusion "repro"
+)
+
+// TestEngineGenerateMatchesDefault: worker count is a throughput knob,
+// never a semantic one — engines of every size return the exact fusion
+// the default path returns.
+func TestEngineGenerateMatchesDefault(t *testing.T) {
+	ms := []*fusion.Machine{mustZoo(t, "MESI"), mustZoo(t, "1-Counter"), mustZoo(t, "0-Counter")}
+	sys, err := fusion.NewSystem(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fusion.Generate(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5} {
+		e := fusion.NewEngine(fusion.EngineOptions{Workers: workers})
+		if e.Workers() != workers {
+			t.Fatalf("engine has %d workers, want %d", e.Workers(), workers)
+		}
+		got, err := e.Generate(sys, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d machines, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("workers=%d: machine %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEngineClusterReproducible: the same seed yields the same simulation
+// outcome on engines of different sizes.
+func TestEngineClusterReproducible(t *testing.T) {
+	ms := []*fusion.Machine{mustZoo(t, "0-Counter"), mustZoo(t, "1-Counter")}
+	events := []string{"e0", "e1", "e0", "e0", "e1"}
+	var first []int
+	for _, workers := range []int{1, 3} {
+		c, err := fusion.NewEngine(fusion.EngineOptions{Workers: workers}).NewCluster(ms, 1, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ApplyAll(events)
+		states := c.States()
+		if first == nil {
+			first = states
+			continue
+		}
+		for i := range states {
+			if states[i] != first[i] {
+				t.Fatalf("workers=%d: server %d state %d, want %d", workers, i, states[i], first[i])
+			}
+		}
+	}
+}
+
+// TestDefaultEngineShared: Workers<=0 aliases the process-wide engine.
+func TestDefaultEngineShared(t *testing.T) {
+	if fusion.NewEngine(fusion.EngineOptions{}) != fusion.DefaultEngine() {
+		t.Fatal("NewEngine{Workers:0} should return the default engine")
+	}
+	if fusion.DefaultEngine().Workers() < 1 {
+		t.Fatal("default engine has no workers")
+	}
+}
+
+func mustZoo(t *testing.T, name string) *fusion.Machine {
+	t.Helper()
+	m, err := fusion.ZooMachine(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

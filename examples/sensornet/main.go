@@ -9,10 +9,16 @@ import (
 	"fmt"
 	"log"
 
+	fusion "repro"
 	"repro/internal/experiments"
 )
 
 func main() {
+	// Sensor construction and stream replay run on the shared execution
+	// engine's worker pool (see fusion.Engine); on a multicore host the
+	// 1000-sensor sweep shards across all workers.
+	fmt.Printf("execution engine: %d worker(s)\n\n", fusion.DefaultEngine().Workers())
+
 	// 100 sensors, one crash fault: one 3-state backup.
 	small, err := experiments.Sensor(100, 3, 1, 42)
 	if err != nil {

@@ -21,16 +21,28 @@
 // # Performance
 //
 // The Algorithm 2 hot path is allocation-light end to end: the fault graph
-// keeps a weight histogram so Dmin is O(1) per outer iteration; partitions
-// carry a precomputed 64-bit hash so candidate dedup never materializes
-// string keys; closure computations recycle union-find scratch through a
-// sync.Pool and distribute work over an atomic task cursor; and the
+// keeps a per-weight edge-bucket index so both Dmin and WeakestEdges are
+// answered from the weakest bucket (O(1) and O(|weakest|) per outer
+// iteration) instead of O(N²) rescans; partitions carry a precomputed
+// 64-bit hash so candidate dedup never materializes string keys; and the
 // reachable-cross-product BFS dedups tuples under a mixed-radix uint64
 // encoding instead of formatted strings. On the paper's Table 1 suites
 // this is a 47–73% wall-clock reduction and an ~90% allocation reduction
 // versus the straightforward implementation (see benchmarks/README.md for
 // the measured before/after and the baseline-regression workflow under
 // scripts/bench.sh).
+//
+// All parallelism flows through one execution engine (see Engine): a
+// persistent worker pool, sized to GOMAXPROCS by default, whose workers
+// shard tasks through an atomic cursor and keep per-worker scratch
+// (union-find forests, propagation stacks) alive across calls. The
+// closure fan-out of Algorithm 2, the event broadcast of simulated
+// clusters, and the sensor-network replay all run on it, so concurrent
+// fusion-generation and simulation requests share a bounded goroutine set
+// instead of spawning their own per call. Worker count never affects
+// results: candidates are dedup'd in deterministic task order and
+// simulations are reproducible per seed. Construct a dedicated Engine
+// with EngineOptions{Workers: n} to isolate capacity, e.g. per tenant.
 package fusion
 
 import (
@@ -111,12 +123,14 @@ func NewBuilder(name string) *Builder { return dfsm.NewBuilder(name) }
 func NewSystem(ms []*Machine) (*System, error) { return core.NewSystem(ms) }
 
 // Generate runs Algorithm 2: the minimal set of backup machines making the
-// system tolerate f crash faults (⌊f/2⌋ Byzantine faults).
+// system tolerate f crash faults (⌊f/2⌋ Byzantine faults). It runs on the
+// default engine's worker pool.
 func Generate(sys *System, f int) ([]Partition, error) {
-	return core.GenerateFusion(sys, f, core.GenerateOptions{})
+	return DefaultEngine().Generate(sys, f)
 }
 
-// GenerateWithOptions is Generate with explicit options.
+// GenerateWithOptions is Generate with explicit options, on the default
+// engine unless opts.Pool says otherwise.
 func GenerateWithOptions(sys *System, f int, opts GenerateOptions) ([]Partition, error) {
 	return core.GenerateFusion(sys, f, opts)
 }
@@ -155,9 +169,10 @@ func ReachableCrossProduct(ms []*Machine) (*Product, error) {
 	return dfsm.ReachableCrossProduct(ms)
 }
 
-// NewCluster builds a simulated deployment tolerating f crash faults.
+// NewCluster builds a simulated deployment tolerating f crash faults, on
+// the default engine's worker pool.
 func NewCluster(ms []*Machine, f int, seed int64) (*Cluster, error) {
-	return sim.NewCluster(ms, f, seed)
+	return DefaultEngine().NewCluster(ms, f, seed)
 }
 
 // BuildLattice enumerates the closed-partition lattice of a machine

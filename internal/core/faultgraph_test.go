@@ -202,3 +202,63 @@ func TestDminMonotoneUnderAdd(t *testing.T) {
 		}
 	}
 }
+
+// weakestEdgesRescan is the reference implementation of WeakestEdges: a
+// full O(N²) scan of the weight matrix. The incremental bucket index must
+// reproduce its output exactly (same edges, same lexicographic order).
+func weakestEdgesRescan(g *core.FaultGraph) []core.Edge {
+	n := g.N()
+	d := g.Dmin()
+	var out []core.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.Weight(i, j) == d {
+				out = append(out, core.Edge{I: i, J: j})
+			}
+		}
+	}
+	return out
+}
+
+// TestWeakestEdgesIncrementalMatchesRescan is the equivalence property of
+// the incremental weakest-edge index: after arbitrary interleavings of
+// Add and Remove, WeakestEdges equals the full-rescan reference at every
+// step, and so does a Clone taken mid-sequence.
+func TestWeakestEdgesIncrementalMatchesRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		g := core.NewFaultGraph(n)
+		var added []partition.P
+		check := func(g *core.FaultGraph, step string) {
+			got := g.WeakestEdges()
+			want := weakestEdgesRescan(g)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: %d weakest edges, rescan finds %d", trial, step, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %s: edge %d is %v, rescan says %v", trial, step, i, got[i], want[i])
+				}
+			}
+		}
+		check(g, "empty")
+		for op := 0; op < 12; op++ {
+			if len(added) > 0 && rng.Intn(4) == 0 {
+				i := rng.Intn(len(added))
+				g.Remove(added[i])
+				added = append(added[:i], added[i+1:]...)
+			} else {
+				assign := make([]int, n)
+				for j := range assign {
+					assign[j] = rng.Intn(1 + rng.Intn(n))
+				}
+				p := partition.FromAssignment(assign)
+				g.Add(p)
+				added = append(added, p)
+			}
+			check(g, "op")
+			check(g.Clone(), "clone")
+		}
+	}
+}

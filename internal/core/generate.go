@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/partition"
 )
 
@@ -13,6 +14,11 @@ type GenerateOptions struct {
 	// MaxMachines aborts generation if more than this many fusion machines
 	// would be required (0 = no limit). Useful as a guard in services.
 	MaxMachines int
+	// Pool supplies the worker pool for the candidate-closure fan-out.
+	// nil means the shared package-level pool (exec.Default); services
+	// that want dedicated capacity pass their engine's pool here
+	// (fusion.Engine does). The choice of pool never changes the output.
+	Pool *exec.Pool
 	// Recompute forces a full fault-graph rebuild on every outer iteration
 	// instead of the incremental Add; used by the ablation benchmark, never
 	// needed in production.
@@ -88,17 +94,22 @@ func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, erro
 
 // qualifyingCandidates returns the merge closures of m that still separate
 // every required edge, choosing between the guarded (abort-early) and the
-// filter-after-closure evaluation paths.
+// filter-after-closure evaluation paths. The closure fan-out runs on the
+// options' pool (the shared default when unset).
 func qualifyingCandidates(s *System, m partition.P, required []Edge, opts GenerateOptions) []partition.P {
+	pool := opts.Pool
+	if pool == nil {
+		pool = exec.Default()
+	}
 	if !opts.NoGuardedClosure && len(required) <= guardedClosureLimit {
 		forbidden := make([][2]int, len(required))
 		for i, e := range required {
 			forbidden[i] = [2]int{e.I, e.J}
 		}
-		return partition.MergeClosuresGuarded(s.Top, m, forbidden)
+		return partition.MergeClosuresGuardedOn(pool, s.Top, m, forbidden)
 	}
 	covers := func(p partition.P) bool { return Covers(p, required) }
-	return partition.MergeClosures(s.Top, m, covers)
+	return partition.MergeClosuresOn(pool, s.Top, m, covers)
 }
 
 // pickCandidate chooses deterministically among acceptable lower-cover

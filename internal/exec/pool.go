@@ -1,0 +1,259 @@
+// Package exec provides the persistent worker pool shared by every
+// parallel layer of the library: closure fan-out in partition, event
+// broadcast in sim, and the sensor-network replay in experiments.
+//
+// Before this package each of those layers spun up its own goroutine set
+// per call. The pool replaces that with long-lived workers (the
+// service-pipeline architecture of bgpipe: stages persist, work flows
+// through them): a call shards its tasks over the workers through an
+// atomic cursor, the calling goroutine participates in the work, and the
+// workers keep per-worker scratch slots alive across calls so hot paths
+// recycle their buffers without a sync.Pool round trip per task.
+//
+// Properties relied on by the callers:
+//
+//   - Determinism: tasks are identified by index; callers write results
+//     into index-addressed slots, so the outcome is independent of which
+//     worker ran which task.
+//   - Deadlock freedom: the submitting goroutine always works on its own
+//     batch, so nested Run calls (a task that itself submits a batch)
+//     complete even when every worker is busy.
+//   - Panic containment: a panicking task never kills a pool worker.
+//     The remaining tasks of the batch still run; Run re-panics with a
+//     *TaskPanic carrying the first recovered value and its stack.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// SlotID names a per-worker scratch slot. Packages register their slots
+// once at init time with NewSlotID and then access them through Ctx.Get
+// and Ctx.Set from inside tasks; each worker keeps its own value per slot
+// alive across batches, which is what lets closure scratch (union-find
+// forests, propagation stacks) be reused instead of reallocated per task.
+type SlotID int
+
+var slotCount atomic.Int32
+
+// NewSlotID registers a new scratch slot. Call from package init.
+func NewSlotID() SlotID { return SlotID(slotCount.Add(1) - 1) }
+
+// Ctx is the per-worker context handed to every task. A Ctx is only ever
+// used by one goroutine at a time; its scratch slots need no locking.
+type Ctx struct {
+	slots []any
+}
+
+// Get returns the worker's value for the slot, or nil if unset.
+func (c *Ctx) Get(id SlotID) any {
+	if int(id) >= len(c.slots) {
+		return nil
+	}
+	return c.slots[id]
+}
+
+// Set stores the worker's value for the slot.
+func (c *Ctx) Set(id SlotID, v any) {
+	for int(id) >= len(c.slots) {
+		c.slots = append(c.slots, nil)
+	}
+	c.slots[id] = v
+}
+
+// TaskPanic is the value Run re-panics with when a task panicked: the
+// first recovered value plus the stack of the panicking task.
+type TaskPanic struct {
+	Task  int    // index of the panicking task
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (t *TaskPanic) Error() string {
+	return fmt.Sprintf("exec: task %d panicked: %v\n%s", t.Task, t.Value, t.Stack)
+}
+
+// batch is one Run invocation in flight: a task count, the task body,
+// the work-stealing cursor, and completion tracking.
+type batch struct {
+	n       int64
+	fn      func(c *Ctx, i int)
+	cursor  atomic.Int64
+	pending atomic.Int64
+	done    chan struct{}
+	failed  atomic.Pointer[TaskPanic] // first panic wins
+}
+
+// work drains tasks from the batch cursor until exhaustion.
+func (b *batch) work(c *Ctx) {
+	for {
+		i := b.cursor.Add(1) - 1
+		if i >= b.n {
+			return
+		}
+		b.exec(c, int(i))
+	}
+}
+
+// exec runs one task with panic containment and completion accounting.
+func (b *batch) exec(c *Ctx, i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.failed.CompareAndSwap(nil, &TaskPanic{Task: i, Value: r, Stack: debug.Stack()})
+		}
+		if b.pending.Add(-1) == 0 {
+			close(b.done)
+		}
+	}()
+	b.fn(c, i)
+}
+
+// Pool is a persistent sharded worker pool. Construct with New or use the
+// package-level Default; a Pool must not be copied after first use.
+type Pool struct {
+	// adaptive pools (New(0)) track runtime.GOMAXPROCS at every Run, so a
+	// `go test -cpu 1,4` sweep or a live GOMAXPROCS change resizes their
+	// effective parallelism; fixed pools keep the worker count they were
+	// constructed with.
+	adaptive bool
+	fixed    int
+	queue    chan *batch
+
+	mu      sync.Mutex // guards worker spawning
+	spawned int32      // workers started so far (atomically readable)
+
+	// spare recycles contexts for submitting goroutines (which participate
+	// in their own batches but are not pool workers) and for Do.
+	spare sync.Pool
+}
+
+// New returns a pool with the given number of workers; workers <= 0 means
+// "follow runtime.GOMAXPROCS". Worker goroutines start lazily as parallel
+// Runs demand them and then live for the lifetime of the pool.
+func New(workers int) *Pool {
+	p := &Pool{
+		adaptive: workers <= 0,
+		fixed:    workers,
+		// The queue only carries batch announcements; a fixed modest
+		// capacity suffices even when GOMAXPROCS grows later, because
+		// dropped announcements are always safe (callers participate).
+		queue: make(chan *batch, 256),
+	}
+	p.spare.New = func() any { return &Ctx{} }
+	return p
+}
+
+var defaultPool = New(0)
+
+// Default returns the package-level shared pool, which follows
+// GOMAXPROCS. All facade entry points that take no explicit Engine run on
+// this pool.
+func Default() *Pool { return defaultPool }
+
+// Workers returns the pool's current worker target.
+func (p *Pool) Workers() int {
+	if p.adaptive {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.fixed
+}
+
+// ensureWorkers lazily spawns persistent workers up to want.
+func (p *Pool) ensureWorkers(want int) {
+	if int(atomic.LoadInt32(&p.spawned)) >= want {
+		return
+	}
+	p.mu.Lock()
+	for int(p.spawned) < want {
+		go func() {
+			c := &Ctx{}
+			for b := range p.queue {
+				b.work(c)
+			}
+		}()
+		atomic.AddInt32(&p.spawned, 1)
+	}
+	p.mu.Unlock()
+}
+
+// Run executes fn(c, i) for every i in [0, n), distributing tasks over
+// the pool workers through an atomic cursor, and returns when all n tasks
+// have finished. The calling goroutine participates in the work, so Run
+// makes progress — and nested Runs complete — even when every worker is
+// busy. If any task panicked, Run panics with a *TaskPanic after the
+// whole batch has drained.
+func (p *Pool) Run(n int, fn func(c *Ctx, i int)) {
+	if n <= 0 {
+		return
+	}
+	c := p.spare.Get().(*Ctx)
+	defer p.spare.Put(c)
+
+	workers := p.Workers()
+	if n == 1 || workers <= 1 {
+		// Serial fast path: no goroutine handoff for single tasks or
+		// single-worker pools, with the same run-all-then-panic semantics.
+		var first *TaskPanic
+		for i := 0; i < n; i++ {
+			if tp := runContained(c, fn, i); tp != nil && first == nil {
+				first = tp
+			}
+		}
+		if first != nil {
+			panic(first)
+		}
+		return
+	}
+
+	b := &batch{n: int64(n), fn: fn, done: make(chan struct{})}
+	b.pending.Store(int64(n))
+
+	// Announce the batch to at most n-1 helpers (the caller takes a
+	// share). Dropping announcements when the queue is full is safe: the
+	// caller's own work loop guarantees the batch completes.
+	helpers := workers
+	if n-1 < helpers {
+		helpers = n - 1
+	}
+	p.ensureWorkers(helpers)
+announce:
+	for k := 0; k < helpers; k++ {
+		select {
+		case p.queue <- b:
+		default:
+			break announce // queue full; caller and enqueued helpers suffice
+		}
+	}
+
+	b.work(c)
+	<-b.done
+	if tp := b.failed.Load(); tp != nil {
+		panic(tp)
+	}
+}
+
+// runContained executes one task serially with the same panic capture as
+// the pooled path.
+func runContained(c *Ctx, fn func(c *Ctx, i int), i int) (tp *TaskPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			tp = &TaskPanic{Task: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(c, i)
+	return nil
+}
+
+// Acquire returns a recycled context for inline use on the calling
+// goroutine, so serial entry points (a single closure, a tiny event
+// batch) share the same scratch-slot recycling as pooled tasks without
+// any handoff — and without the closure allocation a callback API would
+// force on hot paths. Pair with Release, typically via defer.
+func (p *Pool) Acquire() *Ctx { return p.spare.Get().(*Ctx) }
+
+// Release returns an Acquired context to the pool.
+func (p *Pool) Release(c *Ctx) { p.spare.Put(c) }

@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunExecutesEveryTaskOnce drives the work-stealing cursor to
+// exhaustion: every index in [0,n) must be executed exactly once, for
+// task counts around the worker count and far above it.
+func TestRunExecutesEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, workers - 1, workers, workers + 1, 3*workers + 1, 1000} {
+			if n < 0 {
+				continue
+			}
+			counts := make([]atomic.Int32, n)
+			p.Run(n, func(c *Ctx, i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDeterministicOrdering checks the contract callers rely on for
+// bit-identical outputs: index-addressed results are identical across
+// repeated pooled runs and equal to the serial computation. Run under
+// -race this also exercises the completion ordering.
+func TestRunDeterministicOrdering(t *testing.T) {
+	const n = 500
+	p := New(4)
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for rep := 0; rep < 20; rep++ {
+		got := make([]int, n)
+		p.Run(n, func(c *Ctx, i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rep %d: got[%d] = %d, want %d", rep, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPanicContainment: a panicking task must not kill a pool worker, the
+// rest of the batch must still run, Run must re-panic with a *TaskPanic,
+// and the pool must remain fully usable afterwards.
+func TestPanicContainment(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		const n = 64
+		var ran atomic.Int32
+		func() {
+			defer func() {
+				r := recover()
+				tp, ok := r.(*TaskPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T (%v), want *TaskPanic", workers, r, r)
+				}
+				if tp.Value != "boom" || tp.Task != 13 {
+					t.Fatalf("workers=%d: TaskPanic = {Task:%d Value:%v}", workers, tp.Task, tp.Value)
+				}
+				if !strings.Contains(tp.Error(), "boom") {
+					t.Fatalf("workers=%d: Error() lacks panic value: %s", workers, tp.Error())
+				}
+			}()
+			p.Run(n, func(c *Ctx, i int) {
+				if i == 13 {
+					panic("boom")
+				}
+				ran.Add(1)
+			})
+			t.Fatalf("workers=%d: Run did not panic", workers)
+		}()
+		if got := ran.Load(); got != n-1 {
+			t.Fatalf("workers=%d: %d non-panicking tasks ran, want %d", workers, got, n-1)
+		}
+		// The pool survives: a follow-up batch completes normally.
+		var after atomic.Int32
+		p.Run(n, func(c *Ctx, i int) { after.Add(1) })
+		if after.Load() != n {
+			t.Fatalf("workers=%d: pool unusable after panic: %d/%d tasks ran", workers, after.Load(), n)
+		}
+	}
+}
+
+// TestNestedRunCompletes guards the deadlock-freedom property: tasks that
+// themselves submit batches to the same pool must complete even when the
+// outer batch occupies every worker, because submitters participate in
+// their own batches.
+func TestNestedRunCompletes(t *testing.T) {
+	p := New(2)
+	var total atomic.Int32
+	p.Run(8, func(c *Ctx, i int) {
+		p.Run(8, func(c *Ctx, j int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested runs executed %d tasks, want 64", total.Load())
+	}
+}
+
+// TestScratchSlots checks that slot values stick to their context and are
+// reused across batches — the property the closure scratch relies on.
+func TestScratchSlots(t *testing.T) {
+	id := NewSlotID()
+	other := NewSlotID()
+	p := New(4)
+	var reused atomic.Int32
+	for rep := 0; rep < 50; rep++ {
+		p.Run(32, func(c *Ctx, i int) {
+			if v := c.Get(id); v != nil {
+				reused.Add(1)
+				if _, ok := v.(*[]int); !ok {
+					t.Errorf("slot holds %T, want *[]int", v)
+				}
+			} else {
+				buf := make([]int, 8)
+				c.Set(id, &buf)
+			}
+			if c.Get(other) != nil {
+				t.Error("unset slot returned non-nil")
+			}
+		})
+	}
+	if reused.Load() == 0 {
+		t.Fatal("scratch slots were never reused across batches")
+	}
+}
+
+// TestAcquireRelease checks the inline-context contract: an acquired
+// context round-trips slot values and survives release/reacquire cycles.
+// Recycling itself goes through sync.Pool and is deliberately best-effort
+// (the race detector randomizes it), so persistence across uses is only
+// asserted for pool-worker contexts (TestScratchSlots), never here.
+func TestAcquireRelease(t *testing.T) {
+	id := NewSlotID()
+	p := New(4)
+	for rep := 0; rep < 100; rep++ {
+		c := p.Acquire()
+		if c == nil {
+			t.Fatal("Acquire returned nil context")
+		}
+		if v := c.Get(id); v != nil && v != 42 {
+			t.Fatalf("slot holds unexpected value %v", v)
+		}
+		c.Set(id, 42)
+		if c.Get(id) != 42 {
+			t.Fatal("slot value did not round-trip")
+		}
+		p.Release(c)
+	}
+}
+
+// TestConcurrentSubmitters checks that many goroutines can share one pool.
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New(4)
+	var total atomic.Int64
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for rep := 0; rep < 50; rep++ {
+				p.Run(17, func(c *Ctx, i int) { total.Add(1) })
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if want := int64(8 * 50 * 17); total.Load() != want {
+		t.Fatalf("executed %d tasks, want %d", total.Load(), want)
+	}
+}
+
+func TestDefaultPool(t *testing.T) {
+	if Default() == nil || Default().Workers() < 1 {
+		t.Fatal("default pool missing or empty")
+	}
+	if p := New(0); p.Workers() < 1 {
+		t.Fatal("New(0) should size to GOMAXPROCS")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dfsm"
+	"repro/internal/exec"
 	"repro/internal/gfp"
 	"repro/internal/lattice"
 	"repro/internal/machines"
@@ -405,15 +406,19 @@ type SensorResult struct {
 // fusion exists by construction (one 3-state sum counter for f=1). We
 // verify the constructed fusions with the fault-graph criterion on small n
 // and with direct recovery at scale.
+// Sensor construction and replay both run on the shared worker pool:
+// each sensor is independent, so building the n machines and replaying
+// the stream through them shard cleanly, and the index-addressed writes
+// keep the result identical to the serial computation.
 func Sensor(n, k, f int, seed int64) (*SensorResult, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("experiments: sensor modulus %d", k)
 	}
-	sensors := machines.SensorCounters(n, k)
+	pool := exec.Default()
+	sensors := make([]*dfsm.Machine, n)
+	pool.Run(n, func(_ *exec.Ctx, i int) { sensors[i] = machines.SensorCounter(i, k) })
 	fusions := make([]*dfsm.Machine, f)
-	for m := 0; m < f; m++ {
-		fusions[m] = machines.SensorFusion(n, k, m)
-	}
+	pool.Run(f, func(_ *exec.Ctx, m int) { fusions[m] = machines.SensorFusion(n, k, m) })
 	start := time.Now()
 
 	// Recovery check without materializing the k^n-state top: crash f
@@ -434,15 +439,11 @@ func Sensor(n, k, f int, seed int64) (*SensorResult, error) {
 
 	gen := trace.NewGenerator(seed, sensors)
 	events := gen.Take(200)
-	// Ground truth.
+	// Ground truth, replayed shard-parallel across the pool.
 	truth := make([]int, n)
-	for i, s := range sensors {
-		truth[i] = s.Run(events)
-	}
+	pool.Run(n, func(_ *exec.Ctx, i int) { truth[i] = sensors[i].Run(events) })
 	fusionStates := make([]int, f)
-	for m, fm := range fusions {
-		fusionStates[m] = fm.Run(events)
-	}
+	pool.Run(f, func(_ *exec.Ctx, m int) { fusionStates[m] = fusions[m].Run(events) })
 	// Crash sensor 0 (and for f≥2, sensor 1): recover via the fusion sums.
 	res.RecoveryOK = sensorRecover(n, k, f, truth, fusionStates)
 	res.Elapsed = time.Since(start)

@@ -105,13 +105,21 @@ func WeightedCounter(name string, k, w0, w1 int) *dfsm.Machine {
 	return dfsm.MustMachine(name, states, []string{EventZero, EventOne}, delta, 0)
 }
 
+// SensorCounter returns the i-th sensor of the paper's sensor network: a
+// mod-k counter named "Sensor<i>" counting its own event "e<i>".
+// Construction of distinct sensors is independent, which is what lets
+// experiments.Sensor build large networks on the shared worker pool.
+func SensorCounter(i, k int) *dfsm.Machine {
+	return ModCounter(fmt.Sprintf("Sensor%d", i), k, fmt.Sprintf("e%d", i))
+}
+
 // SensorCounters returns n mod-k counters, each counting its own event
 // "e<i>" — the sensor network of the paper's introduction (100 sensors
 // measuring independent environmental parameters).
 func SensorCounters(n, k int) []*dfsm.Machine {
 	out := make([]*dfsm.Machine, n)
 	for i := range out {
-		out[i] = ModCounter(fmt.Sprintf("Sensor%d", i), k, fmt.Sprintf("e%d", i))
+		out[i] = SensorCounter(i, k)
 	}
 	return out
 }

@@ -2,9 +2,9 @@ package partition
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/dfsm"
+	"repro/internal/exec"
 )
 
 // IsClosed reports whether p is a closed (substitution-property) partition
@@ -40,7 +40,10 @@ type statePair struct{ a, b int }
 // closureScratch bundles the per-closure working set — union-find forest,
 // propagation stack, first-of-block table, and the guarded-closure
 // violation index — so MergeClosures' thousands of closures per call can
-// recycle buffers through closurePool instead of allocating each time.
+// recycle buffers instead of allocating each time. One scratch lives in
+// each exec worker's closureSlot, persisting across calls and across
+// whole MergeClosures invocations; serial entry points share the same
+// recycling through the pool's Do contexts.
 type closureScratch struct {
 	uf    *UnionFind
 	stack []statePair
@@ -51,10 +54,18 @@ type closureScratch struct {
 	adj  [][]int
 }
 
-var closurePool = sync.Pool{New: func() any { return &closureScratch{uf: &UnionFind{}} }}
+// closureSlot is the per-worker scratch slot holding a *closureScratch.
+var closureSlot = exec.NewSlotID()
 
-func getClosureScratch(n, blocks int) *closureScratch {
-	s := closurePool.Get().(*closureScratch)
+// scratchFor returns the context's closure scratch reset for an n-state
+// closure over a partition with the given block count, allocating it on
+// the worker's first use.
+func scratchFor(c *exec.Ctx, n, blocks int) *closureScratch {
+	s, _ := c.Get(closureSlot).(*closureScratch)
+	if s == nil {
+		s = &closureScratch{uf: &UnionFind{}}
+		c.Set(closureSlot, s)
+	}
 	s.uf.Reset(n)
 	s.stack = s.stack[:0]
 	if cap(s.first) >= blocks {
@@ -83,8 +94,6 @@ func (s *closureScratch) resetGuarded(n int) {
 	}
 }
 
-func putClosureScratch(s *closureScratch) { closurePool.Put(s) }
-
 // Close computes the finest closed partition that is coarser than or equal
 // to p — i.e. the largest machine (in the paper's order, the maximal closed
 // partition ≤ is reversed: Close(p) is the closed partition with the most
@@ -94,9 +103,18 @@ func putClosureScratch(s *closureScratch) { closurePool.Put(s) }
 //
 // Complexity: O(N·|Σ|·α(N)) unions in the worst case.
 func Close(top *dfsm.Machine, p P) P {
+	pool := exec.Default()
+	c := pool.Acquire()
+	defer pool.Release(c)
+	return closeOn(c, top, p)
+}
+
+// closeOn is Close running on an exec context, whose scratch slot
+// supplies the recycled working set. It is the task body of the pooled
+// merge-closure fan-out.
+func closeOn(c *exec.Ctx, top *dfsm.Machine, p P) P {
 	n := top.NumStates()
-	sc := getClosureScratch(n, p.NumBlocks())
-	defer putClosureScratch(sc)
+	sc := scratchFor(c, n, p.NumBlocks())
 	uf := sc.uf
 	stack := sc.stack
 
@@ -148,9 +166,16 @@ func CloseMergingStates(top *dfsm.Machine, p P, x, y int) P {
 // the absorbed root's tags against their partners' roots — O(tags·deg) per
 // union instead of a full O(|forbidden|) rescan with two Finds per pair.
 func CloseGuarded(top *dfsm.Machine, p P, forbidden [][2]int) (P, bool) {
+	pool := exec.Default()
+	c := pool.Acquire()
+	defer pool.Release(c)
+	return closeGuardedOn(c, top, p, forbidden)
+}
+
+// closeGuardedOn is CloseGuarded running on an exec context; see closeOn.
+func closeGuardedOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]int) (P, bool) {
 	n := top.NumStates()
-	sc := getClosureScratch(n, p.NumBlocks())
-	defer putClosureScratch(sc)
+	sc := scratchFor(c, n, p.NumBlocks())
 	sc.resetGuarded(n)
 	uf := sc.uf
 	stack := sc.stack

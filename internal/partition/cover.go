@@ -1,11 +1,8 @@
 package partition
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/dfsm"
+	"repro/internal/exec"
 )
 
 // LowerCover computes the lower cover of the machine corresponding to the
@@ -16,7 +13,7 @@ import (
 //
 // Complexity: O(B²) closures where B is the number of blocks of p; each
 // closure is O(N·|Σ|·α). The per-pair closures are independent, so they are
-// fanned out across a worker pool — this is the hot inner loop of
+// fanned out across the shared worker pool — this is the hot inner loop of
 // Algorithm 2.
 func LowerCover(top *dfsm.Machine, p P) []P {
 	return LowerCoverFiltered(top, p, nil)
@@ -30,8 +27,17 @@ func LowerCover(top *dfsm.Machine, p P) []P {
 // the lower cover — Algorithm 2 uses this as its fast path because the
 // maximality filter costs O(B⁴·N) comparisons at the top of large lattices
 // while adding nothing to correctness (see core.GenerateFusion).
+//
+// Parallelism comes from the package-level exec pool; use MergeClosuresOn
+// to run on an explicitly sized pool (fusion.Engine does).
 func MergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
-	return mergeClosures(top, p, keep)
+	return MergeClosuresOn(exec.Default(), top, p, keep)
+}
+
+// MergeClosuresOn is MergeClosures drawing its parallelism from the given
+// persistent pool instead of the package default.
+func MergeClosuresOn(pool *exec.Pool, top *dfsm.Machine, p P, keep func(P) bool) []P {
+	return mergeClosures(pool, top, p, keep)
 }
 
 // MergeClosuresGuarded is MergeClosures specialized to the "must keep
@@ -40,8 +46,13 @@ func MergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
 // completing and failing the check afterwards. Semantically identical to
 // MergeClosures(top, p, func(c){c separates all forbidden pairs}).
 func MergeClosuresGuarded(top *dfsm.Machine, p P, forbidden [][2]int) []P {
-	return runMergeClosures(p, func(p P, x, y int) (P, bool) {
-		return CloseGuarded(top, p.MergeBlocks(p.BlockOf(x), p.BlockOf(y)), forbidden)
+	return MergeClosuresGuardedOn(exec.Default(), top, p, forbidden)
+}
+
+// MergeClosuresGuardedOn is MergeClosuresGuarded on an explicit pool.
+func MergeClosuresGuardedOn(pool *exec.Pool, top *dfsm.Machine, p P, forbidden [][2]int) []P {
+	return runMergeClosures(pool, p, func(c *exec.Ctx, p P, x, y int) (P, bool) {
+		return closeGuardedOn(c, top, p.MergeBlocks(p.BlockOf(x), p.BlockOf(y)), forbidden)
 	})
 }
 
@@ -51,7 +62,7 @@ func MergeClosuresGuarded(top *dfsm.Machine, p P, forbidden [][2]int) []P {
 // fault-graph edges, matching line 6 of the paper's pseudocode (only
 // candidates that increase dmin are ever descended into).
 func LowerCoverFiltered(top *dfsm.Machine, p P, keep func(P) bool) []P {
-	uniq := mergeClosures(top, p, keep)
+	uniq := mergeClosures(exec.Default(), top, p, keep)
 
 	// Keep maximal elements: drop c if some other candidate d is strictly
 	// finer than c (c < d means c is coarser, hence not maximal).
@@ -74,11 +85,11 @@ func LowerCoverFiltered(top *dfsm.Machine, p P, keep func(P) bool) []P {
 	return cover
 }
 
-func mergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
-	return runMergeClosures(p, func(p P, x, y int) (P, bool) {
-		c := CloseMergingStates(top, p, x, y)
-		if keep == nil || keep(c) {
-			return c, true
+func mergeClosures(pool *exec.Pool, top *dfsm.Machine, p P, keep func(P) bool) []P {
+	return runMergeClosures(pool, p, func(c *exec.Ctx, p P, x, y int) (P, bool) {
+		cand := closeOn(c, top, p.MergeBlocks(p.BlockOf(x), p.BlockOf(y)))
+		if keep == nil || keep(cand) {
+			return cand, true
 		}
 		return P{}, false
 	})
@@ -86,9 +97,12 @@ func mergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
 
 // runMergeClosures evaluates close(p, x, y) for one representative state
 // pair (x, y) per unordered block pair of p, fanning the closures out over
-// a single worker pool with an atomic task cursor (no mutex on the hot
-// path), then deduplicates the survivors by (Hash, Equal) in task order.
-func runMergeClosures(p P, closeFn func(p P, x, y int) (P, bool)) []P {
+// the persistent worker pool (the pool's atomic cursor load-balances the
+// tasks; per-worker scratch slots recycle the union-find working sets),
+// then deduplicates the survivors by (Hash, Equal) in task order. Results
+// are written into task-indexed slots, so the output is deterministic
+// regardless of worker scheduling.
+func runMergeClosures(pool *exec.Pool, p P, closeFn func(c *exec.Ctx, p P, x, y int) (P, bool)) []P {
 	blocks := p.Blocks()
 	b := len(blocks)
 	if b <= 1 {
@@ -105,44 +119,13 @@ func runMergeClosures(p P, closeFn func(p P, x, y int) (P, bool)) []P {
 
 	candidates := make([]P, len(tasks))
 	valid := make([]bool, len(tasks))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next atomic.Int64
-	if workers == 1 {
-		// Avoid goroutine + scheduler overhead for tiny lattices.
-		for k, t := range tasks {
-			if c, ok := closeFn(p, blocks[t.i][0], blocks[t.j][0]); ok {
-				candidates[k] = c
-				valid[k] = true
-			}
+	pool.Run(len(tasks), func(c *exec.Ctx, k int) {
+		t := tasks[k]
+		if cand, ok := closeFn(c, p, blocks[t.i][0], blocks[t.j][0]); ok {
+			candidates[k] = cand
+			valid[k] = true
 		}
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					k := int(next.Add(1)) - 1
-					if k >= len(tasks) {
-						return
-					}
-					t := tasks[k]
-					if c, ok := closeFn(p, blocks[t.i][0], blocks[t.j][0]); ok {
-						candidates[k] = c
-						valid[k] = true
-					}
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	})
 
 	// Deduplicate by hash with Equal confirmation, preserving task order.
 	seen := NewSet(len(tasks))

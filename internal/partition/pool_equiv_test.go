@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfsm"
+	"repro/internal/exec"
+)
+
+// serialMergeClosures is the reference implementation of MergeClosures:
+// one goroutine, no pool, dedup in block-pair order. The pooled fan-out
+// must reproduce its output exactly (same candidates, same order) for
+// every worker count — that is what keeps Algorithm 2's candidate
+// selection, and therefore the generated fusions, bit-identical.
+func serialMergeClosures(top *dfsm.Machine, p P, keep func(P) bool) []P {
+	blocks := p.Blocks()
+	seen := NewSet(len(blocks))
+	var uniq []P
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			c := Close(top, p.MergeBlocks(p.BlockOf(blocks[i][0]), p.BlockOf(blocks[j][0])))
+			if keep != nil && !keep(c) {
+				continue
+			}
+			if seen.Add(c) {
+				uniq = append(uniq, c)
+			}
+		}
+	}
+	return uniq
+}
+
+func samePartitionSeq(a, b []P) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeClosuresPooledMatchesSerial is the pooled-vs-serial
+// equivalence property: for random tops, random starting partitions and
+// every pool size, MergeClosuresOn returns the serial reference's exact
+// candidate sequence.
+func TestMergeClosuresPooledMatchesSerial(t *testing.T) {
+	pools := []*exec.Pool{exec.New(1), exec.New(2), exec.New(4), exec.New(7)}
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		top := dfsm.RandomMachine(rng, "T", 2+rng.Intn(10), []string{"a", "b", "c"})
+		n := top.NumStates()
+		p := Singletons(n)
+		for k := rng.Intn(3); k > 0; k-- { // random coarser starting point
+			p = Close(top, p.MergeBlocks(rng.Intn(p.NumBlocks()), rng.Intn(p.NumBlocks())))
+		}
+		var keep func(P) bool
+		if trial%2 == 1 {
+			limit := 1 + rng.Intn(n)
+			keep = func(c P) bool { return c.NumBlocks() >= limit }
+		}
+		want := serialMergeClosures(top, p, keep)
+		for _, pool := range pools {
+			got := MergeClosuresOn(pool, top, p, keep)
+			if !samePartitionSeq(got, want) {
+				t.Fatalf("trial %d workers=%d: pooled %v != serial %v", trial, pool.Workers(), got, want)
+			}
+		}
+	}
+}
+
+// TestMergeClosuresGuardedPooledMatchesSerial extends the property to the
+// guarded (abort-early) evaluation path.
+func TestMergeClosuresGuardedPooledMatchesSerial(t *testing.T) {
+	pools := []*exec.Pool{exec.New(2), exec.New(5)}
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 40; trial++ {
+		top := dfsm.RandomMachine(rng, "T", 3+rng.Intn(9), []string{"a", "b"})
+		n := top.NumStates()
+		p := Singletons(n)
+		var forbidden [][2]int
+		for k := 0; k < rng.Intn(5); k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				forbidden = append(forbidden, [2]int{a, b})
+			}
+		}
+		keep := func(c P) bool {
+			for _, e := range forbidden {
+				if !c.Separates(e[0], e[1]) {
+					return false
+				}
+			}
+			return true
+		}
+		want := serialMergeClosures(top, p, keep)
+		for _, pool := range pools {
+			got := MergeClosuresGuardedOn(pool, top, p, forbidden)
+			if !samePartitionSeq(got, want) {
+				t.Fatalf("trial %d workers=%d: guarded pooled %v != serial %v", trial, pool.Workers(), got, want)
+			}
+		}
+	}
+}

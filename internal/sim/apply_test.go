@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/machines"
+	"repro/internal/trace"
+)
+
+func applyTestCluster(t *testing.T, pool *exec.Pool) *Cluster {
+	t.Helper()
+	ms, err := machines.SuiteMachines(machines.Suite{Machines: []string{"0-Counter", "1-Counter"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClusterOn(pool, ms, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestApplyAllEmptyNoOp: broadcasting an empty batch is an explicit
+// no-op — no step advance, no metrics traffic, no state changes.
+func TestApplyAllEmptyNoOp(t *testing.T) {
+	c := applyTestCluster(t, exec.Default())
+	gen := trace.NewGenerator(3, c.sys.Machines)
+	c.ApplyAll(gen.Take(10))
+	step := c.Step()
+	events := c.Metrics().EventsApplied.Load()
+	states := c.States()
+
+	c.ApplyAll(nil)
+	c.ApplyAll([]string{})
+
+	if got := c.Step(); got != step {
+		t.Fatalf("empty ApplyAll advanced step %d -> %d", step, got)
+	}
+	if got := c.Metrics().EventsApplied.Load(); got != events {
+		t.Fatalf("empty ApplyAll counted events %d -> %d", events, got)
+	}
+	for i, s := range c.States() {
+		if s != states[i] {
+			t.Fatalf("empty ApplyAll changed server %d state %d -> %d", i, states[i], s)
+		}
+	}
+}
+
+// TestApplyAllShardedMatchesSerial: the pooled shard executor must leave
+// every server and the oracle in exactly the state a serial broadcast
+// produces, including batches large enough to cross applyPoolThreshold.
+func TestApplyAllShardedMatchesSerial(t *testing.T) {
+	serial := applyTestCluster(t, exec.New(1))
+	pooled := applyTestCluster(t, exec.New(4))
+	if len(pooled.shards) < 2 {
+		t.Fatalf("pooled cluster has %d shards, want several", len(pooled.shards))
+	}
+
+	gen := trace.NewGenerator(11, serial.sys.Machines)
+	big := gen.Take(applyPoolThreshold) // far past the inline threshold
+	for _, batch := range [][]string{big[:7], big[7:9], big[9:]} {
+		serial.ApplyAll(batch)
+		pooled.ApplyAll(batch)
+	}
+
+	ss, ps := serial.States(), pooled.States()
+	for i := range ss {
+		if ss[i] != ps[i] {
+			t.Fatalf("server %d: serial state %d, pooled state %d", i, ss[i], ps[i])
+		}
+	}
+	for i := range serial.oracle {
+		if serial.oracle[i] != pooled.oracle[i] {
+			t.Fatalf("oracle %d: serial %d, pooled %d", i, serial.oracle[i], pooled.oracle[i])
+		}
+	}
+	if bad := pooled.Verify(); len(bad) != 0 {
+		t.Fatalf("pooled cluster inconsistent: %v", bad)
+	}
+	if serial.Step() != pooled.Step() {
+		t.Fatalf("steps diverged: serial %d, pooled %d", serial.Step(), pooled.Step())
+	}
+}

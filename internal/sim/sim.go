@@ -5,8 +5,12 @@
 // environment then pauses, the recovery coordinator collects the surviving
 // states and runs Algorithm 3, and execution resumes.
 //
-// The cluster runs one goroutine per server when applying event batches —
-// servers are independent, so the broadcast fan-out parallelizes cleanly.
+// Event application is driven by the shared persistent worker pool
+// (internal/exec) rather than a goroutine per server per batch: servers
+// are sharded across the pool workers once at cluster construction, and
+// each ApplyAll streams its event window through those shards, so the
+// per-batch cost is a handful of task handoffs instead of a full
+// goroutine fan-out. Small batches skip the pool entirely and run inline.
 package sim
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dfsm"
+	"repro/internal/exec"
 	"repro/internal/partition"
 	"repro/internal/trace"
 )
@@ -43,6 +48,12 @@ type Cluster struct {
 	fusion []partition.P
 	fms    []*dfsm.Machine
 
+	// pool executes the event broadcast; shards are the contiguous
+	// [lo,hi) server ranges distributed over it, computed once at
+	// construction and reused by every ApplyAll.
+	pool   *exec.Pool
+	shards [][2]int
+
 	servers []*server
 	// oracle tracks the true state every server would have without faults;
 	// it is the simulation's ground truth for verification, not visible to
@@ -60,11 +71,19 @@ type Cluster struct {
 // system, generates the minimal fusion with Algorithm 2, and starts every
 // server in its initial state.
 func NewCluster(originals []*dfsm.Machine, f int, seed int64) (*Cluster, error) {
+	return NewClusterOn(exec.Default(), originals, f, seed)
+}
+
+// NewClusterOn is NewCluster running fusion generation and event
+// broadcast on the given persistent pool instead of the shared default;
+// fusion.Engine routes its clusters through here. The pool choice never
+// changes simulation results: the same seed yields the same run.
+func NewClusterOn(pool *exec.Pool, originals []*dfsm.Machine, f int, seed int64) (*Cluster, error) {
 	sys, err := core.NewSystem(originals)
 	if err != nil {
 		return nil, err
 	}
-	F, err := core.GenerateFusion(sys, f, core.GenerateOptions{})
+	F, err := core.GenerateFusion(sys, f, core.GenerateOptions{Pool: pool})
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +95,7 @@ func NewCluster(originals []*dfsm.Machine, f int, seed int64) (*Cluster, error) 
 		sys:    sys,
 		fusion: F,
 		fms:    fms,
+		pool:   pool,
 		rng:    rand.New(rand.NewSource(seed)),
 		f:      f,
 	}
@@ -93,16 +113,33 @@ func NewCluster(originals []*dfsm.Machine, f int, seed int64) (*Cluster, error) 
 	for i, s := range c.servers {
 		c.oracle[i] = s.state
 	}
+	// Shard the servers across the pool workers once; every subsequent
+	// ApplyAll streams its event window through these fixed ranges.
+	n := len(c.servers)
+	nshards := pool.Workers()
+	if nshards > n {
+		nshards = n
+	}
+	for k := 0; k < nshards; k++ {
+		lo, hi := k*n/nshards, (k+1)*n/nshards
+		c.shards = append(c.shards, [2]int{lo, hi})
+	}
 	return c, nil
 }
 
 // System exposes the underlying fusion system.
 func (c *Cluster) System() *core.System { return c.sys }
 
-// Fusion returns the generated fusion partitions.
+// Fusion returns the generated fusion partitions. The slice is a fresh
+// defensive copy on every call (the cluster's own set must stay
+// immutable); callers on hot paths should call once and retain the
+// result rather than re-query per event batch. The partitions themselves
+// are immutable values and are not deep-copied.
 func (c *Cluster) Fusion() []partition.P { return append([]partition.P(nil), c.fusion...) }
 
-// FusionMachines returns the materialized fusion machines.
+// FusionMachines returns the materialized fusion machines. As with
+// Fusion, the slice is a per-call defensive copy — cache it outside hot
+// loops. The machines are immutable and shared, not cloned.
 func (c *Cluster) FusionMachines() []*dfsm.Machine { return append([]*dfsm.Machine(nil), c.fms...) }
 
 // ServerNames lists all server names, originals first.
@@ -128,32 +165,52 @@ func (c *Cluster) Apply(event string) {
 	c.ApplyAll([]string{event})
 }
 
-// ApplyAll broadcasts a batch of events, fanning out across servers with
-// one goroutine per server. The oracle advances in lockstep.
+// applyPoolThreshold is the minimum number of server×event steps below
+// which ApplyAll runs inline: tiny batches finish faster on the calling
+// goroutine than any handoff to the pool could.
+const applyPoolThreshold = 4096
+
+// ApplyAll broadcasts a batch of events to every server. The window is
+// streamed through the cluster's fixed server shards on the persistent
+// worker pool — one task per shard per batch, amortizing the fan-out that
+// a goroutine-per-server broadcast paid on every call — and the oracle
+// advances in lockstep. An empty batch is an explicit no-op: no lock, no
+// pool traffic, no step-counter or metrics change.
 func (c *Cluster) ApplyAll(events []string) {
+	if len(events) == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var wg sync.WaitGroup
-	for i, s := range c.servers {
-		wg.Add(1)
-		go func(i int, s *server) {
-			defer wg.Done()
-			for _, ev := range events {
-				if !s.crashed {
-					s.state = s.machine.Next(s.state, ev)
-				}
-			}
-			// Oracle: replay from the oracle state regardless of faults.
-			st := c.oracle[i]
-			for _, ev := range events {
-				st = s.machine.Next(st, ev)
-			}
-			c.oracle[i] = st
-		}(i, s)
+	if len(c.shards) <= 1 || len(events)*len(c.servers) < applyPoolThreshold {
+		c.applyRange(0, len(c.servers), events)
+	} else {
+		c.pool.Run(len(c.shards), func(_ *exec.Ctx, k int) {
+			c.applyRange(c.shards[k][0], c.shards[k][1], events)
+		})
 	}
-	wg.Wait()
 	c.step += len(events)
 	c.metrics.EventsApplied.Add(int64(len(events)))
+}
+
+// applyRange applies the event window to servers [lo, hi) — the body of
+// one shard task. Shards are disjoint, so no synchronization is needed
+// beyond the batch completion the pool provides.
+func (c *Cluster) applyRange(lo, hi int, events []string) {
+	for i := lo; i < hi; i++ {
+		s := c.servers[i]
+		for _, ev := range events {
+			if !s.crashed {
+				s.state = s.machine.Next(s.state, ev)
+			}
+		}
+		// Oracle: replay from the oracle state regardless of faults.
+		st := c.oracle[i]
+		for _, ev := range events {
+			st = s.machine.Next(st, ev)
+		}
+		c.oracle[i] = st
+	}
 }
 
 // Inject applies a fault to the named server. Crash loses the state;

@@ -36,9 +36,11 @@ fi
 awk -v thr="$THRESHOLD" -v gate="$GATE" '
   # Benchmark result lines look like:
   #   BenchmarkClosure-8   24681   48496 ns/op   25080 B/op   28 allocs/op
+  # Names are compared verbatim, GOMAXPROCS suffix included: a -cpu sweep
+  # (CI smoke runs 1,4) produces distinct rows per cpu count, and a row
+  # only gates against a baseline row measured at the same parallelism.
   /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
     for (i = 2; i < NF; i++) {
       if ($(i + 1) == "ns/op") { ns = $i + 0; break }
     }
@@ -47,13 +49,26 @@ awk -v thr="$THRESHOLD" -v gate="$GATE" '
   }
   END {
     fail = 0
+    matched = 0
     for (k = 1; k <= n; k++) {
       name = order[k]
       if (!(name in base)) { printf("NEW      %-50s %12.1f ns/op\n", name, latest[name]); continue }
+      matched++
       delta = (latest[name] - base[name]) * 100.0 / base[name]
       printf("%-8s %-50s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
              delta > thr ? "REGRESS" : "ok", name, base[name], latest[name], delta)
       if (delta > thr) fail = 1
+    }
+    # A gate that compared nothing is a broken gate, not a pass: verbatim
+    # names mean a GOMAXPROCS mismatch (different -cpu / machine procs)
+    # yields zero overlap, and silently exiting 0 would let any regression
+    # through. Re-promote a baseline at the current parallelism instead.
+    if (n > 0 && matched == 0) {
+      printf("no baseline rows match the current benchmark names (GOMAXPROCS suffix mismatch?)\n") > "/dev/stderr"
+      if (gate) {
+        printf("gating is enabled on this machine but nothing was compared; run scripts/bench-update.sh to promote a baseline at this parallelism\n") > "/dev/stderr"
+        exit 1
+      }
     }
     if (fail && gate) {
       printf("benchmark regression above %s%% threshold\n", thr) > "/dev/stderr"
