@@ -1,0 +1,179 @@
+package fusion
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission-control errors. Services map these to backpressure responses
+// (HTTP 429 / 503); see internal/server.
+var (
+	// ErrQueueFull is returned by Acquire when the engine is at its
+	// in-flight limit and the wait queue is also full — the caller should
+	// shed the request and retry later.
+	ErrQueueFull = errors.New("fusion: admission queue full")
+	// ErrQueueTimeout is returned by Acquire when a queued request waited
+	// longer than the engine's QueueTimeout without a slot freeing up.
+	ErrQueueTimeout = errors.New("fusion: timed out waiting for admission")
+	// ErrEngineClosed is returned by Acquire once Close has begun: the
+	// engine is draining and accepts no new work.
+	ErrEngineClosed = errors.New("fusion: engine closed")
+)
+
+// admission is a bounded semaphore with a FIFO wait queue — the
+// backpressure layer in front of an Engine's worker pool. At most
+// maxInFlight callers hold slots concurrently; up to queueDepth more wait
+// in arrival order; everyone else is rejected immediately with
+// ErrQueueFull, so overload degrades into fast rejections instead of an
+// unbounded pile of goroutines contending for the pool.
+//
+// The zero value (maxInFlight == 0) admits everything and only counts
+// in-flight work, which keeps the drain path of Close uniform.
+type admission struct {
+	maxInFlight int           // 0 = unlimited
+	queueDepth  int           // waiters tolerated beyond the in-flight limit
+	timeout     time.Duration // 0 = queued callers wait until ctx cancels
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled when inflight drops during a drain
+	closed   bool
+	inflight int
+	waiters  []*waiter // FIFO; front is next to be granted
+}
+
+// waiter is one queued Acquire. grant carries nil ("you now hold a slot")
+// or a terminal error; it is buffered so granting never blocks the holder
+// of the admission mutex.
+type waiter struct {
+	grant chan error
+}
+
+func newAdmission(maxInFlight, queueDepth int, timeout time.Duration) *admission {
+	a := &admission{maxInFlight: maxInFlight, queueDepth: queueDepth, timeout: timeout}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// Acquire blocks until the caller holds an in-flight slot, the queue
+// rejects it, or ctx is cancelled. A nil return means the caller MUST
+// Release exactly once. ctx may be nil for "no cancellation".
+func (a *admission) Acquire(ctx context.Context) error {
+	// A dead request must not consume a slot ahead of live queued ones:
+	// the caller may have disconnected while its body was being read.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrEngineClosed
+	}
+	if a.maxInFlight <= 0 || a.inflight < a.maxInFlight {
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.waiters) >= a.queueDepth {
+		a.mu.Unlock()
+		return ErrQueueFull
+	}
+	w := &waiter{grant: make(chan error, 1)}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	var timeoutC <-chan time.Time
+	if a.timeout > 0 {
+		timer := time.NewTimer(a.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	var cancelC <-chan struct{}
+	if ctx != nil {
+		cancelC = ctx.Done()
+	}
+	select {
+	case err := <-w.grant:
+		return err
+	case <-timeoutC:
+		return a.abandon(w, ErrQueueTimeout)
+	case <-cancelC:
+		return a.abandon(w, ctx.Err())
+	}
+}
+
+// abandon withdraws a queued waiter after a timeout or cancellation. If a
+// grant raced the withdrawal (Release had already popped the waiter and
+// handed it the slot), the slot is passed straight on so capacity is never
+// lost; the caller still observes the timeout.
+func (a *admission) abandon(w *waiter, err error) error {
+	a.mu.Lock()
+	for i, q := range a.waiters {
+		if q == w {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			a.mu.Unlock()
+			return err
+		}
+	}
+	a.mu.Unlock()
+	// Not queued anymore: a grant or a Close verdict is already in the
+	// buffered channel. Give back what we were granted.
+	if granted := <-w.grant; granted == nil {
+		a.Release()
+	}
+	return err
+}
+
+// Release returns an in-flight slot. If anyone is queued, the slot is
+// handed to the front waiter directly (in-flight count unchanged), which
+// preserves FIFO admission order.
+func (a *admission) Release() {
+	a.mu.Lock()
+	if len(a.waiters) > 0 && !a.closed {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.mu.Unlock()
+		w.grant <- nil
+		return
+	}
+	a.inflight--
+	if a.closed && a.inflight == 0 {
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// Close rejects all queued waiters with ErrEngineClosed, refuses new
+// Acquires, and blocks until every in-flight slot has been Released.
+// Idempotent; concurrent Closes all return once the drain completes.
+func (a *admission) Close() {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		for _, w := range a.waiters {
+			w.grant <- ErrEngineClosed
+		}
+		a.waiters = nil
+	}
+	for a.inflight > 0 {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}
+
+// InFlight returns the number of currently admitted (unreleased) callers.
+func (a *admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Queued returns the number of callers waiting for admission.
+func (a *admission) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters)
+}

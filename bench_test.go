@@ -9,7 +9,9 @@
 package fusion_test
 
 import (
+	"bytes"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 
 	fusion "repro"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/machines"
 	"repro/internal/partition"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -351,6 +354,27 @@ func BenchmarkApplyAll(b *testing.B) {
 				c.ApplyAll(batch)
 			}
 		})
+	}
+}
+
+// BenchmarkServerGenerate measures one fusiond generate round trip fully
+// in-process (request decode → admission → Algorithm 2 on the engine →
+// response encode), no network: the service-layer overhead on top of the
+// BenchmarkFig1ModCounters workload it wraps.
+func BenchmarkServerGenerate(b *testing.B) {
+	srv := server.New(server.Options{MaxInFlight: 4, QueueDepth: 16})
+	defer srv.Close()
+	h := srv.Handler()
+	body := []byte(`{"zoo":["0-Counter","1-Counter"],"f":1}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("POST", "/v1/generate", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
 	}
 }
 

@@ -1,0 +1,118 @@
+// Command fusiond is the long-running HTTP/JSON service front-end over
+// fusion.Engine: fusion generation (Algorithm 2), simulated deployments
+// with event broadcast and fault injection, and fused-state recovery
+// (Algorithm 3) as endpoints, with per-tenant engines and engine-level
+// admission control so a flood of requests degrades into bounded queueing
+// and fast 429s instead of unbounded goroutines on the worker pool.
+//
+// Usage:
+//
+//	fusiond -addr :8080
+//	fusiond -addr :8080 -workers 8 -max-inflight 4 -queue-depth 16 -queue-timeout 2s
+//
+// Probe it:
+//
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/generate -d '{"zoo":["0-Counter","1-Counter"],"f":1}'
+//
+// See examples/fusiond for a full generate → cluster → inject-fault →
+// recover transcript. SIGINT/SIGTERM shut the daemon down gracefully:
+// in-flight requests finish, queued ones are refused, engines drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fusiond:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fusiond", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "per-tenant worker-pool size (0 = share the process-wide pool)")
+		maxInflight  = fs.Int("max-inflight", 0, "per-tenant concurrent request limit (0 = unlimited)")
+		queueDepth   = fs.Int("queue-depth", 0, "per-tenant admission queue length beyond max-inflight")
+		queueTimeout = fs.Duration("queue-timeout", 0, "how long a queued request waits before 429 (0 = until client disconnect)")
+		maxClusters  = fs.Int("max-clusters", 64, "live clusters per tenant (-1 = unbounded)")
+		maxTenants   = fs.Int("max-tenants", 64, "distinct tenants served before shedding new names (-1 = unbounded)")
+		tenantHeader = fs.String("tenant-header", "X-Fusion-Tenant", "header naming the tenant")
+		grace        = fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP exchanges")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*queueDepth > 0 || *queueTimeout > 0) && *maxInflight <= 0 {
+		return fmt.Errorf("-queue-depth/-queue-timeout do nothing without -max-inflight")
+	}
+
+	srv := server.New(server.Options{
+		TenantHeader: *tenantHeader,
+		Workers:      *workers,
+		MaxInFlight:  *maxInflight,
+		QueueDepth:   *queueDepth,
+		QueueTimeout: *queueTimeout,
+		MaxClusters:  *maxClusters,
+		MaxTenants:   *maxTenants,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	fmt.Fprintf(out, "fusiond: listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return fmt.Errorf("serve: %w", err)
+	case <-sigCtx.Done():
+	}
+	// Unregister the handler right away: a second SIGTERM/SIGINT during a
+	// long drain gets default treatment (kill) instead of being swallowed.
+	stop()
+
+	// Drain the engines first: new requests are refused with 503, queued
+	// admissions fail over, and Close returns once every admitted request
+	// has finished — handlers complete and answer on their still-open
+	// connections. Only then close the listener and reap idle exchanges.
+	// The drain itself is bounded by the grace period: a request that will
+	// not finish must not make the daemon unkillable by SIGTERM.
+	fmt.Fprintln(out, "fusiond: shutting down")
+	drained := make(chan struct{})
+	go func() { srv.Close(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(*grace):
+		fmt.Fprintln(out, "fusiond: drain grace expired; exiting with requests in flight")
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(out, "fusiond: shutdown: %v\n", err)
+	}
+	fmt.Fprintln(out, "fusiond: drained")
+	return nil
+}

@@ -1,6 +1,9 @@
 package fusion
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/sim"
@@ -9,9 +12,33 @@ import (
 // EngineOptions configures an Engine.
 type EngineOptions struct {
 	// Workers is the size of the engine's persistent worker pool. 0 means
-	// "follow runtime.GOMAXPROCS", which also makes NewEngine return the
-	// process-wide default engine instead of allocating a second pool.
+	// "follow runtime.GOMAXPROCS".
 	Workers int
+
+	// Dedicated forces a distinct engine — its own admission state,
+	// in-flight statistics and Close lifecycle — even when Workers is 0
+	// and no admission limit is set. Without it, NewEngine with a zero
+	// options value returns the process-wide default engine — historical
+	// aliasing that callers wanting isolation must opt out of. A
+	// dedicated engine still runs on the shared process-wide pool unless
+	// Workers > 0 asks for a private one. See NewEngine.
+	Dedicated bool
+
+	// MaxInFlight bounds the number of concurrently admitted requests
+	// (Acquire callers). 0 disables admission control: Acquire always
+	// succeeds immediately and only the in-flight count is tracked.
+	MaxInFlight int
+
+	// QueueDepth is how many Acquire callers may wait in FIFO order once
+	// MaxInFlight is reached; beyond that Acquire fails fast with
+	// ErrQueueFull. Meaningless without MaxInFlight > 0 (admission is
+	// disabled, so nothing ever queues).
+	QueueDepth int
+
+	// QueueTimeout bounds how long a queued Acquire waits before giving up
+	// with ErrQueueTimeout. 0 means queued callers wait until their
+	// context is cancelled. Meaningless without MaxInFlight > 0.
+	QueueTimeout time.Duration
 }
 
 // Engine is the execution engine behind fusion generation and cluster
@@ -27,34 +54,94 @@ type EngineOptions struct {
 // returns the same machines and a Cluster the same simulation outcome for
 // a given seed regardless of worker count.
 //
+// In front of the pool sits an admission layer (MaxInFlight, QueueDepth,
+// QueueTimeout): services bracket each request with Acquire/Release so a
+// flood of calls degrades into bounded queueing and fast ErrQueueFull
+// rejections instead of piling unbounded goroutines onto the shared pool.
+// Close drains admitted work and tears the dedicated pool down; fusiond
+// (internal/server) uses exactly this surface for graceful shutdown.
+//
 // The package-level Generate, GenerateWithOptions and NewCluster are thin
 // wrappers over DefaultEngine; construct a dedicated Engine when a
 // service wants capacity isolated from the shared pool.
 type Engine struct {
-	pool *exec.Pool
+	pool     *exec.Pool
+	ownsPool bool // false for the shared default pool, which Close must not stop
+	admit    *admission
 }
 
-var defaultEngine = &Engine{pool: exec.Default()}
+var defaultEngine = &Engine{pool: exec.Default(), admit: newAdmission(0, 0, 0)}
 
 // DefaultEngine returns the process-wide engine, whose pool follows
 // GOMAXPROCS.
 func DefaultEngine() *Engine { return defaultEngine }
 
-// NewEngine returns an engine with a dedicated worker pool of the given
-// size; with Workers == 0 it returns the shared default engine.
+// NewEngine returns an engine with the given pool size and admission
+// limits. Engines are meant to be long-lived (one per service or tenant,
+// not one per request): workers spawn lazily on first parallel use and
+// live until Close.
 //
-// Engines are meant to be long-lived (one per service or tenant, not one
-// per request): workers spawn lazily on first parallel use and are never
-// torn down.
+// Aliasing rule: with a zero options value NewEngine returns the shared
+// default engine rather than allocating fresh state — callers that want
+// isolation despite default settings must set Dedicated. Setting any
+// field (including a queue option whose limit is absent) forces a
+// distinct engine, so admission state can never be shared accidentally.
+// Distinct engines run on the shared default pool unless Workers > 0
+// asks for a private one, so per-tenant engines still draw from one
+// bounded goroutine set by default.
 func NewEngine(opts EngineOptions) *Engine {
-	if opts.Workers <= 0 {
+	if opts == (EngineOptions{}) {
 		return defaultEngine
 	}
-	return &Engine{pool: exec.New(opts.Workers)}
+	e := &Engine{
+		pool:  exec.Default(),
+		admit: newAdmission(opts.MaxInFlight, opts.QueueDepth, opts.QueueTimeout),
+	}
+	if opts.Workers > 0 {
+		e.pool = exec.New(opts.Workers)
+		e.ownsPool = true
+	}
+	return e
 }
 
 // Workers returns the engine pool's current worker target.
 func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Acquire admits one request under the engine's admission limits,
+// blocking in FIFO order while the engine is saturated. A nil return
+// means the caller holds an in-flight slot and must Release exactly once
+// when its work is done. Non-nil returns are ErrQueueFull (shed now),
+// ErrQueueTimeout (waited too long), ErrEngineClosed (draining), or the
+// ctx error if the caller's context cancelled the wait. ctx may be nil.
+func (e *Engine) Acquire(ctx context.Context) error { return e.admit.Acquire(ctx) }
+
+// Release returns the slot taken by a successful Acquire, handing it to
+// the longest-queued waiter if any.
+func (e *Engine) Release() { e.admit.Release() }
+
+// InFlight returns the number of admitted, unreleased requests.
+func (e *Engine) InFlight() int { return e.admit.InFlight() }
+
+// Queued returns the number of requests waiting for admission.
+func (e *Engine) Queued() int { return e.admit.Queued() }
+
+// Close drains the engine: queued Acquires fail with ErrEngineClosed, new
+// Acquires are refused, Close blocks until every admitted request has
+// Released, and then the engine's dedicated worker pool (if it owns one)
+// is torn down. Close is idempotent, and work submitted to a closed
+// engine still completes — serially, on the caller.
+//
+// The shared default engine is process-wide: one component closing it
+// would poison every other user's Acquire, so Close on it is a no-op.
+func (e *Engine) Close() {
+	if e == defaultEngine {
+		return
+	}
+	e.admit.Close()
+	if e.ownsPool {
+		e.pool.Close()
+	}
+}
 
 // Generate runs Algorithm 2 on this engine's pool; see the package-level
 // Generate.

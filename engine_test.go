@@ -1,7 +1,10 @@
 package fusion_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	fusion "repro"
 )
@@ -64,13 +67,182 @@ func TestEngineClusterReproducible(t *testing.T) {
 	}
 }
 
-// TestDefaultEngineShared: Workers<=0 aliases the process-wide engine.
+// TestDefaultEngineShared pins the aliasing rule down explicitly: a fully
+// zero options value returns the process-wide engine (a convenience for
+// "just run it" callers), while Dedicated or any admission limit yields a
+// distinct engine — the escape hatch for callers that want isolation with
+// default sizing.
 func TestDefaultEngineShared(t *testing.T) {
 	if fusion.NewEngine(fusion.EngineOptions{}) != fusion.DefaultEngine() {
-		t.Fatal("NewEngine{Workers:0} should return the default engine")
+		t.Fatal("NewEngine{} should return the default engine")
 	}
 	if fusion.DefaultEngine().Workers() < 1 {
 		t.Fatal("default engine has no workers")
+	}
+	ded := fusion.NewEngine(fusion.EngineOptions{Dedicated: true})
+	if ded == fusion.DefaultEngine() {
+		t.Fatal("Dedicated engine aliases the default engine")
+	}
+	if ded.Workers() < 1 {
+		t.Fatal("dedicated engine with Workers=0 should follow the shared pool's GOMAXPROCS sizing")
+	}
+	ded.Close()
+	// Admission limits also force a distinct engine: per-tenant admission
+	// state must never be shared through the aliasing shortcut.
+	adm := fusion.NewEngine(fusion.EngineOptions{MaxInFlight: 1})
+	if adm == fusion.DefaultEngine() {
+		t.Fatal("engine with admission limits aliases the default engine")
+	}
+	adm.Close()
+	// Even a queue option whose MaxInFlight is absent (and therefore
+	// inert) yields a distinct engine rather than silently handing back
+	// shared state with the option dropped.
+	q := fusion.NewEngine(fusion.EngineOptions{QueueDepth: 8})
+	if q == fusion.DefaultEngine() {
+		t.Fatal("engine with queue options aliases the default engine")
+	}
+	q.Close()
+}
+
+// TestEngineAdmission drives the semaphore+queue state machine
+// deterministically: maxInFlight slots admit immediately, queueDepth more
+// wait in FIFO order, the next caller is shed with ErrQueueFull, and
+// Release hands slots to waiters in arrival order.
+func TestEngineAdmission(t *testing.T) {
+	e := fusion.NewEngine(fusion.EngineOptions{Workers: 1, MaxInFlight: 2, QueueDepth: 2})
+	for i := 0; i < 2; i++ {
+		if err := e.Acquire(context.Background()); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := e.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+
+	// Two callers fit in the queue; their grant order must match arrival.
+	type result struct {
+		id  int
+		err error
+	}
+	grants := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		go func() { grants <- result{i, e.Acquire(context.Background())} }()
+		// Wait until this caller is visibly queued before starting the
+		// next, so arrival order is deterministic.
+		waitFor(t, func() bool { return e.Queued() == i+1 })
+	}
+
+	// Queue is full: the fifth caller is shed immediately.
+	if err := e.Acquire(context.Background()); !errors.Is(err, fusion.ErrQueueFull) {
+		t.Fatalf("over-queue acquire = %v, want ErrQueueFull", err)
+	}
+
+	// Releases grant the queued callers in FIFO order.
+	e.Release()
+	first := <-grants
+	if first.err != nil || first.id != 0 {
+		t.Fatalf("first grant = {%d %v}, want caller 0", first.id, first.err)
+	}
+	e.Release()
+	second := <-grants
+	if second.err != nil || second.id != 1 {
+		t.Fatalf("second grant = {%d %v}, want caller 1", second.id, second.err)
+	}
+
+	// Drain and shut down.
+	e.Release()
+	e.Release()
+	done := make(chan struct{})
+	go func() { e.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return with zero in-flight")
+	}
+	if err := e.Acquire(context.Background()); !errors.Is(err, fusion.ErrEngineClosed) {
+		t.Fatalf("acquire after Close = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestEngineAdmissionQueueTimeout: a queued caller gives up with
+// ErrQueueTimeout once QueueTimeout elapses, and the abandoned queue slot
+// becomes available again.
+func TestEngineAdmissionQueueTimeout(t *testing.T) {
+	e := fusion.NewEngine(fusion.EngineOptions{
+		Workers: 1, MaxInFlight: 1, QueueDepth: 1, QueueTimeout: 20 * time.Millisecond,
+	})
+	defer e.Close()
+	if err := e.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Acquire(nil); !errors.Is(err, fusion.ErrQueueTimeout) {
+		t.Fatalf("queued acquire = %v, want ErrQueueTimeout", err)
+	}
+	if got := e.Queued(); got != 0 {
+		t.Fatalf("Queued = %d after timeout, want 0", got)
+	}
+	e.Release()
+}
+
+// TestEngineAdmissionContextCancel: a queued caller unblocks with the
+// context error when its request is cancelled.
+func TestEngineAdmissionContextCancel(t *testing.T) {
+	e := fusion.NewEngine(fusion.EngineOptions{Workers: 1, MaxInFlight: 1, QueueDepth: 1})
+	defer e.Close()
+	if err := e.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- e.Acquire(ctx) }()
+	waitFor(t, func() bool { return e.Queued() == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	e.Release()
+}
+
+// TestEngineCloseDrains: Close blocks until in-flight work Releases,
+// fails queued waiters with ErrEngineClosed, and is idempotent.
+func TestEngineCloseDrains(t *testing.T) {
+	e := fusion.NewEngine(fusion.EngineOptions{Workers: 2, MaxInFlight: 1, QueueDepth: 4})
+	if err := e.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queuedErr := make(chan error, 1)
+	go func() { queuedErr <- e.Acquire(context.Background()) }()
+	waitFor(t, func() bool { return e.Queued() == 1 })
+
+	closed := make(chan struct{})
+	go func() { e.Close(); close(closed) }()
+	if err := <-queuedErr; !errors.Is(err, fusion.ErrEngineClosed) {
+		t.Fatalf("queued acquire during Close = %v, want ErrEngineClosed", err)
+	}
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a request was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	e.Release()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the last Release")
+	}
+	e.Close() // idempotent
+}
+
+// waitFor polls cond until it holds or a generous deadline expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

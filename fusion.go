@@ -43,6 +43,15 @@
 // results: candidates are dedup'd in deterministic task order and
 // simulations are reproducible per seed. Construct a dedicated Engine
 // with EngineOptions{Workers: n} to isolate capacity, e.g. per tenant.
+//
+// Services put admission control in front of the pool: EngineOptions
+// also carries MaxInFlight/QueueDepth/QueueTimeout limits enforced by
+// Engine.Acquire/Release, so overload turns into bounded FIFO queueing
+// and fast ErrQueueFull rejections, and Engine.Close drains in-flight
+// work before tearing the pool down. The fusiond daemon (cmd/fusiond,
+// internal/server) exposes generation, simulated deployments with fault
+// injection, and recovery as HTTP/JSON endpoints on exactly this
+// surface.
 package fusion
 
 import (

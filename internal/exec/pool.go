@@ -126,6 +126,13 @@ type Pool struct {
 	mu      sync.Mutex // guards worker spawning
 	spawned int32      // workers started so far (atomically readable)
 
+	// closeMu serializes batch announcements against Close: announcers hold
+	// the read side, Close holds the write side while it marks the pool
+	// closed and closes the queue, so no announcement ever races the close.
+	closeMu sync.RWMutex
+	closed  bool
+	workers sync.WaitGroup // live worker goroutines, for Close to drain
+
 	// spare recycles contexts for submitting goroutines (which participate
 	// in their own batches but are not pool workers) and for Do.
 	spare sync.Pool
@@ -133,7 +140,7 @@ type Pool struct {
 
 // New returns a pool with the given number of workers; workers <= 0 means
 // "follow runtime.GOMAXPROCS". Worker goroutines start lazily as parallel
-// Runs demand them and then live for the lifetime of the pool.
+// Runs demand them and then live until Close tears them down.
 func New(workers int) *Pool {
 	p := &Pool{
 		adaptive: workers <= 0,
@@ -162,14 +169,17 @@ func (p *Pool) Workers() int {
 	return p.fixed
 }
 
-// ensureWorkers lazily spawns persistent workers up to want.
+// ensureWorkers lazily spawns persistent workers up to want. Callers must
+// hold closeMu (read side) so spawning never races Close's drain.
 func (p *Pool) ensureWorkers(want int) {
 	if int(atomic.LoadInt32(&p.spawned)) >= want {
 		return
 	}
 	p.mu.Lock()
 	for int(p.spawned) < want {
+		p.workers.Add(1)
 		go func() {
+			defer p.workers.Done()
 			c := &Ctx{}
 			for b := range p.queue {
 				b.work(c)
@@ -178,6 +188,30 @@ func (p *Pool) ensureWorkers(want int) {
 		atomic.AddInt32(&p.spawned, 1)
 	}
 	p.mu.Unlock()
+}
+
+// Close shuts the pool down: no new batch announcements are accepted, the
+// worker goroutines drain any already-announced batches and exit, and
+// Close returns once every worker is gone. Close is idempotent and safe
+// to call concurrently with Run: a Run that races or follows Close still
+// executes its full batch correctly on the calling goroutine (callers
+// always participate in their own batches), it just loses parallelism.
+// Closing the package-level Default pool is not supported.
+func (p *Pool) Close() {
+	p.closeMu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.closeMu.Unlock()
+	p.workers.Wait()
+}
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	return p.closed
 }
 
 // Run executes fn(c, i) for every i in [0, n), distributing tasks over
@@ -213,21 +247,26 @@ func (p *Pool) Run(n int, fn func(c *Ctx, i int)) {
 	b.pending.Store(int64(n))
 
 	// Announce the batch to at most n-1 helpers (the caller takes a
-	// share). Dropping announcements when the queue is full is safe: the
-	// caller's own work loop guarantees the batch completes.
+	// share). Dropping announcements when the queue is full — or skipping
+	// them entirely on a closed pool — is safe: the caller's own work loop
+	// guarantees the batch completes.
 	helpers := workers
 	if n-1 < helpers {
 		helpers = n - 1
 	}
-	p.ensureWorkers(helpers)
-announce:
-	for k := 0; k < helpers; k++ {
-		select {
-		case p.queue <- b:
-		default:
-			break announce // queue full; caller and enqueued helpers suffice
+	p.closeMu.RLock()
+	if !p.closed {
+		p.ensureWorkers(helpers)
+	announce:
+		for k := 0; k < helpers; k++ {
+			select {
+			case p.queue <- b:
+			default:
+				break announce // queue full; caller and enqueued helpers suffice
+			}
 		}
 	}
+	p.closeMu.RUnlock()
 
 	b.work(c)
 	<-b.done

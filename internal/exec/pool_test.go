@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestRunExecutesEveryTaskOnce drives the work-stealing cursor to
@@ -176,6 +179,69 @@ func TestConcurrentSubmitters(t *testing.T) {
 	}
 	if want := int64(8 * 50 * 17); total.Load() != want {
 		t.Fatalf("executed %d tasks, want %d", total.Load(), want)
+	}
+}
+
+// TestCloseDrainsWorkers: Close must tear down every spawned worker
+// goroutine (the seed behaviour was "workers are never torn down"), be
+// idempotent, and leave the pool usable for serial fallback Runs.
+func TestCloseDrainsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := New(4)
+	var total atomic.Int32
+	p.Run(256, func(c *Ctx, i int) { total.Add(1) })
+	if total.Load() != 256 {
+		t.Fatalf("ran %d tasks, want 256", total.Load())
+	}
+	p.Close()
+	if !p.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	p.Close() // idempotent
+
+	// All worker goroutines must be gone. Give the runtime a few
+	// scheduling rounds to reap them before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines leaked after Close: %d, started with %d", got, before)
+	}
+
+	// A Run after Close still completes correctly (serially, on the caller).
+	var after atomic.Int32
+	p.Run(64, func(c *Ctx, i int) { after.Add(1) })
+	if after.Load() != 64 {
+		t.Fatalf("post-Close Run executed %d tasks, want 64", after.Load())
+	}
+}
+
+// TestCloseConcurrentWithRun races Close against active submitters: every
+// submitted batch must still execute all of its tasks exactly once (the
+// caller participates, so closed-pool batches complete serially), and no
+// Run may panic on the closed announcement queue.
+func TestCloseConcurrentWithRun(t *testing.T) {
+	for rep := 0; rep < 20; rep++ {
+		p := New(4)
+		const gs, reps, n = 4, 10, 53
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < gs; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < reps; r++ {
+					p.Run(n, func(c *Ctx, i int) { total.Add(1) })
+				}
+			}()
+		}
+		p.Close()
+		wg.Wait()
+		if want := int64(gs * reps * n); total.Load() != want {
+			t.Fatalf("rep %d: executed %d tasks, want %d", rep, total.Load(), want)
+		}
 	}
 }
 

@@ -1,0 +1,141 @@
+package server
+
+// Wire types of the fusiond HTTP/JSON API (version v1). Every request
+// body is a single JSON object; every response is either the documented
+// result object or ErrorResponse with a non-2xx status.
+
+// MachineSetRequest is the common way requests name the machine set to
+// operate on: either a list of built-in model-zoo names or an inline
+// machine specification in the .fsm text format — exactly one of the two.
+type MachineSetRequest struct {
+	// Zoo lists built-in machines by name (see fusion.ZooNames).
+	Zoo []string `json:"zoo,omitempty"`
+	// Spec is an inline .fsm machine specification.
+	Spec string `json:"spec,omitempty"`
+}
+
+// GenerateRequest asks for an (f,m)-fusion of the machine set
+// (POST /v1/generate — Algorithm 2).
+type GenerateRequest struct {
+	MachineSetRequest
+	// F is the crash-fault budget the fusion must tolerate.
+	F int `json:"f"`
+}
+
+// BackupResponse describes one generated backup machine as the closed
+// partition it is: Blocks groups the top-machine states the backup does
+// not distinguish, in the library's canonical order, so two generations
+// agree byte-for-byte iff their fusions are identical.
+type BackupResponse struct {
+	States int     `json:"states"`
+	Blocks [][]int `json:"blocks"`
+}
+
+// GenerateResponse is the fusion generation result.
+type GenerateResponse struct {
+	// N is the number of reachable top-machine states the partitions
+	// divide.
+	N int `json:"n"`
+	F int `json:"f"`
+	// Machines echoes the resolved machine names, in request order.
+	Machines []string         `json:"machines"`
+	Backups  []BackupResponse `json:"backups"`
+}
+
+// ClusterCreateRequest builds a simulated deployment
+// (POST /v1/clusters).
+type ClusterCreateRequest struct {
+	MachineSetRequest
+	F    int   `json:"f"`
+	Seed int64 `json:"seed"`
+}
+
+// ClusterResponse describes a live cluster.
+type ClusterResponse struct {
+	ID string `json:"id"`
+	// Servers lists all server names, originals first, backups last.
+	Servers []string `json:"servers"`
+	// Backups is the number of fusion backup servers.
+	Backups int `json:"backups"`
+	// Top is the number of reachable top-machine states.
+	Top int `json:"top"`
+	// Alphabet is the union event alphabet the cluster accepts.
+	Alphabet []string `json:"alphabet"`
+	// Step is the number of events applied so far.
+	Step int `json:"step"`
+	// States is each server's current visible state (-1 = crashed), in
+	// Servers order.
+	States []int `json:"states"`
+}
+
+// FaultRequest is one fault to inject: Kind is "crash" or "byzantine".
+type FaultRequest struct {
+	Server string `json:"server"`
+	Kind   string `json:"kind"`
+}
+
+// EventsRequest drives a cluster (POST /v1/clusters/{id}/events): the
+// explicit Events are broadcast first, then Random generates and
+// broadcasts a seeded stream, then Faults strike — the paper's
+// "environment pauses, faults hit at the cut" model.
+type EventsRequest struct {
+	Events []string `json:"events,omitempty"`
+	// Random appends a deterministic pseudo-random stream over the
+	// cluster's alphabet.
+	Random *RandomEventsRequest `json:"random,omitempty"`
+	Faults []FaultRequest       `json:"faults,omitempty"`
+}
+
+// RandomEventsRequest is a seeded generated event stream.
+type RandomEventsRequest struct {
+	Count int   `json:"count"`
+	Seed  int64 `json:"seed"`
+}
+
+// EventsResponse reports the cluster state after the broadcast and any
+// injections.
+type EventsResponse struct {
+	ID      string   `json:"id"`
+	Applied int      `json:"applied"`
+	Step    int      `json:"step"`
+	Servers []string `json:"servers"`
+	States  []int    `json:"states"`
+	// Injected echoes the faults that were applied, in request order.
+	Injected []FaultRequest `json:"injected,omitempty"`
+}
+
+// RecoverResponse is the outcome of a recovery round
+// (POST /v1/clusters/{id}/recover — Algorithm 3).
+type RecoverResponse struct {
+	ID string `json:"id"`
+	// TopState is the recovered global ⊤-state.
+	TopState int `json:"topState"`
+	// Restored lists servers whose state was repaired, sorted by name.
+	Restored []string `json:"restored"`
+	// Liars lists Byzantine servers caught lying.
+	Liars []string `json:"liars"`
+	// Consistent reports whether every server now matches the fault-free
+	// oracle.
+	Consistent bool     `json:"consistent"`
+	Servers    []string `json:"servers"`
+	States     []int    `json:"states"`
+}
+
+// TenantHealth is one tenant's live engine statistics.
+type TenantHealth struct {
+	Workers  int `json:"workers"`
+	InFlight int `json:"inFlight"`
+	Queued   int `json:"queued"`
+	Clusters int `json:"clusters"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status  string                  `json:"status"`
+	Tenants map[string]TenantHealth `json:"tenants"`
+}
+
+// ErrorResponse accompanies every non-2xx status.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	fusion "repro"
+	"repro/internal/dfsm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// resolveMachines turns a request's machine-set description (zoo names or
+// an inline .fsm spec, exactly one of the two) into machines.
+func resolveMachines(req MachineSetRequest) ([]*fusion.Machine, error) {
+	switch {
+	case len(req.Zoo) > 0 && req.Spec != "":
+		return nil, fmt.Errorf("give either zoo names or an inline spec, not both")
+	case len(req.Zoo) > 0:
+		ms := make([]*fusion.Machine, len(req.Zoo))
+		for i, name := range req.Zoo {
+			m, err := fusion.ZooMachine(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			ms[i] = m
+		}
+		return ms, nil
+	case req.Spec != "":
+		ms, err := fusion.ParseSpec(strings.NewReader(req.Spec))
+		if err != nil {
+			return nil, err
+		}
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("spec defines no machines")
+		}
+		return ms, nil
+	default:
+		return nil, fmt.Errorf("no machines: set \"zoo\" or \"spec\"")
+	}
+}
+
+// handleGenerate runs Algorithm 2 for the requested machine set and fault
+// budget on the tenant's engine.
+func (s *Server) handleGenerate(t *tenant, w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.F < 0 {
+		writeErr(w, http.StatusBadRequest, "f must be >= 0")
+		return
+	}
+	ms, err := resolveMachines(req.MachineSetRequest)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sys, err := fusion.NewSystem(ms)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	backups, err := t.engine.Generate(sys, req.F)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := GenerateResponse{N: sys.N(), F: req.F, Machines: make([]string, len(ms))}
+	for i, m := range ms {
+		resp.Machines[i] = m.Name()
+	}
+	resp.Backups = make([]BackupResponse, len(backups))
+	for i, p := range backups {
+		resp.Backups[i] = BackupResponse{States: p.NumBlocks(), Blocks: p.Blocks()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterCreate builds a simulated deployment on the tenant's
+// engine and registers a handle for it.
+func (s *Server) handleClusterCreate(t *tenant, w http.ResponseWriter, r *http.Request) {
+	var req ClusterCreateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.F < 1 {
+		writeErr(w, http.StatusBadRequest, "f must be >= 1")
+		return
+	}
+	ms, err := resolveMachines(req.MachineSetRequest)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Refuse before the expensive build: fusion generation for a cluster
+	// that the registry would only reject is wasted pool time. Add below
+	// stays the authoritative check for the race.
+	if t.clusters.Full() {
+		writeErr(w, http.StatusConflict, "cluster capacity reached; delete one first")
+		return
+	}
+	c, err := t.engine.NewCluster(ms, req.F, req.Seed)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	// Snapshot the response before Add makes the cluster reachable by
+	// concurrent requests, then stamp the id in.
+	resp := clusterResponse("", c, ms)
+	resp.ID, err = t.clusters.Add(c)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func clusterResponse(id string, c *sim.Cluster, ms []*fusion.Machine) ClusterResponse {
+	if ms == nil {
+		ms = c.System().Machines
+	}
+	names := c.ServerNames()
+	return ClusterResponse{
+		ID:       id,
+		Servers:  names,
+		Backups:  len(names) - len(ms),
+		Top:      c.System().N(),
+		Alphabet: dfsm.UnionAlphabet(ms),
+		Step:     c.Step(),
+		States:   c.States(),
+	}
+}
+
+// cluster resolves the {id} path value against the tenant's registry,
+// writing the 404 itself when the handle is unknown.
+func (t *tenant) cluster(w http.ResponseWriter, r *http.Request) (*sim.Handle, string, bool) {
+	id := r.PathValue("id")
+	h, ok := t.clusters.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no cluster %q for tenant %q", id, t.name))
+		return nil, id, false
+	}
+	return h, id, true
+}
+
+func (s *Server) handleClusterGet(t *tenant, w http.ResponseWriter, r *http.Request) {
+	h, id, ok := t.cluster(w, r)
+	if !ok {
+		return
+	}
+	h.Do(func(c *sim.Cluster) {
+		writeJSON(w, http.StatusOK, clusterResponse(id, c, nil))
+	})
+}
+
+func (s *Server) handleClusterDelete(t *tenant, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !t.clusters.Remove(id) {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no cluster %q for tenant %q", id, t.name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleClusterEvents broadcasts an event window, then injects faults at
+// the cut — the paper's execution model, over HTTP. The whole
+// apply-inject-respond sequence runs under the cluster handle's lock, so
+// concurrent requests to the same cluster cannot interleave: each
+// request's faults strike at its own cut and its response describes its
+// own mutations.
+func (s *Server) handleClusterEvents(t *tenant, w http.ResponseWriter, r *http.Request) {
+	h, id, ok := t.cluster(w, r)
+	if !ok {
+		return
+	}
+	var req EventsRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Random != nil && (req.Random.Count < 0 || req.Random.Count > 1_000_000) {
+		writeErr(w, http.StatusBadRequest, "random.count must be in [0, 1000000]")
+		return
+	}
+	faults := make([]trace.Fault, 0, len(req.Faults))
+	for _, fr := range req.Faults {
+		var kind trace.FaultKind
+		switch strings.ToLower(fr.Kind) {
+		case "crash":
+			kind = trace.Crash
+		case "byzantine":
+			kind = trace.Byzantine
+		default:
+			writeErr(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown fault kind %q: use \"crash\" or \"byzantine\"", fr.Kind))
+			return
+		}
+		faults = append(faults, trace.Fault{Server: fr.Server, Kind: kind})
+	}
+
+	h.Do(func(c *sim.Cluster) {
+		// Validate every fault target before any mutation: a typo'd
+		// server name must not leave the cluster half-advanced (a client
+		// treating 400 as "nothing happened" would double-apply its
+		// window on retry). With names and kinds pre-checked, injection
+		// below cannot fail.
+		known := make(map[string]bool)
+		for _, name := range c.ServerNames() {
+			known[name] = true
+		}
+		for _, f := range faults {
+			if !known[f.Server] {
+				writeErr(w, http.StatusBadRequest, fmt.Sprintf("sim: no server %q", f.Server))
+				return
+			}
+		}
+		events := req.Events
+		if req.Random != nil {
+			gen := trace.NewGenerator(req.Random.Seed, c.System().Machines)
+			events = append(append([]string(nil), events...), gen.Take(req.Random.Count)...)
+		}
+		c.ApplyAll(events)
+		for i, f := range faults {
+			if err := c.Inject(f); err != nil {
+				writeErr(w, http.StatusInternalServerError,
+					fmt.Sprintf("fault %d of %d: %s", i+1, len(faults), err))
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, EventsResponse{
+			ID:       id,
+			Applied:  len(events),
+			Step:     c.Step(),
+			Servers:  c.ServerNames(),
+			States:   c.States(),
+			Injected: req.Faults,
+		})
+	})
+}
+
+// handleClusterRecover runs one recovery round (Algorithm 3) and restores
+// every server, with the vote and the response snapshot under the same
+// handle lock.
+func (s *Server) handleClusterRecover(t *tenant, w http.ResponseWriter, r *http.Request) {
+	h, id, ok := t.cluster(w, r)
+	if !ok {
+		return
+	}
+	h.Do(func(c *sim.Cluster) {
+		out, err := c.Recover()
+		if err != nil {
+			// The faults exceeded what the fusion tolerates: the vote is
+			// ambiguous. That is a state of the experiment, not of the
+			// server.
+			writeErr(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		restored := out.Restored
+		if restored == nil {
+			restored = []string{}
+		}
+		liars := out.Liars
+		if liars == nil {
+			liars = []string{}
+		}
+		writeJSON(w, http.StatusOK, RecoverResponse{
+			ID:         id,
+			TopState:   out.TopState,
+			Restored:   restored,
+			Liars:      liars,
+			Consistent: len(c.Verify()) == 0,
+			Servers:    c.ServerNames(),
+			States:     c.States(),
+		})
+	})
+}

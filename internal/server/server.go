@@ -1,0 +1,416 @@
+// Package server is fusiond's HTTP/JSON front-end over fusion.Engine: a
+// long-running service exposing the paper's three workloads — fusion
+// generation (Algorithm 2), simulated deployments with event broadcast
+// and fault injection, and fused-state recovery (Algorithm 3) — as
+// endpoints on one persistent process, so the engine's worker pool is
+// finally exercised the way it was built for: many concurrent requests on
+// a bounded goroutine set.
+//
+// Routes (all request/response bodies in api.go):
+//
+//	GET    /healthz                  liveness + per-tenant engine stats
+//	POST   /v1/generate              Algorithm 2 fusion generation
+//	POST   /v1/clusters              create a simulated deployment
+//	GET    /v1/clusters/{id}         inspect a deployment
+//	DELETE /v1/clusters/{id}         drop a deployment
+//	POST   /v1/clusters/{id}/events  broadcast events, then inject faults
+//	POST   /v1/clusters/{id}/recover run a recovery round
+//
+// Tenancy: requests carry a tenant name in a header (X-Fusion-Tenant by
+// default; absent means "default"). Each tenant lazily gets its own
+// fusion.Engine — its own admission limits, optionally its own worker
+// pool — and its own cluster registry, so one tenant's flood or cluster
+// handles never touch another's. Tenant names are client-controlled, so
+// the daemon caps how many it materializes (MaxTenants); past the cap,
+// requests for new names are shed with 429.
+//
+// Admission: every workload request brackets its engine use with
+// Engine.Acquire/Release. When a tenant is saturated (MaxInFlight running
+// and QueueDepth waiting) further requests are shed immediately with
+// HTTP 429 and a Retry-After hint instead of stacking goroutines onto the
+// pool — overload degrades into fast rejections, never unbounded memory.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	fusion "repro"
+	"repro/internal/sim"
+)
+
+// Options configures a Server. The zero value serves with no admission
+// limits on the process-wide default engine.
+type Options struct {
+	// TenantHeader names the header carrying the tenant id; default
+	// "X-Fusion-Tenant". An absent or empty header means tenant "default".
+	TenantHeader string
+
+	// Workers sizes each tenant's dedicated worker pool. 0 means tenants
+	// share the process-wide default pool (still with per-tenant admission
+	// when MaxInFlight is set).
+	Workers int
+
+	// MaxInFlight / QueueDepth / QueueTimeout are per-tenant admission
+	// limits, passed through to fusion.EngineOptions. MaxInFlight 0
+	// disables admission control.
+	MaxInFlight  int
+	QueueDepth   int
+	QueueTimeout time.Duration
+
+	// MaxClusters bounds each tenant's live cluster handles; default 64,
+	// negative means unbounded.
+	MaxClusters int
+
+	// MaxTenants bounds how many distinct tenants the daemon will lazily
+	// materialize; default 64, negative means unbounded. Tenant names come
+	// from a client header and each tenant carries an engine (admission
+	// state, optionally a dedicated pool) plus a cluster registry, so
+	// without a cap a client minting fresh names would grow server memory
+	// without bound and hand itself fresh admission quotas.
+	MaxTenants int
+
+	// MaxBodyBytes bounds request bodies; default 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TenantHeader == "" {
+		o.TenantHeader = "X-Fusion-Tenant"
+	}
+	if o.MaxClusters == 0 {
+		o.MaxClusters = 64
+	} else if o.MaxClusters < 0 {
+		o.MaxClusters = 0 // sim.Registry convention: 0 = unbounded
+	}
+	if o.MaxTenants == 0 {
+		o.MaxTenants = 64
+	} else if o.MaxTenants < 0 {
+		o.MaxTenants = 0 // 0 = unbounded past this point
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// tenant is one tenant's isolated slice of the daemon: an engine (its
+// admission state and possibly its own pool) plus its cluster handles.
+type tenant struct {
+	name     string
+	engine   *fusion.Engine
+	clusters *sim.Registry
+}
+
+// Server routes the v1 API onto per-tenant engines. Construct with New,
+// mount Handler on an http.Server, and Close on the way out.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	closed  bool
+}
+
+// New returns a ready-to-serve Server.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:    opts.withDefaults(),
+		mux:     http.NewServeMux(),
+		tenants: make(map[string]*tenant),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/generate", s.admitted(s.handleGenerate))
+	s.mux.HandleFunc("POST /v1/clusters", s.admitted(s.handleClusterCreate))
+	s.mux.HandleFunc("GET /v1/clusters/{id}", s.withTenant(false, s.handleClusterGet))
+	s.mux.HandleFunc("DELETE /v1/clusters/{id}", s.withTenant(false, s.handleClusterDelete))
+	s.mux.HandleFunc("POST /v1/clusters/{id}/events", s.admitted(s.handleClusterEvents))
+	s.mux.HandleFunc("POST /v1/clusters/{id}/recover", s.admitted(s.handleClusterRecover))
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the daemon for shutdown: new requests are refused with
+// 503, queued requests fail over to 503, and Close blocks until every
+// admitted request has finished and each tenant's dedicated pool is torn
+// down. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	for _, t := range ts {
+		t.engine.Close()
+	}
+}
+
+// tenant resolves the tenant a request addresses, lazily creating it
+// only when create is set — read-only routes must not let probing
+// headers mint tenants (each one holds an engine and a registry and
+// lives until shutdown, so minting consumes MaxTenants slots
+// permanently). A closed server resolves nothing.
+func (s *Server) tenant(r *http.Request, create bool) (*tenant, error) {
+	name := r.Header.Get(s.opts.TenantHeader)
+	if name == "" {
+		name = "default"
+	}
+	if len(name) > 64 {
+		return nil, fmt.Errorf("tenant name longer than 64 bytes")
+	}
+	for _, c := range name {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' {
+			continue
+		}
+		return nil, fmt.Errorf("tenant name contains %q; use [A-Za-z0-9._-]", c)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errShutdown
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		if !create {
+			return nil, errUnknownTenant
+		}
+		if s.opts.MaxTenants > 0 && len(s.tenants) >= s.opts.MaxTenants {
+			return nil, errTenantsFull
+		}
+		t = &tenant{
+			name: name,
+			// Dedicated: every tenant gets its own engine — its own
+			// admission state, truthful per-tenant /healthz numbers, and
+			// a drain that Server.Close can actually wait on — while the
+			// pool stays shared (one bounded goroutine set) unless
+			// Workers asks for per-tenant capacity.
+			engine: fusion.NewEngine(fusion.EngineOptions{
+				Workers:      s.opts.Workers,
+				Dedicated:    true,
+				MaxInFlight:  s.opts.MaxInFlight,
+				QueueDepth:   s.opts.QueueDepth,
+				QueueTimeout: s.opts.QueueTimeout,
+			}),
+			clusters: sim.NewRegistry(s.opts.MaxClusters),
+		}
+		s.tenants[name] = t
+	}
+	return t, nil
+}
+
+var (
+	errShutdown      = errors.New("server shutting down")
+	errTenantsFull   = errors.New("tenant capacity reached")
+	errUnknownTenant = errors.New("unknown tenant")
+)
+
+// bufferedResponse captures a handler's response in memory so the
+// network write happens only after every lock and admission slot has
+// been released — a slow-reading client must never pin in-flight
+// capacity or freeze a cluster's Handle lock on TCP backpressure.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header {
+	if b.header == nil {
+		b.header = make(http.Header)
+	}
+	return b.header
+}
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		w.Header()[k] = vs
+	}
+	code := b.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	w.WriteHeader(code)
+	w.Write(b.body.Bytes()) //nolint:errcheck // client gone; nothing left to do
+}
+
+// withTenant adapts a tenant-scoped handler, resolving (creating when
+// create is set) the tenant and mapping resolution failures to HTTP
+// statuses. The handler writes into a memory buffer; the real connection
+// write happens after the handler (and any locks it held) has finished.
+func (s *Server) withTenant(create bool, h func(t *tenant, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		buf := &bufferedResponse{}
+		s.serveTenant(create, h, buf, r)
+		buf.flush(w)
+	}
+}
+
+func (s *Server) serveTenant(create bool, h func(t *tenant, w http.ResponseWriter, r *http.Request), w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r, create)
+	if err != nil {
+		switch {
+		case errors.Is(err, errShutdown):
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, errTenantsFull):
+			w.Header().Set("Retry-After", s.retryAfter())
+			writeErr(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, errUnknownTenant):
+			// Read-only route for a tenant that was never created:
+			// whatever cluster it names does not exist.
+			msg := err.Error()
+			if id := r.PathValue("id"); id != "" {
+				msg = fmt.Sprintf("no cluster %q: tenant has no state", id)
+			}
+			writeErr(w, http.StatusNotFound, msg)
+		default:
+			writeErr(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	h(t, w, r)
+}
+
+// admitted is withTenant plus the admission bracket: the handler only
+// runs while holding one of the tenant engine's in-flight slots, and
+// saturation is shed as 429 + Retry-After before any engine work starts.
+// The request body is read in full before the slot is taken, so a client
+// stalling its upload can never pin MaxInFlight capacity or block the
+// shutdown drain — slots cover compute, not network.
+func (s *Server) admitted(h func(t *tenant, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return s.withTenant(true, func(t *tenant, w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				// The buffered writer hides MaxBytesReader's internal
+				// close signal from net/http; say it explicitly so the
+				// server aborts instead of draining the oversized body
+				// for keep-alive reuse.
+				w.Header().Set("Connection", "close")
+				writeErr(w, http.StatusRequestEntityTooLarge, err.Error())
+			} else {
+				writeErr(w, http.StatusBadRequest, "reading request body: "+err.Error())
+			}
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		if err := t.engine.Acquire(r.Context()); err != nil {
+			switch {
+			case errors.Is(err, fusion.ErrQueueFull), errors.Is(err, fusion.ErrQueueTimeout):
+				w.Header().Set("Retry-After", s.retryAfter())
+				writeErr(w, http.StatusTooManyRequests, err.Error())
+			case errors.Is(err, fusion.ErrEngineClosed):
+				writeErr(w, http.StatusServiceUnavailable, err.Error())
+			default:
+				// The client went away while queued; nobody is listening,
+				// but close the exchange coherently anyway.
+				writeErr(w, http.StatusServiceUnavailable, err.Error())
+			}
+			return
+		}
+		defer t.engine.Release()
+		h(t, w, r)
+	})
+}
+
+// retryAfter hints how long a shed client should back off: the queue
+// timeout rounded up when one is configured, else one second.
+func (s *Server) retryAfter() string {
+	secs := int64(1)
+	if t := s.opts.QueueTimeout; t > 0 {
+		secs = int64((t + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// Health snapshots per-tenant engine statistics (also served at
+// /healthz).
+func (s *Server) Health() HealthResponse {
+	s.mu.Lock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	closed := s.closed
+	s.mu.Unlock()
+
+	h := HealthResponse{Status: "ok", Tenants: make(map[string]TenantHealth, len(ts))}
+	if closed {
+		h.Status = "draining"
+	}
+	for _, t := range ts {
+		h.Tenants[t.name] = TenantHealth{
+			Workers:  t.engine.Workers(),
+			InFlight: t.engine.InFlight(),
+			Queued:   t.engine.Queued(),
+			Clusters: t.clusters.Len(),
+		}
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+// --- JSON plumbing --------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing left to do
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+// readJSON decodes the request body into dst, rejecting unknown fields
+// and trailing data. Size limits were already enforced by admitted()'s
+// buffered read — every caller sits behind it, so the body here is an
+// in-memory slice of at most MaxBodyBytes. A false return means the 400
+// has already been written.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeErr(w, http.StatusBadRequest, "malformed request body: trailing data")
+		return false
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Handle is a registered cluster plus its request-serialization lock.
+// Individual Cluster methods are already safe, but a service request
+// usually spans several of them (apply a window, inject faults, read the
+// resulting states for the response); Do gives such a sequence exclusive
+// access so concurrent requests to the same cluster cannot interleave
+// mid-sequence — one request's faults strike at its own cut, and its
+// response describes its own mutations.
+type Handle struct {
+	mu sync.Mutex
+	c  *Cluster
+}
+
+// Do runs f with exclusive multi-call access to the cluster. f must not
+// call Do on the same handle.
+func (h *Handle) Do(f func(c *Cluster)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f(h.c)
+}
+
+// Registry is a concurrency-safe handle table for live Clusters: the
+// piece a long-running service needs between "create a deployment" and
+// "drive it with events / recover it" requests that arrive on different
+// connections. IDs are dense ("c1", "c2", ...), never reused within a
+// registry, and meaningless outside it — each fusiond tenant owns one
+// registry, so handles cannot leak across tenants.
+type Registry struct {
+	mu       sync.Mutex
+	seq      int
+	capacity int // 0 = unbounded
+	clusters map[string]*Handle
+}
+
+// NewRegistry returns an empty registry. capacity bounds how many
+// clusters may be live at once (Add fails beyond it); 0 means unbounded.
+func NewRegistry(capacity int) *Registry {
+	return &Registry{capacity: capacity, clusters: make(map[string]*Handle)}
+}
+
+// Add registers a cluster and returns its fresh handle id.
+func (r *Registry) Add(c *Cluster) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.capacity > 0 && len(r.clusters) >= r.capacity {
+		return "", fmt.Errorf("sim: registry full (%d live clusters)", len(r.clusters))
+	}
+	r.seq++
+	id := fmt.Sprintf("c%d", r.seq)
+	r.clusters[id] = &Handle{c: c}
+	return id, nil
+}
+
+// Get returns the handle for an id, or false for unknown (or removed)
+// ids.
+func (r *Registry) Get(id string) (*Handle, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.clusters[id]
+	return h, ok
+}
+
+// Remove drops an id; it reports whether the id was live. The cluster
+// itself holds no external resources, so dropping the handle is all the
+// teardown there is (a request still inside Handle.Do finishes normally
+// on its own reference).
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.clusters[id]
+	delete(r.clusters, id)
+	return ok
+}
+
+// Full reports whether the registry is at capacity — an advisory
+// pre-check letting callers skip expensive cluster construction that Add
+// would only reject; Add remains the authoritative gate.
+func (r *Registry) Full() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.capacity > 0 && len(r.clusters) >= r.capacity
+}
+
+// Len returns the number of live clusters.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.clusters)
+}
+
+// IDs returns the live ids in numeric creation order.
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.clusters))
+	for id := range r.clusters {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return len(out[i]) < len(out[j]) || (len(out[i]) == len(out[j]) && out[i] < out[j])
+	})
+	return out
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+)
+
+func registryCluster(t *testing.T) *Cluster {
+	t.Helper()
+	a, err := machines.Get("0-Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := machines.Get("1-Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster([]*dfsm.Machine{a, b}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry(0)
+	c := registryCluster(t)
+
+	id1, err := r.Add(c)
+	if err != nil || id1 != "c1" {
+		t.Fatalf("first Add = %q, %v; want c1", id1, err)
+	}
+	id2, err := r.Add(c)
+	if err != nil || id2 != "c2" {
+		t.Fatalf("second Add = %q, %v; want c2", id2, err)
+	}
+	h, ok := r.Get(id1)
+	if !ok {
+		t.Fatal("Get lost the cluster")
+	}
+	h.Do(func(got *Cluster) {
+		if got != c {
+			t.Error("handle wraps the wrong cluster")
+		}
+	})
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("Get found an unknown id")
+	}
+	if ids := r.IDs(); len(ids) != 2 || ids[0] != "c1" || ids[1] != "c2" {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if !r.Remove(id1) || r.Remove(id1) {
+		t.Fatal("Remove not idempotent-false on second call")
+	}
+	if _, ok := r.Get(id1); ok {
+		t.Fatal("removed id still resolves")
+	}
+	// IDs are never reused.
+	id3, err := r.Add(c)
+	if err != nil || id3 != "c3" {
+		t.Fatalf("Add after Remove = %q, want c3", id3)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestRegistryCapacity(t *testing.T) {
+	r := NewRegistry(2)
+	c := registryCluster(t)
+	for i := 0; i < 2; i++ {
+		if _, err := r.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Add(c); err == nil {
+		t.Fatal("Add beyond capacity succeeded")
+	}
+	r.Remove("c1")
+	if _, err := r.Add(c); err != nil {
+		t.Fatalf("Add after Remove failed: %v", err)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry(0)
+	c := registryCluster(t)
+	const gs, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id, err := r.Add(c)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := r.Get(id); !ok {
+					t.Errorf("own id %s not resolvable", id)
+					return
+				}
+				if i%2 == 0 {
+					r.Remove(id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if want := gs * per / 2; r.Len() != want {
+		t.Fatalf("Len = %d, want %d", r.Len(), want)
+	}
+	// Dense ids: the numeric suffixes must be exactly 1..gs*per.
+	seen := make(map[string]bool)
+	for _, id := range r.IDs() {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+	if _, ok := r.Get(fmt.Sprintf("c%d", gs*per+1)); ok {
+		t.Fatal("id beyond sequence resolves")
+	}
+}
+
+// TestHandleDoSerializes: Do gives multi-call sequences exclusive access
+// — two concurrent sequences never interleave their steps.
+func TestHandleDoSerializes(t *testing.T) {
+	r := NewRegistry(0)
+	id, err := r.Add(registryCluster(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := r.Get(id)
+	var inside, interleaved int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				h.Do(func(c *Cluster) {
+					if atomic.AddInt32(&inside, 1) > 1 {
+						atomic.StoreInt32(&interleaved, 1)
+					}
+					c.ApplyAll([]string{"0"})
+					c.Apply("1")
+					atomic.AddInt32(&inside, -1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if interleaved != 0 {
+		t.Fatal("two Do sequences overlapped")
+	}
+}
