@@ -104,9 +104,13 @@ func BenchmarkFig5SetRepresentation(b *testing.B) {
 // --- Table 1 -------------------------------------------------------------
 
 func benchTableRow(b *testing.B, suite machines.Suite) {
+	benchTableRowOpts(b, suite, core.GenerateOptions{})
+}
+
+func benchTableRowOpts(b *testing.B, suite machines.Suite, opts core.GenerateOptions) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		row, err := experiments.RunTableRow(suite)
+		row, err := experiments.RunTableRowWithOptions(suite, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,6 +128,13 @@ func BenchmarkTable1Row2(b *testing.B) { benchTableRow(b, machines.PaperSuites()
 func BenchmarkTable1Row3(b *testing.B) { benchTableRow(b, machines.PaperSuites()[2]) }
 func BenchmarkTable1Row4(b *testing.B) { benchTableRow(b, machines.PaperSuites()[3]) }
 func BenchmarkTable1Row5(b *testing.B) { benchTableRow(b, machines.PaperSuites()[4]) }
+
+// BenchmarkTable1Row1NoIncremental is Row 1 with the incremental descent
+// engine off (cold levels, no ⊤-closure cache) — the tracked ablation
+// that keeps the cross-level-reuse win measurable.
+func BenchmarkTable1Row1NoIncremental(b *testing.B) {
+	benchTableRowOpts(b, machines.PaperSuites()[0], core.GenerateOptions{NoIncremental: true})
+}
 
 // --- Sensor network (introduction / conclusion) ---------------------------
 

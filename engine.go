@@ -162,3 +162,13 @@ func (e *Engine) GenerateWithOptions(sys *System, f int, opts GenerateOptions) (
 func (e *Engine) NewCluster(ms []*Machine, f int, seed int64) (*Cluster, error) {
 	return sim.NewClusterOn(e.pool, ms, f, seed)
 }
+
+// IsLocallyMinimalFusion verifies that F is a locally minimal (f,·)-
+// fusion of sys — no single machine can be replaced by a lower-cover
+// element without losing f-fault tolerance — with the cover fan-outs on
+// this engine's pool rather than the shared default (the cover fan-out
+// previously always ran on the default pool, bypassing dedicated engine
+// capacity).
+func (e *Engine) IsLocallyMinimalFusion(sys *System, F []Partition, f int) (bool, error) {
+	return core.IsLocallyMinimalFusionOn(e.pool, sys, F, f)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	fusion "repro"
+	"repro/internal/core"
 )
 
 // TestEngineGenerateMatchesDefault: worker count is a throughput knob,
@@ -232,6 +233,36 @@ func TestEngineCloseDrains(t *testing.T) {
 		t.Fatal("Close did not return after the last Release")
 	}
 	e.Close() // idempotent
+}
+
+// TestEngineIsLocallyMinimalFusion routes the lower-cover verification
+// through a dedicated engine's pool and checks it agrees with the
+// default-pool path on a generated fusion.
+func TestEngineIsLocallyMinimalFusion(t *testing.T) {
+	e := fusion.NewEngine(fusion.EngineOptions{Workers: 2})
+	defer e.Close()
+	sys, err := fusion.NewSystem([]*fusion.Machine{mustZoo(t, "0-Counter"), mustZoo(t, "1-Counter")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	F, err := e.Generate(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimal, err := e.IsLocallyMinimalFusion(sys, F, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minimal {
+		t.Fatal("generated fusion not locally minimal on the engine pool")
+	}
+	ref, err := core.IsLocallyMinimalFusion(sys, F, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minimal != ref {
+		t.Fatalf("engine-pool verdict %v, default-pool verdict %v", minimal, ref)
+	}
 }
 
 // waitFor polls cond until it holds or a generous deadline expires.

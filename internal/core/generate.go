@@ -28,6 +28,13 @@ type GenerateOptions struct {
 	// ablation benchmark. The guarded and unguarded paths return identical
 	// fusions.
 	NoGuardedClosure bool
+	// NoIncremental disables the incremental descent engine — the
+	// cross-level violation pruning and survivor-seeded joins of
+	// partition.DescentState — so every descent level re-evaluates all
+	// O(B²) block pairs from scratch; used by the ablation benchmark.
+	// Incremental and cold descents return bit-identical fusions (the
+	// equivalence suite pins this).
+	NoIncremental bool
 }
 
 // guardedClosureLimit bounds the weakest-edge count up to which the
@@ -35,6 +42,12 @@ type GenerateOptions struct {
 // the edge count, so past this size the plain closure plus one final
 // Covers check wins.
 const guardedClosureLimit = 64
+
+// incrementalMinStates is the top size below which the descent runs cold:
+// the cross-level bookkeeping of a DescentState (outcome maps, survivor
+// interning) costs more than the handful of closures it saves when a
+// level has only a few dozen pairs. Output is identical either way.
+const incrementalMinStates = 16
 
 // GenerateFusion implements Algorithm 2 of the paper: it returns the
 // smallest set of machines F (as closed partitions of ⊤'s state set) such
@@ -48,7 +61,12 @@ const guardedClosureLimit = 64
 // that still cover every weakest edge of the current fault graph — the
 // paper's "dmin(F ∪ A ∪ F) > dmin(A ∪ F)" test on line 6 — it descends
 // into the smallest one, stopping when no candidate qualifies. Candidate
-// evaluation is parallelized inside partition.LowerCoverFiltered.
+// evaluation is parallelized inside the partition merge-closure fan-out,
+// and one partition.DescentState threads pair outcomes across the levels
+// of each descent: pairs whose closure lost a weakest edge are pruned for
+// the rest of the descent, and surviving candidates are re-evaluated at
+// the next level as cheap union-find joins instead of cold closures
+// (opts.NoIncremental falls back to cold levels for the ablation).
 //
 // Complexity: O(N³·|Σ|·f) as shown in Section 5.1.
 func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, error) {
@@ -58,6 +76,17 @@ func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, erro
 	n := s.N()
 	g := BuildFaultGraph(n, s.Parts)
 	var fusions []partition.P
+	var d *partition.DescentState
+	if !opts.NoIncremental && n >= incrementalMinStates {
+		d = partition.NewDescentState()
+		if f-g.Dmin()+1 >= 2 {
+			// Two or more descents are coming (each generated machine
+			// raises dmin by one): retain the constraint-independent ⊤
+			// closures of the first descent so the later ones replace
+			// their level-0 fan-out with a filter over the cache.
+			d.EnableTopCache()
+		}
+	}
 
 	for g.Dmin() <= f {
 		if opts.MaxMachines > 0 && len(fusions) >= opts.MaxMachines {
@@ -65,6 +94,11 @@ func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, erro
 				f, opts.MaxMachines, g.Dmin())
 		}
 		required := g.WeakestEdges()
+		if d != nil {
+			// Recorded violations are only permanent within one descent:
+			// the weakest-edge set changes with every generated machine.
+			d.Reset()
+		}
 
 		// Start at ⊤, which separates every pair and therefore always
 		// covers the required edges. Descend through merge closures rather
@@ -74,11 +108,11 @@ func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, erro
 		// filter (see partition.MergeClosures).
 		m := partition.Singletons(n)
 		for m.NumBlocks() > 1 {
-			cands := qualifyingCandidates(s, m, required, opts)
-			if len(cands) == 0 {
+			best, ok := bestCandidate(s, m, required, opts, d)
+			if !ok {
 				break
 			}
-			m = pickCandidate(cands)
+			m = best
 		}
 
 		fusions = append(fusions, m)
@@ -92,11 +126,15 @@ func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, erro
 	return fusions, nil
 }
 
-// qualifyingCandidates returns the merge closures of m that still separate
-// every required edge, choosing between the guarded (abort-early) and the
-// filter-after-closure evaluation paths. The closure fan-out runs on the
-// options' pool (the shared default when unset).
-func qualifyingCandidates(s *System, m partition.P, required []Edge, opts GenerateOptions) []partition.P {
+// bestCandidate evaluates one descent level: among the merge closures of
+// m that still separate every required edge, return the Less-minimal one
+// (Algorithm 2's deterministic pick — fewest blocks first, then
+// lexicographically least normalized vector). It chooses between the
+// guarded (abort-early) and filter-after-closure evaluation paths, runs
+// the fan-out on the options' pool (the shared default when unset), and
+// threads the descent state for cross-level pruning and seeding (d may
+// be nil for cold levels). ok is false when no candidate qualifies.
+func bestCandidate(s *System, m partition.P, required []Edge, opts GenerateOptions, d *partition.DescentState) (partition.P, bool) {
 	pool := opts.Pool
 	if pool == nil {
 		pool = exec.Default()
@@ -106,40 +144,30 @@ func qualifyingCandidates(s *System, m partition.P, required []Edge, opts Genera
 		for i, e := range required {
 			forbidden[i] = [2]int{e.I, e.J}
 		}
-		return partition.MergeClosuresGuardedOn(pool, s.Top, m, forbidden)
+		return partition.MinMergeClosureGuardedOn(pool, d, s.Top, m, forbidden)
 	}
 	covers := func(p partition.P) bool { return Covers(p, required) }
-	return partition.MergeClosuresOn(pool, s.Top, m, covers)
-}
-
-// pickCandidate chooses deterministically among acceptable lower-cover
-// elements: fewest blocks first (descend towards small machines fast), then
-// lexicographically least normalized vector (partition.Less). Any choice is
-// correct (Theorem 5 holds for every qualifying descent); this one makes
-// runs reproducible without materializing a string key per comparison.
-func pickCandidate(cands []partition.P) partition.P {
-	best := cands[0]
-	for _, c := range cands[1:] {
-		if c.Less(best) {
-			best = c
-		}
-	}
-	return best
+	return partition.MinMergeClosureOn(pool, d, s.Top, m, covers)
 }
 
 // GreedyDescent exposes one inner-loop descent of Algorithm 2: starting
 // from ⊤, descend the lattice keeping the given edges covered, and return
 // the final (locally minimal) machine. Used by tests and the exhaustive-
-// search ablation.
+// search ablation. Like GenerateFusion's inner loop it carries a
+// DescentState, so deeper levels reuse pair outcomes from shallower ones.
 func GreedyDescent(s *System, required []Edge) partition.P {
 	covers := func(p partition.P) bool { return Covers(p, required) }
+	var d *partition.DescentState
+	if s.N() >= incrementalMinStates {
+		d = partition.NewDescentState()
+	}
 	m := partition.Singletons(s.N())
 	for m.NumBlocks() > 1 {
-		cands := partition.MergeClosures(s.Top, m, covers)
-		if len(cands) == 0 {
+		best, ok := partition.MinMergeClosureOn(exec.Default(), d, s.Top, m, covers)
+		if !ok {
 			break
 		}
-		m = pickCandidate(cands)
+		m = best
 	}
 	return m
 }

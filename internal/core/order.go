@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/exec"
 	"repro/internal/partition"
 )
 
@@ -45,8 +46,16 @@ func FusionLess(F, G []partition.P) bool {
 // by an element of its lower cover while A ∪ F still tolerates f faults.
 // Every fusion returned by Algorithm 2 passes this check (Theorem 5 proves
 // the stronger global minimality); the function exists so tests can verify
-// it independently.
+// it independently. The lower-cover fan-outs run on the shared default
+// pool; engine-owned callers use IsLocallyMinimalFusionOn.
 func IsLocallyMinimalFusion(s *System, F []partition.P, f int) (bool, error) {
+	return IsLocallyMinimalFusionOn(exec.Default(), s, F, f)
+}
+
+// IsLocallyMinimalFusionOn is IsLocallyMinimalFusion with the lower-cover
+// closure fan-outs on an explicit pool (fusion.Engine routes here so a
+// dedicated engine's verification work never lands on the shared pool).
+func IsLocallyMinimalFusionOn(pool *exec.Pool, s *System, F []partition.P, f int) (bool, error) {
 	ok, err := s.IsFusion(F, f)
 	if err != nil {
 		return false, err
@@ -58,7 +67,7 @@ func IsLocallyMinimalFusion(s *System, F []partition.P, f int) (bool, error) {
 		rest := make([]partition.P, 0, len(F)-1)
 		rest = append(rest, F[:i]...)
 		rest = append(rest, F[i+1:]...)
-		for _, cand := range partition.LowerCover(s.Top, F[i]) {
+		for _, cand := range partition.LowerCoverOn(pool, s.Top, F[i]) {
 			withCand := append(append([]partition.P{}, rest...), cand)
 			if s.DminWith(withCand) > f {
 				return false, nil // a strictly smaller machine suffices

@@ -35,7 +35,8 @@ import (
 // once at init time with NewSlotID and then access them through Ctx.Get
 // and Ctx.Set from inside tasks; each worker keeps its own value per slot
 // alive across batches, which is what lets closure scratch (union-find
-// forests, propagation stacks) be reused instead of reallocated per task.
+// forests, propagation stacks, the seeded-closure working set of the
+// incremental descent engine) be reused instead of reallocated per task.
 type SlotID int
 
 var slotCount atomic.Int32

@@ -39,6 +39,13 @@ type TableRow struct {
 // RunTableRow computes one row: build the system, generate the fusion with
 // Algorithm 2, and account both state spaces.
 func RunTableRow(s machines.Suite) (*TableRow, error) {
+	return RunTableRowWithOptions(s, core.GenerateOptions{})
+}
+
+// RunTableRowWithOptions is RunTableRow with explicit Algorithm 2
+// options, so the ablation benchmarks can measure a row with individual
+// optimizations switched off.
+func RunTableRowWithOptions(s machines.Suite, opts core.GenerateOptions) (*TableRow, error) {
 	ms, err := machines.SuiteMachines(s)
 	if err != nil {
 		return nil, err
@@ -48,7 +55,7 @@ func RunTableRow(s machines.Suite) (*TableRow, error) {
 		return nil, err
 	}
 	start := time.Now()
-	F, err := core.GenerateFusion(sys, s.F, core.GenerateOptions{})
+	F, err := core.GenerateFusion(sys, s.F, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -48,6 +48,10 @@ type closureScratch struct {
 	uf    *UnionFind
 	stack []statePair
 	first []int // first state seen per block id
+	// seedFirst is the second first-of-block table used by the seeded
+	// (join-based) closures of the incremental descent engine, which
+	// unite the blocks of two partitions instead of one.
+	seedFirst []int
 	// Guarded-closure state: tags[r] lists the forbidden-pair endpoints
 	// currently in root r's set; adj[s] lists s's forbidden partners.
 	tags [][]int
@@ -77,6 +81,19 @@ func scratchFor(c *exec.Ctx, n, blocks int) *closureScratch {
 		s.first[i] = -1
 	}
 	return s
+}
+
+// resetSeed sizes and clears the second first-of-block table for a
+// seeding partition with the given block count.
+func (s *closureScratch) resetSeed(blocks int) {
+	if cap(s.seedFirst) >= blocks {
+		s.seedFirst = s.seedFirst[:blocks]
+	} else {
+		s.seedFirst = make([]int, blocks)
+	}
+	for i := range s.seedFirst {
+		s.seedFirst[i] = -1
+	}
 }
 
 // resetGuarded sizes and clears the violation index for n states.
@@ -113,6 +130,15 @@ func Close(top *dfsm.Machine, p P) P {
 // supplies the recycled working set. It is the task body of the pooled
 // merge-closure fan-out.
 func closeOn(c *exec.Ctx, top *dfsm.Machine, p P) P {
+	return closeMergingOn(c, top, p, 0, 0)
+}
+
+// closeMergingOn computes close(p with the blocks of x and y merged) by
+// seeding the union-find from p directly and uniting x with y in the
+// forest — the merged start partition is never materialized, which
+// spares every closure of the Algorithm 2 fan-out a vector copy and an
+// FNV hash. x == y degenerates to Close(p).
+func closeMergingOn(c *exec.Ctx, top *dfsm.Machine, p P, x, y int) P {
 	n := top.NumStates()
 	sc := scratchFor(c, n, p.NumBlocks())
 	uf := sc.uf
@@ -133,6 +159,9 @@ func closeOn(c *exec.Ctx, top *dfsm.Machine, p P) P {
 			sc.first[b] = s
 		}
 	}
+	if x != y {
+		merge(x, y)
+	}
 	for len(stack) > 0 {
 		pr := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -152,7 +181,10 @@ func closeOn(c *exec.Ctx, top *dfsm.Machine, p P) P {
 // merging the blocks containing states x and y. It is the inner step of the
 // lower-cover computation.
 func CloseMergingStates(top *dfsm.Machine, p P, x, y int) P {
-	return Close(top, p.MergeBlocks(p.BlockOf(x), p.BlockOf(y)))
+	pool := exec.Default()
+	c := pool.Acquire()
+	defer pool.Release(c)
+	return closeMergingOn(c, top, p, x, y)
 }
 
 // CloseGuarded is Close that aborts as soon as the closure would merge the
@@ -174,6 +206,13 @@ func CloseGuarded(top *dfsm.Machine, p P, forbidden [][2]int) (P, bool) {
 
 // closeGuardedOn is CloseGuarded running on an exec context; see closeOn.
 func closeGuardedOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]int) (P, bool) {
+	return closeGuardedMergingOn(c, top, p, forbidden, 0, 0)
+}
+
+// closeGuardedMergingOn is closeGuardedOn of p with the blocks of x and
+// y merged, seeding from p directly like closeMergingOn. x == y
+// degenerates to CloseGuarded(p).
+func closeGuardedMergingOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]int, x, y int) (P, bool) {
 	n := top.NumStates()
 	sc := scratchFor(c, n, p.NumBlocks())
 	sc.resetGuarded(n)
@@ -229,6 +268,9 @@ func closeGuardedOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]int) (P,
 			sc.first[b] = s
 		}
 	}
+	if x != y && !merge(x, y) {
+		return P{}, false
+	}
 	for len(stack) > 0 {
 		pr := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -237,6 +279,157 @@ func closeGuardedOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]int) (P,
 			tb := top.NextByIndex(pr.b, e)
 			if uf.Find(ta) != uf.Find(tb) {
 				if !merge(ta, tb) {
+					return P{}, false
+				}
+			}
+		}
+	}
+	return uf.Partition(), true
+}
+
+// seededCloseOn computes close(p ∨ prev), the closure of the join of two
+// CLOSED partitions, by uniting both partitions' blocks in one union-find
+// and running the standard propagation fixpoint over only the cross
+// unions. Closed partitions are closed under join (Hartmanis–Stearns pair
+// algebra: a chain of same-block steps in p or prev maps under every
+// event to a chain of same-block steps), so with prev = close(m ∪ {x~y})
+// from the previous descent level and p the new level start m′ this
+// equals close(m′ ∪ {x~y}) — the residual fixpoint never unites anything
+// on closed inputs, making the re-evaluation O(N·α) union-find work with
+// no transition-table cascade.
+//
+// Uniting within one closed partition's blocks needs no propagation (the
+// successors of same-block states are same-block, and every block is
+// fully united by the end of its pass); only unions that join a p-block
+// across two prev-sets are pushed, as defense in depth against a caller
+// breaking the closedness precondition of prev — those checks still
+// cascade to the correct closure, just without the fast path.
+func seededCloseOn(c *exec.Ctx, top *dfsm.Machine, p, prev P) P {
+	n := top.NumStates()
+	sc := scratchFor(c, n, p.NumBlocks())
+	sc.resetSeed(prev.NumBlocks())
+	uf := sc.uf
+	stack := sc.stack
+
+	prevOf := prev.View()
+	for s := 0; s < n; s++ {
+		b := prevOf[s]
+		if ps := sc.seedFirst[b]; ps >= 0 {
+			uf.Union(ps, s)
+		} else {
+			sc.seedFirst[b] = s
+		}
+	}
+	blockOf := p.View()
+	for s := 0; s < n; s++ {
+		b := blockOf[s]
+		if ps := sc.first[b]; ps >= 0 {
+			if uf.Union(ps, s) {
+				stack = append(stack, statePair{ps, s})
+			}
+		} else {
+			sc.first[b] = s
+		}
+	}
+	for len(stack) > 0 {
+		pr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := 0; e < top.NumEvents(); e++ {
+			ta := top.NextByIndex(pr.a, e)
+			tb := top.NextByIndex(pr.b, e)
+			if uf.Union(ta, tb) {
+				stack = append(stack, statePair{ta, tb})
+			}
+		}
+	}
+	sc.stack = stack
+	return uf.Partition()
+}
+
+// seededCloseGuardedOn is seededCloseOn with the forbidden-pair abort of
+// closeGuardedOn: every union — including the block seeding of both
+// closed inputs — runs the incremental tag check, so a join that
+// collapses a forbidden pair returns ok=false at the union that creates
+// the violation.
+func seededCloseGuardedOn(c *exec.Ctx, top *dfsm.Machine, p, prev P, forbidden [][2]int) (P, bool) {
+	n := top.NumStates()
+	sc := scratchFor(c, n, p.NumBlocks())
+	sc.resetSeed(prev.NumBlocks())
+	sc.resetGuarded(n)
+	uf := sc.uf
+	stack := sc.stack
+	defer func() { sc.stack = stack }()
+
+	for _, e := range forbidden {
+		x, y := e[0], e[1]
+		if x == y {
+			return P{}, false // degenerate pair can never be separated
+		}
+		if len(sc.adj[x]) == 0 {
+			sc.tags[x] = append(sc.tags[x], x)
+		}
+		if len(sc.adj[y]) == 0 {
+			sc.tags[y] = append(sc.tags[y], y)
+		}
+		sc.adj[x] = append(sc.adj[x], y)
+		sc.adj[y] = append(sc.adj[y], x)
+	}
+
+	// merge unites a and b, pushing the pair for propagation only when
+	// push is set; false reports a forbidden-pair violation.
+	merge := func(a, b int, push bool) bool {
+		ra, rb := uf.Find(a), uf.Find(b)
+		if ra == rb {
+			return true
+		}
+		uf.Union(ra, rb)
+		root := uf.Find(ra)
+		child := ra + rb - root // the absorbed root
+		if push {
+			stack = append(stack, statePair{a, b})
+		}
+		for _, s := range sc.tags[child] {
+			for _, t := range sc.adj[s] {
+				if uf.Find(t) == root {
+					return false
+				}
+			}
+		}
+		sc.tags[root] = append(sc.tags[root], sc.tags[child]...)
+		sc.tags[child] = sc.tags[child][:0]
+		return true
+	}
+
+	prevOf := prev.View()
+	for s := 0; s < n; s++ {
+		b := prevOf[s]
+		if ps := sc.seedFirst[b]; ps >= 0 {
+			if !merge(ps, s, false) {
+				return P{}, false
+			}
+		} else {
+			sc.seedFirst[b] = s
+		}
+	}
+	blockOf := p.View()
+	for s := 0; s < n; s++ {
+		b := blockOf[s]
+		if ps := sc.first[b]; ps >= 0 {
+			if !merge(ps, s, true) {
+				return P{}, false
+			}
+		} else {
+			sc.first[b] = s
+		}
+	}
+	for len(stack) > 0 {
+		pr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := 0; e < top.NumEvents(); e++ {
+			ta := top.NextByIndex(pr.a, e)
+			tb := top.NextByIndex(pr.b, e)
+			if uf.Find(ta) != uf.Find(tb) {
+				if !merge(ta, tb, true) {
 					return P{}, false
 				}
 			}

@@ -19,6 +19,12 @@ func LowerCover(top *dfsm.Machine, p P) []P {
 	return LowerCoverFiltered(top, p, nil)
 }
 
+// LowerCoverOn is LowerCover drawing its parallelism from the given
+// persistent pool instead of the package default.
+func LowerCoverOn(pool *exec.Pool, top *dfsm.Machine, p P) []P {
+	return LowerCoverFilteredOn(pool, top, p, nil)
+}
+
 // MergeClosures returns the deduplicated closures of all single-pair block
 // merges of p that pass the keep predicate (nil keeps everything), without
 // the maximality filter of LowerCover. Every closed partition strictly
@@ -52,7 +58,7 @@ func MergeClosuresGuarded(top *dfsm.Machine, p P, forbidden [][2]int) []P {
 // MergeClosuresGuardedOn is MergeClosuresGuarded on an explicit pool.
 func MergeClosuresGuardedOn(pool *exec.Pool, top *dfsm.Machine, p P, forbidden [][2]int) []P {
 	return runMergeClosures(pool, p, func(c *exec.Ctx, p P, x, y int) (P, bool) {
-		return closeGuardedOn(c, top, p.MergeBlocks(p.BlockOf(x), p.BlockOf(y)), forbidden)
+		return closeGuardedMergingOn(c, top, p, forbidden, x, y)
 	})
 }
 
@@ -62,7 +68,14 @@ func MergeClosuresGuardedOn(pool *exec.Pool, top *dfsm.Machine, p P, forbidden [
 // fault-graph edges, matching line 6 of the paper's pseudocode (only
 // candidates that increase dmin are ever descended into).
 func LowerCoverFiltered(top *dfsm.Machine, p P, keep func(P) bool) []P {
-	uniq := mergeClosures(exec.Default(), top, p, keep)
+	return LowerCoverFilteredOn(exec.Default(), top, p, keep)
+}
+
+// LowerCoverFilteredOn is LowerCoverFiltered on an explicit pool. Callers
+// that own an engine (a dedicated pool) route through here so the cover's
+// closure fan-out runs on their capacity, not the shared default's.
+func LowerCoverFilteredOn(pool *exec.Pool, top *dfsm.Machine, p P, keep func(P) bool) []P {
+	uniq := mergeClosures(pool, top, p, keep)
 
 	// Keep maximal elements: drop c if some other candidate d is strictly
 	// finer than c (c < d means c is coarser, hence not maximal).
@@ -87,7 +100,7 @@ func LowerCoverFiltered(top *dfsm.Machine, p P, keep func(P) bool) []P {
 
 func mergeClosures(pool *exec.Pool, top *dfsm.Machine, p P, keep func(P) bool) []P {
 	return runMergeClosures(pool, p, func(c *exec.Ctx, p P, x, y int) (P, bool) {
-		cand := closeOn(c, top, p.MergeBlocks(p.BlockOf(x), p.BlockOf(y)))
+		cand := closeMergingOn(c, top, p, x, y)
 		if keep == nil || keep(cand) {
 			return cand, true
 		}

@@ -1,0 +1,359 @@
+package partition
+
+import (
+	"repro/internal/dfsm"
+	"repro/internal/exec"
+)
+
+// DescentState threads candidate outcomes across the levels of one greedy
+// descent of Algorithm 2, so deeper levels stop treating every merge
+// closure as a cold start. Two mechanisms, both sound by closure
+// monotonicity (the closure of a coarser start is coarser, so within one
+// descent a constraint violation is permanent):
+//
+//   - Cross-level violation pruning: a state pair (x, y) whose merge
+//     closure collapsed a forbidden pair (or failed the monotone keep
+//     predicate) at level L is recorded and skipped at every deeper
+//     level without recomputation. Block representatives are minimal
+//     states, so every pair enumerated at level L+1 carries a state-pair
+//     key that was already evaluated at level L — after the first level
+//     the fan-out shrinks from O(B²) closures to the surviving pairs.
+//
+//   - Closure seeding: a pair that survived level L with candidate c is
+//     re-evaluated at level L+1 as the join of c with the new level
+//     start m′ instead of a from-scratch closure of the two-block merge.
+//     Closed partitions are closed under join (Hartmanis–Stearns), so
+//     close(m′ ∪ {x~y}) = join(c, m′): the transition table is only
+//     consulted by a residual fixpoint check that never fires on closed
+//     inputs, turning each re-evaluation into O(N·α) union-find work.
+//
+// A third mechanism spans descents: the closures of the TOP level are
+// constraint-independent — every descent starts from ⊤, and
+// close(⊤ ∪ {x~y}) depends only on the machine — so with EnableTopCache
+// the first descent retains them and later descents re-run only the
+// (cheap) constraint filter instead of N²/2 closures. See EnableTopCache
+// for when that trade is worth it.
+//
+// A DescentState serves exactly one descent: call Reset before starting
+// the next one (the weakest-edge constraint changes between outer
+// iterations of Algorithm 2, so recorded violations expire with the
+// descent; the top cache, being constraint-independent, survives Reset).
+// It is not safe for concurrent descents; within one level the pool
+// tasks only read it.
+type DescentState struct {
+	pruned    map[uint64]struct{}
+	survivors map[uint64]P
+	next      map[uint64]P
+	interned  *Set // canonical survivor storage: equal candidates share one P
+
+	// Top-level closure cache (EnableTopCache): constraint-independent,
+	// so it persists across Reset. topSet interns the cached closures —
+	// distinct top closures are typically far fewer than pairs.
+	cacheTop  bool
+	topFilled bool
+	topCache  map[uint64]P
+	topSet    *Set
+
+	stats DescentStats
+
+	// onClose observes every closure actually evaluated (cold or seeded)
+	// with the pair's representative states; tests hook it to prove that
+	// pruned pairs are never re-closed. Called from pool workers — a
+	// non-nil hook must be internally synchronized.
+	onClose func(x, y int)
+}
+
+// DescentStats counts what the cross-level reuse saved within the
+// current descent (cumulative since the last Reset).
+type DescentStats struct {
+	// Levels is the number of descent levels evaluated.
+	Levels int
+	// ColdClosures counts from-scratch merge closures (all of level 0,
+	// plus any pair with no recorded outcome).
+	ColdClosures int
+	// SeededJoins counts re-evaluations served as join(survivor, m′).
+	SeededJoins int
+	// PrunedSkips counts pair evaluations skipped outright because the
+	// pair violated at an earlier level.
+	PrunedSkips int
+	// TopCacheHits counts top-level pair evaluations served from the
+	// cross-descent closure cache (a filter check instead of a closure).
+	TopCacheHits int
+}
+
+// NewDescentState returns an empty state, ready for one descent.
+func NewDescentState() *DescentState {
+	return &DescentState{
+		pruned:    make(map[uint64]struct{}),
+		survivors: make(map[uint64]P),
+		next:      make(map[uint64]P),
+		interned:  NewSet(64),
+	}
+}
+
+// Reset clears all recorded outcomes for a fresh descent, retaining the
+// allocated maps and the cross-descent top-level closure cache.
+func (d *DescentState) Reset() {
+	clear(d.pruned)
+	clear(d.survivors)
+	clear(d.next)
+	d.interned = NewSet(64)
+	d.stats = DescentStats{}
+}
+
+// EnableTopCache makes the first descent retain the full closure of every
+// top-level pair so later descents replace their level-0 closure fan-out
+// with a pure constraint filter over the cache. Worth it only when the
+// caller will run two or more descents against the same machine
+// (Algorithm 2 with an expected f − dmin + 1 ≥ 2): filling the cache
+// computes full closures even for pairs the guarded path would have
+// abandoned mid-propagation, a cost only reuse amortizes.
+func (d *DescentState) EnableTopCache() {
+	d.cacheTop = true
+	if d.topCache == nil {
+		d.topCache = make(map[uint64]P)
+		d.topSet = NewSet(64)
+	}
+}
+
+// Stats returns the reuse counters accumulated since the last Reset.
+func (d *DescentState) Stats() DescentStats { return d.stats }
+
+// pairKey packs two distinct states (representatives are < 1<<22, the
+// dfsm product bound) into one map key, order-normalized.
+func pairKey(x, y int) uint64 {
+	if x > y {
+		x, y = y, x
+	}
+	return uint64(x)<<32 | uint64(y)
+}
+
+// descentTask is one candidate evaluation of a level: a representative
+// state pair plus, when the pair survived the previous level, the
+// candidate to seed the join from.
+type descentTask struct {
+	x, y   int
+	prev   P
+	seeded bool
+}
+
+// MinMergeClosureOn returns the Less-minimal merge closure of p passing
+// keep — the pickCandidate winner of Algorithm 2's line-6 fan-out —
+// without materializing the full candidate list, and records per-pair
+// outcomes in d for cross-level reuse. ok is false when no candidate
+// passes (the descent has bottomed out). d may be nil (no reuse: every
+// level is evaluated cold, as MergeClosuresOn would).
+//
+// Pruning soundness requires keep to be monotone under coarsening: if
+// keep rejects a partition it must reject every coarser one (the
+// fault-graph Covers predicate is — losing an edge is permanent). The
+// winner is identical to pickCandidate over MergeClosuresOn(pool, top,
+// p, keep) for any such keep.
+func MinMergeClosureOn(pool *exec.Pool, d *DescentState, top *dfsm.Machine, p P, keep func(P) bool) (P, bool) {
+	accept := func(cand P) bool { return keep == nil || keep(cand) }
+	return runMinMergeClosures(pool, d, p, levelEval{
+		cold: func(c *exec.Ctx, x, y int) (P, bool) {
+			cand := closeMergingOn(c, top, p, x, y)
+			return cand, accept(cand)
+		},
+		seeded: func(c *exec.Ctx, prev P) (P, bool) {
+			cand := seededCloseOn(c, top, p, prev)
+			return cand, accept(cand)
+		},
+		full: func(c *exec.Ctx, x, y int) P {
+			return closeMergingOn(c, top, p, x, y)
+		},
+		accept: accept,
+	})
+}
+
+// MinMergeClosureGuardedOn is MinMergeClosureOn specialized to the
+// "separate every forbidden pair" predicate, evaluated with the
+// abort-early guarded closure (and its seeded-join counterpart).
+// Semantically identical to pickCandidate over MergeClosuresGuardedOn.
+func MinMergeClosureGuardedOn(pool *exec.Pool, d *DescentState, top *dfsm.Machine, p P, forbidden [][2]int) (P, bool) {
+	return runMinMergeClosures(pool, d, p, levelEval{
+		cold: func(c *exec.Ctx, x, y int) (P, bool) {
+			return closeGuardedMergingOn(c, top, p, forbidden, x, y)
+		},
+		seeded: func(c *exec.Ctx, prev P) (P, bool) {
+			return seededCloseGuardedOn(c, top, p, prev, forbidden)
+		},
+		full: func(c *exec.Ctx, x, y int) P {
+			return closeMergingOn(c, top, p, x, y)
+		},
+		accept: func(cand P) bool {
+			view := cand.View()
+			for _, e := range forbidden {
+				if view[e[0]] == view[e[1]] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+}
+
+// levelEval bundles the candidate-evaluation strategies of one descent
+// level: cold is the constraint-aware from-scratch closure (guarded or
+// filter-after-close), seeded the survivor join, full the unfiltered
+// closure used to populate the top cache, and accept the constraint
+// filter — accept(full(x,y)) must agree with cold(x,y)'s verdict.
+type levelEval struct {
+	cold   func(c *exec.Ctx, x, y int) (P, bool)
+	seeded func(c *exec.Ctx, prev P) (P, bool)
+	full   func(c *exec.Ctx, x, y int) P
+	accept func(P) bool
+}
+
+// runMinMergeClosures evaluates one descent level: enumerate the block
+// pairs of p, skip the ones d has pruned, close the rest (seeded when a
+// survivor is on record), and min-reduce the qualifiers by Less. The
+// evaluations fan out over the pool; outcomes are recorded into d in a
+// deterministic serial pass over task-indexed slots afterwards.
+func runMinMergeClosures(pool *exec.Pool, d *DescentState, p P, eval levelEval) (P, bool) {
+	blocks := p.Blocks()
+	b := len(blocks)
+	if b <= 1 {
+		return P{}, false // bottom has no merge closures
+	}
+	if d != nil && d.cacheTop && b == p.N() {
+		return d.topLevel(pool, p, eval)
+	}
+
+	tasks := make([]descentTask, 0, b*(b-1)/2)
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			t := descentTask{x: blocks[i][0], y: blocks[j][0]}
+			if d != nil {
+				key := pairKey(t.x, t.y)
+				if _, dead := d.pruned[key]; dead {
+					d.stats.PrunedSkips++
+					continue
+				}
+				if prev, ok := d.survivors[key]; ok {
+					t.prev, t.seeded = prev, true
+				}
+			}
+			tasks = append(tasks, t)
+		}
+	}
+
+	candidates := make([]P, len(tasks))
+	valid := make([]bool, len(tasks))
+	var onClose func(x, y int)
+	if d != nil {
+		onClose = d.onClose
+	}
+	pool.Run(len(tasks), func(c *exec.Ctx, k int) {
+		t := tasks[k]
+		if onClose != nil {
+			onClose(t.x, t.y)
+		}
+		var cand P
+		var ok bool
+		if t.seeded {
+			cand, ok = eval.seeded(c, t.prev)
+		} else {
+			cand, ok = eval.cold(c, t.x, t.y)
+		}
+		if ok {
+			candidates[k] = cand
+			valid[k] = true
+		}
+	})
+
+	// Record outcomes and min-reduce serially, in task order, so the
+	// result and d's contents are independent of worker scheduling.
+	var best P
+	found := false
+	for k, t := range tasks {
+		if !valid[k] {
+			if d != nil {
+				d.pruned[pairKey(t.x, t.y)] = struct{}{}
+			}
+			continue
+		}
+		cand := candidates[k]
+		if d != nil {
+			cand = d.interned.Intern(cand) // equal survivors share one allocation
+			d.next[pairKey(t.x, t.y)] = cand
+		}
+		if !found || cand.Less(best) {
+			best, found = cand, true
+		}
+	}
+	if d != nil {
+		d.stats.Levels++
+		for _, t := range tasks {
+			if t.seeded {
+				d.stats.SeededJoins++
+			} else {
+				d.stats.ColdClosures++
+			}
+		}
+		// The survivors just recorded become the seeds of the next level.
+		d.survivors, d.next = d.next, d.survivors
+		clear(d.next)
+	}
+	return best, found
+}
+
+// topLevel evaluates the ⊤ level through the cross-descent closure
+// cache: the first descent fills it with the full (unfiltered) closure
+// of every pair, later descents only re-run the constraint filter. The
+// survivor set and winner are identical to a cold evaluation — accept on
+// the completed closure gives the same verdict the guarded abort or keep
+// predicate would.
+func (d *DescentState) topLevel(pool *exec.Pool, p P, eval levelEval) (P, bool) {
+	n := p.N()
+	if !d.topFilled {
+		type pairTask struct{ x, y int }
+		tasks := make([]pairTask, 0, n*(n-1)/2)
+		for x := 0; x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				tasks = append(tasks, pairTask{x, y})
+			}
+		}
+		closures := make([]P, len(tasks))
+		onClose := d.onClose
+		pool.Run(len(tasks), func(c *exec.Ctx, k int) {
+			t := tasks[k]
+			if onClose != nil {
+				onClose(t.x, t.y)
+			}
+			closures[k] = eval.full(c, t.x, t.y)
+		})
+		for k, t := range tasks {
+			d.topCache[pairKey(t.x, t.y)] = d.topSet.Intern(closures[k])
+		}
+		d.topFilled = true
+		d.stats.ColdClosures += len(tasks)
+	} else {
+		d.stats.TopCacheHits += n * (n - 1) / 2
+	}
+
+	// Filter the cached closures against this descent's constraint,
+	// recording outcomes exactly as a cold level would. ⊤'s blocks are
+	// singletons, so pair (x, y) IS the representative pair.
+	var best P
+	found := false
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			key := pairKey(x, y)
+			cand := d.topCache[key]
+			if !eval.accept(cand) {
+				d.pruned[key] = struct{}{}
+				continue
+			}
+			d.next[key] = cand
+			if !found || cand.Less(best) {
+				best, found = cand, true
+			}
+		}
+	}
+	d.stats.Levels++
+	d.survivors, d.next = d.next, d.survivors
+	clear(d.next)
+	return best, found
+}

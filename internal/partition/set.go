@@ -29,6 +29,23 @@ func (s *Set) Add(p P) bool {
 	return true
 }
 
+// Intern returns the set's canonical instance of p, inserting p itself
+// when no equal partition is present. Descent survivor maps intern their
+// candidates so the many pairs whose closures coincide retain one backing
+// vector instead of one per pair.
+func (s *Set) Intern(p P) P {
+	h := p.Hash()
+	bucket := s.m[h]
+	for _, q := range bucket {
+		if p.Equal(q) {
+			return q
+		}
+	}
+	s.m[h] = append(bucket, p)
+	s.n++
+	return p
+}
+
 // Contains reports whether an equal partition is already in the set.
 func (s *Set) Contains(p P) bool {
 	for _, q := range s.m[p.Hash()] {

@@ -121,12 +121,27 @@ type RecoverResponse struct {
 	States     []int    `json:"states"`
 }
 
-// TenantHealth is one tenant's live engine statistics.
+// TenantHealth is one tenant's live engine statistics plus the activity
+// counters of each of its clusters.
 type TenantHealth struct {
 	Workers  int `json:"workers"`
 	InFlight int `json:"inFlight"`
 	Queued   int `json:"queued"`
 	Clusters int `json:"clusters"`
+	// ClusterMetrics maps cluster id to its simulation counters; absent
+	// when the tenant has no clusters.
+	ClusterMetrics map[string]ClusterMetrics `json:"clusterMetrics,omitempty"`
+}
+
+// ClusterMetrics is one cluster's monotonic activity counters (a JSON
+// view of sim.MetricsSnapshot).
+type ClusterMetrics struct {
+	EventsApplied    int64 `json:"eventsApplied"`
+	FaultsInjected   int64 `json:"faultsInjected"`
+	Recoveries       int64 `json:"recoveries"`
+	FailedRecoveries int64 `json:"failedRecoveries"`
+	ServersRestored  int64 `json:"serversRestored"`
+	LiarsCaught      int64 `json:"liarsCaught"`
 }
 
 // HealthResponse is the GET /healthz body.

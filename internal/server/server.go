@@ -368,12 +368,26 @@ func (s *Server) Health() HealthResponse {
 		h.Status = "draining"
 	}
 	for _, t := range ts {
-		h.Tenants[t.name] = TenantHealth{
+		th := TenantHealth{
 			Workers:  t.engine.Workers(),
 			InFlight: t.engine.InFlight(),
 			Queued:   t.engine.Queued(),
 			Clusters: t.clusters.Len(),
 		}
+		if metrics := t.clusters.Metrics(); len(metrics) > 0 {
+			th.ClusterMetrics = make(map[string]ClusterMetrics, len(metrics))
+			for id, m := range metrics {
+				th.ClusterMetrics[id] = ClusterMetrics{
+					EventsApplied:    m.EventsApplied,
+					FaultsInjected:   m.FaultsInjected,
+					Recoveries:       m.Recoveries,
+					FailedRecoveries: m.FailedRecoveries,
+					ServersRestored:  m.ServersRestored,
+					LiarsCaught:      m.LiarsCaught,
+				}
+			}
+		}
+		h.Tenants[t.name] = th
 	}
 	return h
 }

@@ -210,6 +210,49 @@ func TestClusterLifecycle(t *testing.T) {
 	}
 }
 
+// TestHealthzClusterMetrics: /healthz surfaces each cluster's simulation
+// counters (events applied, faults, recoveries, restorations) next to the
+// tenant's engine stats, and drops the section with the cluster.
+func TestHealthzClusterMetrics(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+
+	var cl ClusterResponse
+	if w := do(t, s, "POST", "/v1/clusters", "", `{"zoo":["0-Counter","1-Counter"],"f":1,"seed":42}`, &cl); w.Code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", w.Code, w.Body.String())
+	}
+	if w := do(t, s, "POST", "/v1/clusters/"+cl.ID+"/events", "",
+		`{"random":{"count":25,"seed":7},"faults":[{"server":"F1","kind":"crash"}]}`, nil); w.Code != http.StatusOK {
+		t.Fatalf("events: status %d", w.Code)
+	}
+	if w := do(t, s, "POST", "/v1/clusters/"+cl.ID+"/recover", "", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("recover: status %d", w.Code)
+	}
+
+	var h HealthResponse
+	if w := do(t, s, "GET", "/healthz", "", "", &h); w.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", w.Code)
+	}
+	m, ok := h.Tenants["default"].ClusterMetrics[cl.ID]
+	if !ok {
+		t.Fatalf("healthz has no metrics for cluster %s: %+v", cl.ID, h.Tenants["default"])
+	}
+	want := ClusterMetrics{EventsApplied: 25, FaultsInjected: 1, Recoveries: 1, ServersRestored: 1}
+	if m != want {
+		t.Fatalf("cluster metrics = %+v, want %+v", m, want)
+	}
+
+	if w := do(t, s, "DELETE", "/v1/clusters/"+cl.ID, "", "", nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", w.Code)
+	}
+	if w := do(t, s, "GET", "/healthz", "", "", &h); w.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", w.Code)
+	}
+	if len(h.Tenants["default"].ClusterMetrics) != 0 {
+		t.Fatalf("metrics survived cluster deletion: %+v", h.Tenants["default"].ClusterMetrics)
+	}
+}
+
 // TestClusterUnknownID: every {id} route 404s cleanly on a handle that
 // never existed.
 func TestClusterUnknownID(t *testing.T) {

@@ -88,6 +88,24 @@ func (r *Registry) Full() bool {
 	return r.capacity > 0 && len(r.clusters) >= r.capacity
 }
 
+// Metrics snapshots every live cluster's activity counters, keyed by
+// handle id. The counters are atomic and the handle's cluster reference
+// is immutable, so no Handle.Do serialization is needed — a snapshot
+// taken mid-request simply reads the counts so far.
+func (r *Registry) Metrics() map[string]MetricsSnapshot {
+	r.mu.Lock()
+	handles := make(map[string]*Handle, len(r.clusters))
+	for id, h := range r.clusters {
+		handles[id] = h
+	}
+	r.mu.Unlock()
+	out := make(map[string]MetricsSnapshot, len(handles))
+	for id, h := range handles {
+		out[id] = h.c.Metrics().Snapshot()
+	}
+	return out
+}
+
 // Len returns the number of live clusters.
 func (r *Registry) Len() int {
 	r.mu.Lock()

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regression gate for the Algorithm 2 hot path: runs the Table 1 rows (and
+# the NoIncremental ablation row) at a short benchtime and fails when any
+# row's ns/op regressed more than BENCH_MAX_REGRESSION_PCT (default 15 —
+# looser than bench-compare's 5 because short benchtimes are noisier)
+# against benchmarks/baseline.txt. Reuses bench.sh for the run and
+# bench-compare.sh for the comparison; like bench-compare, it only gates
+# when the baseline was measured on this machine's CPU.
+#
+# The short-benchtime result is restored out of benchmarks/latest.txt
+# afterwards so a gate run can never be promoted as a baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+saved=""
+if [ -f benchmarks/latest.txt ]; then
+  saved="$(mktemp)"
+  cp benchmarks/latest.txt "$saved"
+fi
+restore() {
+  if [ -n "$saved" ]; then
+    mv "$saved" benchmarks/latest.txt
+  else
+    rm -f benchmarks/latest.txt # no pre-run latest: don't leave gate noise promotable
+  fi
+}
+trap restore EXIT
+
+BENCH_PATTERN='^(BenchmarkTable1Row[1-5]|BenchmarkTable1Row1NoIncremental)$' \
+BENCH_TIME="${BENCH_TIME:-0.3s}" \
+  scripts/bench.sh
+
+BENCH_MAX_REGRESSION_PCT="${BENCH_MAX_REGRESSION_PCT:-15}" scripts/bench-compare.sh
