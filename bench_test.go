@@ -373,7 +373,10 @@ func BenchmarkApplyAll(b *testing.B) {
 // response encode), no network: the service-layer overhead on top of the
 // BenchmarkFig1ModCounters workload it wraps.
 func BenchmarkServerGenerate(b *testing.B) {
-	srv := server.New(server.Options{MaxInFlight: 4, QueueDepth: 16})
+	srv, err := server.New(server.Options{MaxInFlight: 4, QueueDepth: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer srv.Close()
 	h := srv.Handler()
 	body := []byte(`{"zoo":["0-Counter","1-Counter"],"f":1}`)

@@ -55,6 +55,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxTenants   = fs.Int("max-tenants", 64, "distinct tenants served before shedding new names (-1 = unbounded)")
 		tenantHeader = fs.String("tenant-header", "X-Fusion-Tenant", "header naming the tenant")
 		grace        = fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP exchanges")
+		dataDir      = fs.String("data-dir", "", "persist cluster registries here and recover them at boot (empty = in-memory)")
+		compactEvery = fs.Int("compact-every", 0, "WAL records per cluster between snapshot compactions (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,8 +64,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if (*queueDepth > 0 || *queueTimeout > 0) && *maxInflight <= 0 {
 		return fmt.Errorf("-queue-depth/-queue-timeout do nothing without -max-inflight")
 	}
+	if *compactEvery > 0 && *dataDir == "" {
+		return fmt.Errorf("-compact-every does nothing without -data-dir")
+	}
 
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		TenantHeader: *tenantHeader,
 		Workers:      *workers,
 		MaxInFlight:  *maxInflight,
@@ -71,7 +76,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		QueueTimeout: *queueTimeout,
 		MaxClusters:  *maxClusters,
 		MaxTenants:   *maxTenants,
+		DataDir:      *dataDir,
+		CompactEvery: *compactEvery,
 	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(out, "fusiond: recovered durable state from %s\n", *dataDir)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -97,12 +110,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// Drain the engines first: new requests are refused with 503, queued
 	// admissions fail over, and Close returns once every admitted request
 	// has finished — handlers complete and answer on their still-open
-	// connections. Only then close the listener and reap idle exchanges.
-	// The drain itself is bounded by the grace period: a request that will
-	// not finish must not make the daemon unkillable by SIGTERM.
+	// connections — and, with -data-dir, every cluster journal is
+	// compacted into a final snapshot. Only then close the listener and
+	// reap idle exchanges. The drain itself is bounded by the grace
+	// period: a request that will not finish must not make the daemon
+	// unkillable by SIGTERM (a skipped final snapshot only means the next
+	// boot replays WAL tails instead).
 	fmt.Fprintln(out, "fusiond: shutting down")
 	drained := make(chan struct{})
-	go func() { srv.Close(); close(drained) }()
+	go func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(out, "fusiond: drain snapshot: %v\n", err)
+		}
+		close(drained)
+	}()
 	select {
 	case <-drained:
 	case <-time.After(*grace):

@@ -313,6 +313,57 @@ func TestSIGTERMFloodAcceptance(t *testing.T) {
 	}
 }
 
+// TestDataDirPersistence: a daemon restarted over the same -data-dir
+// serves the same cluster — id, step, and per-server states — that the
+// previous incarnation was driven to.
+func TestDataDirPersistence(t *testing.T) {
+	dataDir := t.TempDir()
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var out1 syncBuffer
+	base, errc := startDaemon(t, ctx1, &out1, "-data-dir", dataDir)
+	code, body := post(t, base+"/v1/clusters", `{"zoo":["0-Counter","1-Counter"],"f":1,"seed":11}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	code, _ = post(t, base+"/v1/clusters/c1/events",
+		`{"random":{"count":17,"seed":4},"faults":[{"server":"F1","kind":"crash"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("events: %d", code)
+	}
+	resp, err := http.Get(base + "/v1/clusters/c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	cancel1()
+	if err := <-errc; err != nil {
+		t.Fatalf("first daemon: %v\n%s", err, out1.String())
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var out2 syncBuffer
+	base2, errc2 := startDaemon(t, ctx2, &out2, "-data-dir", dataDir)
+	resp, err = http.Get(base2 + "/v1/clusters/c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted GET: %d %s", resp.StatusCode, got)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("cluster state diverged across restart:\n%s\nvs\n%s", got, want)
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("second daemon: %v\n%s", err, out2.String())
+	}
+}
+
 // TestFlagAndListenErrors: flag errors and unbindable addresses fail run.
 func TestFlagAndListenErrors(t *testing.T) {
 	var out syncBuffer
@@ -329,6 +380,10 @@ func TestFlagAndListenErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-queue-timeout", "1s"}, &out); err == nil {
 		t.Error("-queue-timeout without -max-inflight accepted")
+	}
+	// Same for a compaction threshold without a data dir.
+	if err := run(context.Background(), []string{"-compact-every", "8"}, &out); err == nil {
+		t.Error("-compact-every without -data-dir accepted")
 	}
 }
 

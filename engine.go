@@ -163,6 +163,17 @@ func (e *Engine) NewCluster(ms []*Machine, f int, seed int64) (*Cluster, error) 
 	return sim.NewClusterOn(e.pool, ms, f, seed)
 }
 
+// LoadRegistry rebuilds a store-backed cluster registry from its durable
+// state, re-generating every recovered cluster on this engine's pool:
+// specs become live clusters, the latest snapshots are restored, and WAL
+// tails are replayed (see sim.LoadRegistry). With a nil store it returns
+// an empty in-memory registry. fusiond calls this at boot so a restarted
+// daemon serves the same tenants, handle ids, and per-server states it
+// was killed with.
+func (e *Engine) LoadRegistry(capacity int, st sim.Store, compactEvery int) (*sim.Registry, error) {
+	return sim.LoadRegistry(e.pool, capacity, st, compactEvery)
+}
+
 // IsLocallyMinimalFusion verifies that F is a locally minimal (f,·)-
 // fusion of sys — no single machine can be replaced by a lower-cover
 // element without losing f-fault tolerance — with the cover fan-outs on

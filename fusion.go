@@ -104,6 +104,14 @@ type GenerateOptions = core.GenerateOptions
 // backups + fault injection + recovery).
 type Cluster = sim.Cluster
 
+// ClusterSpec is the durable, JSON-serializable record a Cluster can be
+// rebuilt from (machine definitions, fault capacity, seed).
+type ClusterSpec = sim.ClusterSpec
+
+// Store is the durable backend behind a store-backed cluster registry;
+// internal/store provides the in-memory and file implementations.
+type Store = sim.Store
+
 // Fault describes an injected failure.
 type Fault = trace.Fault
 

@@ -73,6 +73,7 @@ func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, erro
 	if f < 0 {
 		return nil, fmt.Errorf("core: cannot tolerate %d faults", f)
 	}
+	genCounters.runs.Add(1)
 	n := s.N()
 	g := BuildFaultGraph(n, s.Parts)
 	var fusions []partition.P
@@ -113,6 +114,13 @@ func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, erro
 				break
 			}
 			m = best
+		}
+
+		genCounters.descents.Add(1)
+		if d != nil {
+			// Stats cover the descent just finished; Reset clears them at
+			// the top of the next iteration.
+			recordDescent(d.Stats())
 		}
 
 		fusions = append(fusions, m)

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/partition"
+)
+
+// Process-wide generation-path counters, accumulated by GenerateFusion
+// across all engines and tenants. They answer the observability question
+// the per-cluster sim counters cannot: how much Algorithm 2 work has
+// this process done, and how much of it did the incremental descent
+// engine (partition.DescentState) save. fusiond exports them on its
+// Prometheus-style /metrics endpoint.
+var genCounters struct {
+	runs         atomic.Int64 // GenerateFusion calls
+	descents     atomic.Int64 // outer iterations (one generated machine each)
+	levels       atomic.Int64 // descent levels evaluated (incremental descents)
+	coldClosures atomic.Int64 // from-scratch merge closures
+	seededJoins  atomic.Int64 // re-evaluations served as join(survivor, m′)
+	prunedSkips  atomic.Int64 // pair evaluations skipped by violation pruning
+	topCacheHits atomic.Int64 // level-0 evaluations served from the ⊤-closure cache
+}
+
+// GenerationStats is a point-in-time copy of the process-wide generation
+// counters. All fields are monotonic. The DescentState reuse fields
+// (Levels and below) only accumulate on incremental descents — small
+// tops below the incremental gate run cold and contribute to Runs and
+// Descents alone.
+type GenerationStats struct {
+	Runs         int64
+	Descents     int64
+	Levels       int64
+	ColdClosures int64
+	SeededJoins  int64
+	PrunedSkips  int64
+	TopCacheHits int64
+}
+
+// GenerationCounters snapshots the process-wide generation counters.
+func GenerationCounters() GenerationStats {
+	return GenerationStats{
+		Runs:         genCounters.runs.Load(),
+		Descents:     genCounters.descents.Load(),
+		Levels:       genCounters.levels.Load(),
+		ColdClosures: genCounters.coldClosures.Load(),
+		SeededJoins:  genCounters.seededJoins.Load(),
+		PrunedSkips:  genCounters.prunedSkips.Load(),
+		TopCacheHits: genCounters.topCacheHits.Load(),
+	}
+}
+
+// recordDescent folds one completed descent's reuse stats into the
+// process-wide counters (a handful of atomic adds — noise next to the
+// closures the descent just ran).
+func recordDescent(s partition.DescentStats) {
+	genCounters.levels.Add(int64(s.Levels))
+	genCounters.coldClosures.Add(int64(s.ColdClosures))
+	genCounters.seededJoins.Add(int64(s.SeededJoins))
+	genCounters.prunedSkips.Add(int64(s.PrunedSkips))
+	genCounters.topCacheHits.Add(int64(s.TopCacheHits))
+}

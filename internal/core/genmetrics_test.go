@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dfsm"
+	"repro/internal/machines"
+)
+
+// TestGenerationCounters: GenerateFusion advances the process-wide
+// counters — runs and descents always, the DescentState reuse counters
+// whenever the top is large enough for the incremental engine.
+func TestGenerationCounters(t *testing.T) {
+	sys, err := NewSystem(machineSet(t, "MESI", "TCP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := GenerationCounters()
+	F, err := GenerateFusion(sys, 2, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := GenerationCounters()
+	if after.Runs != before.Runs+1 {
+		t.Fatalf("Runs advanced by %d, want 1", after.Runs-before.Runs)
+	}
+	if got := after.Descents - before.Descents; got != int64(len(F)) {
+		t.Fatalf("Descents advanced by %d, want %d (one per generated machine)", got, len(F))
+	}
+	// MESI×TCP has a 24-state top — well past the incremental gate — so
+	// the descent stats must have accumulated real work.
+	if after.Levels <= before.Levels || after.ColdClosures <= before.ColdClosures {
+		t.Fatalf("incremental counters idle: %+v vs %+v", after, before)
+	}
+	if after.TopCacheHits <= before.TopCacheHits {
+		t.Fatalf("no top-cache reuse across %d descents: %+v", len(F), after)
+	}
+}
+
+func machineSet(t *testing.T, names ...string) []*dfsm.Machine {
+	t.Helper()
+	ms := make([]*dfsm.Machine, len(names))
+	for i, n := range names {
+		m, err := machines.Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	return ms
+}

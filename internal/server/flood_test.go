@@ -56,7 +56,7 @@ func waitUntil(t *testing.T, cond func() bool) {
 func TestFloodShedsExactlyOne(t *testing.T) {
 	warmSharedPool()
 	before := runtime.NumGoroutine()
-	s := New(Options{MaxInFlight: 2, QueueDepth: 2, QueueTimeout: 30 * time.Second})
+	s := mustNew(t, Options{MaxInFlight: 2, QueueDepth: 2, QueueTimeout: 30 * time.Second})
 	tn := floodTenant(t, s)
 
 	// Saturate the in-flight slots (2) directly, so the HTTP requests
@@ -128,7 +128,7 @@ func TestFloodShedsExactlyOne(t *testing.T) {
 func TestFloodConcurrent(t *testing.T) {
 	warmSharedPool()
 	before := runtime.NumGoroutine()
-	s := New(Options{MaxInFlight: 2, QueueDepth: 2, QueueTimeout: 30 * time.Second})
+	s := mustNew(t, Options{MaxInFlight: 2, QueueDepth: 2, QueueTimeout: 30 * time.Second})
 	tn := floodTenant(t, s)
 	for i := 0; i < 2; i++ {
 		if err := tn.engine.Acquire(context.Background()); err != nil {
@@ -208,7 +208,7 @@ func TestFloodConcurrent(t *testing.T) {
 // TestFloodQueueTimeout: queued requests give up with 429 after the
 // configured wait, so a stuck tenant cannot hold connections hostage.
 func TestFloodQueueTimeout(t *testing.T) {
-	s := New(Options{MaxInFlight: 1, QueueDepth: 4, QueueTimeout: 25 * time.Millisecond})
+	s := mustNew(t, Options{MaxInFlight: 1, QueueDepth: 4, QueueTimeout: 25 * time.Millisecond})
 	defer s.Close()
 	tn := floodTenant(t, s)
 	if err := tn.engine.Acquire(context.Background()); err != nil {
@@ -228,7 +228,7 @@ func TestFloodQueueTimeout(t *testing.T) {
 // concurrency and no saturation games: 6 parallel generates on a limited
 // engine all return the library's exact answer.
 func TestGenerateUnderLoadMatchesLibrary(t *testing.T) {
-	s := New(Options{Workers: 2, MaxInFlight: 2, QueueDepth: 8})
+	s := mustNew(t, Options{Workers: 2, MaxInFlight: 2, QueueDepth: 8})
 	defer s.Close()
 	want, _ := wantBackups(t, []string{"MESI", "1-Counter", "0-Counter"}, 2)
 	var wg sync.WaitGroup

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -96,9 +97,11 @@ func (s *Server) handleClusterCreate(t *tenant, w http.ResponseWriter, r *http.R
 	}
 	// Refuse before the expensive build: fusion generation for a cluster
 	// that the registry would only reject is wasted pool time. Add below
-	// stays the authoritative check for the race.
+	// stays the authoritative gate for the race between this check and
+	// registration, via the typed sim.ErrRegistryFull.
 	if t.clusters.Full() {
-		writeErr(w, http.StatusConflict, "cluster capacity reached; delete one first")
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeErr(w, http.StatusTooManyRequests, "cluster capacity reached; delete one first")
 		return
 	}
 	c, err := t.engine.NewCluster(ms, req.F, req.Seed)
@@ -110,8 +113,17 @@ func (s *Server) handleClusterCreate(t *tenant, w http.ResponseWriter, r *http.R
 	// concurrent requests, then stamp the id in.
 	resp := clusterResponse("", c, ms)
 	resp.ID, err = t.clusters.Add(c)
-	if err != nil {
-		writeErr(w, http.StatusConflict, err.Error())
+	switch {
+	case errors.Is(err, sim.ErrRegistryFull):
+		// The advisory Full() pre-check raced a concurrent create; the
+		// authoritative rejection gets the same capacity answer.
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeErr(w, http.StatusTooManyRequests, err.Error())
+		return
+	case err != nil:
+		// Store-backed registries can also fail to persist the spec; the
+		// cluster was not registered.
+		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusCreated, resp)
@@ -157,8 +169,15 @@ func (s *Server) handleClusterGet(t *tenant, w http.ResponseWriter, r *http.Requ
 
 func (s *Server) handleClusterDelete(t *tenant, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !t.clusters.Remove(id) {
+	ok, err := t.clusters.Remove(id)
+	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("no cluster %q for tenant %q", id, t.name))
+		return
+	}
+	if err != nil {
+		// Dropped from the live table but the durable record survived; a
+		// restart would resurrect it, so the client must know.
+		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -199,7 +218,18 @@ func (s *Server) handleClusterEvents(t *tenant, w http.ResponseWriter, r *http.R
 		faults = append(faults, trace.Fault{Server: fr.Server, Kind: kind})
 	}
 
-	h.Do(func(c *sim.Cluster) {
+	// The sequence runs under the handle's Update so it is serialized
+	// against concurrent requests AND journaled: on a store-backed
+	// registry the response below is written only after the mutations are
+	// durable, so an acknowledged window is never lost to a crash.
+	// Handler-level rejections are carried out of the callback and
+	// written after, because a journal failure must override a buffered
+	// success response.
+	var resp EventsResponse
+	var failCode int
+	var failMsg string
+	err := h.Update(func(tx *sim.Tx) error {
+		c := tx.Cluster()
 		// Validate every fault target before any mutation: a typo'd
 		// server name must not leave the cluster half-advanced (a client
 		// treating 400 as "nothing happened" would double-apply its
@@ -211,8 +241,8 @@ func (s *Server) handleClusterEvents(t *tenant, w http.ResponseWriter, r *http.R
 		}
 		for _, f := range faults {
 			if !known[f.Server] {
-				writeErr(w, http.StatusBadRequest, fmt.Sprintf("sim: no server %q", f.Server))
-				return
+				failCode, failMsg = http.StatusBadRequest, fmt.Sprintf("sim: no server %q", f.Server)
+				return nil
 			}
 		}
 		events := req.Events
@@ -220,23 +250,33 @@ func (s *Server) handleClusterEvents(t *tenant, w http.ResponseWriter, r *http.R
 			gen := trace.NewGenerator(req.Random.Seed, c.System().Machines)
 			events = append(append([]string(nil), events...), gen.Take(req.Random.Count)...)
 		}
-		c.ApplyAll(events)
+		tx.ApplyAll(events)
 		for i, f := range faults {
-			if err := c.Inject(f); err != nil {
-				writeErr(w, http.StatusInternalServerError,
-					fmt.Sprintf("fault %d of %d: %s", i+1, len(faults), err))
-				return
+			if err := tx.Inject(f); err != nil {
+				failCode, failMsg = http.StatusInternalServerError,
+					fmt.Sprintf("fault %d of %d: %s", i+1, len(faults), err)
+				return nil
 			}
 		}
-		writeJSON(w, http.StatusOK, EventsResponse{
+		resp = EventsResponse{
 			ID:       id,
 			Applied:  len(events),
 			Step:     c.Step(),
 			Servers:  c.ServerNames(),
 			States:   c.States(),
 			Injected: req.Faults,
-		})
+		}
+		return nil
 	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "persisting cluster mutation: "+err.Error())
+		return
+	}
+	if failCode != 0 {
+		writeErr(w, failCode, failMsg)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleClusterRecover runs one recovery round (Algorithm 3) and restores
@@ -247,14 +287,18 @@ func (s *Server) handleClusterRecover(t *tenant, w http.ResponseWriter, r *http.
 	if !ok {
 		return
 	}
-	h.Do(func(c *sim.Cluster) {
-		out, err := c.Recover()
+	var resp RecoverResponse
+	var failMsg string
+	err := h.Update(func(tx *sim.Tx) error {
+		c := tx.Cluster()
+		out, err := tx.Recover()
 		if err != nil {
 			// The faults exceeded what the fusion tolerates: the vote is
 			// ambiguous. That is a state of the experiment, not of the
-			// server.
-			writeErr(w, http.StatusUnprocessableEntity, err.Error())
-			return
+			// server; no server state changes, but the failed round is
+			// journaled so its counter survives a restart.
+			failMsg = err.Error()
+			return nil
 		}
 		restored := out.Restored
 		if restored == nil {
@@ -264,7 +308,7 @@ func (s *Server) handleClusterRecover(t *tenant, w http.ResponseWriter, r *http.
 		if liars == nil {
 			liars = []string{}
 		}
-		writeJSON(w, http.StatusOK, RecoverResponse{
+		resp = RecoverResponse{
 			ID:         id,
 			TopState:   out.TopState,
 			Restored:   restored,
@@ -272,6 +316,16 @@ func (s *Server) handleClusterRecover(t *tenant, w http.ResponseWriter, r *http.
 			Consistent: len(c.Verify()) == 0,
 			Servers:    c.ServerNames(),
 			States:     c.States(),
-		})
+		}
+		return nil
 	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "persisting cluster mutation: "+err.Error())
+		return
+	}
+	if failMsg != "" {
+		writeErr(w, http.StatusUnprocessableEntity, failMsg)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -38,12 +38,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
 
 	fusion "repro"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Options configures a Server. The zero value serves with no admission
@@ -79,6 +82,18 @@ type Options struct {
 
 	// MaxBodyBytes bounds request bodies; default 1 MiB.
 	MaxBodyBytes int64
+
+	// DataDir selects the durable file backend: each tenant's cluster
+	// registry persists under DataDir/<tenant>, and New recovers every
+	// tenant found there — same handle ids, same per-server states —
+	// before serving. Empty means in-memory registries (state dies with
+	// the process), the historical behavior and the hot-path default.
+	DataDir string
+
+	// CompactEvery is the per-cluster WAL length at which the journal is
+	// compacted into a snapshot; 0 means sim.DefaultCompactEvery. Only
+	// meaningful with DataDir set.
+	CompactEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -103,10 +118,14 @@ func (o Options) withDefaults() Options {
 
 // tenant is one tenant's isolated slice of the daemon: an engine (its
 // admission state and possibly its own pool) plus its cluster handles.
+// store is the durable backend behind clusters (nil when the daemon is
+// in-memory); the server owns its lifecycle — Close releases its open
+// WAL handles after the final drain snapshots.
 type tenant struct {
 	name     string
 	engine   *fusion.Engine
 	clusters *sim.Registry
+	store    *store.Dir
 }
 
 // Server routes the v1 API onto per-tenant engines. Construct with New,
@@ -120,21 +139,58 @@ type Server struct {
 	closed  bool
 }
 
-// New returns a ready-to-serve Server.
-func New(opts Options) *Server {
+// New returns a ready-to-serve Server. With Options.DataDir set it first
+// recovers every tenant persisted there — rebuilding clusters from their
+// specs, restoring snapshots, replaying WAL tails — and an error means
+// the durable state could not be brought back (serving without it would
+// silently shadow it).
+func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:    opts.withDefaults(),
 		mux:     http.NewServeMux(),
 		tenants: make(map[string]*tenant),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/generate", s.admitted(s.handleGenerate))
 	s.mux.HandleFunc("POST /v1/clusters", s.admitted(s.handleClusterCreate))
 	s.mux.HandleFunc("GET /v1/clusters/{id}", s.withTenant(false, s.handleClusterGet))
 	s.mux.HandleFunc("DELETE /v1/clusters/{id}", s.withTenant(false, s.handleClusterDelete))
 	s.mux.HandleFunc("POST /v1/clusters/{id}/events", s.admitted(s.handleClusterEvents))
 	s.mux.HandleFunc("POST /v1/clusters/{id}/recover", s.admitted(s.handleClusterRecover))
-	return s
+	if err := s.recoverTenants(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverTenants rematerializes every tenant found under DataDir.
+// Recovered tenants are admitted even past MaxTenants — they exist
+// durably; the cap gates new names only.
+func (s *Server) recoverTenants() error {
+	if s.opts.DataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.opts.DataDir, 0o755); err != nil {
+		return fmt.Errorf("server: data dir: %w", err)
+	}
+	entries, err := os.ReadDir(s.opts.DataDir)
+	if err != nil {
+		return fmt.Errorf("server: data dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || validTenantName(e.Name()) != nil {
+			continue
+		}
+		s.mu.Lock()
+		_, err := s.mintTenant(e.Name())
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("server: recovering tenant %q: %w", e.Name(), err)
+		}
+	}
+	return nil
 }
 
 // Handler returns the HTTP handler serving the API.
@@ -143,8 +199,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close drains the daemon for shutdown: new requests are refused with
 // 503, queued requests fail over to 503, and Close blocks until every
 // admitted request has finished and each tenant's dedicated pool is torn
-// down. Idempotent.
-func (s *Server) Close() {
+// down. On a persistent server every cluster with a non-empty journal is
+// then compacted into a final snapshot, so the next boot restores from
+// snapshots instead of replaying WAL tails; the first snapshot failure
+// is returned (restart still recovers — via replay — even then).
+// Idempotent.
+func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ts := make([]*tenant, 0, len(s.tenants))
@@ -155,6 +215,43 @@ func (s *Server) Close() {
 	for _, t := range ts {
 		t.engine.Close()
 	}
+	// Engines are drained: no request is mid-Update, so the snapshots
+	// capture settled state. The store's open WAL handles are released
+	// after — everything in them is already fsync'd, this is fd hygiene
+	// for embedders that outlive their Servers (reopening lazily repairs
+	// and resumes, so a late write would still be safe).
+	var first error
+	for _, t := range ts {
+		if err := t.clusters.SnapshotAll(); err != nil && first == nil {
+			first = err
+		}
+		if t.store != nil {
+			t.store.Close() //nolint:errcheck // handles only; data is fsync'd
+		}
+	}
+	return first
+}
+
+// validTenantName vets a client-supplied (or disk-found) tenant name.
+// The charset keeps names header- and filesystem-safe; the leading-dot
+// rule additionally rules out ".", "..", and hidden directories — tenant
+// names become directories under DataDir, and a ".." name must never
+// walk out of it.
+func validTenantName(name string) error {
+	if len(name) > 64 {
+		return fmt.Errorf("tenant name longer than 64 bytes")
+	}
+	if name == "" || name[0] == '.' {
+		return fmt.Errorf("tenant name %q must not start with '.'", name)
+	}
+	for _, c := range name {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' {
+			continue
+		}
+		return fmt.Errorf("tenant name contains %q; use [A-Za-z0-9._-]", c)
+	}
+	return nil
 }
 
 // tenant resolves the tenant a request addresses, lazily creating it
@@ -167,15 +264,8 @@ func (s *Server) tenant(r *http.Request, create bool) (*tenant, error) {
 	if name == "" {
 		name = "default"
 	}
-	if len(name) > 64 {
-		return nil, fmt.Errorf("tenant name longer than 64 bytes")
-	}
-	for _, c := range name {
-		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
-			c == '-' || c == '_' || c == '.' {
-			continue
-		}
-		return nil, fmt.Errorf("tenant name contains %q; use [A-Za-z0-9._-]", c)
+	if err := validTenantName(name); err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -190,24 +280,51 @@ func (s *Server) tenant(r *http.Request, create bool) (*tenant, error) {
 		if s.opts.MaxTenants > 0 && len(s.tenants) >= s.opts.MaxTenants {
 			return nil, errTenantsFull
 		}
-		t = &tenant{
-			name: name,
-			// Dedicated: every tenant gets its own engine — its own
-			// admission state, truthful per-tenant /healthz numbers, and
-			// a drain that Server.Close can actually wait on — while the
-			// pool stays shared (one bounded goroutine set) unless
-			// Workers asks for per-tenant capacity.
-			engine: fusion.NewEngine(fusion.EngineOptions{
-				Workers:      s.opts.Workers,
-				Dedicated:    true,
-				MaxInFlight:  s.opts.MaxInFlight,
-				QueueDepth:   s.opts.QueueDepth,
-				QueueTimeout: s.opts.QueueTimeout,
-			}),
-			clusters: sim.NewRegistry(s.opts.MaxClusters),
+		var err error
+		if t, err = s.mintTenant(name); err != nil {
+			return nil, fmt.Errorf("%w: %v", errTenantStore, err)
 		}
-		s.tenants[name] = t
 	}
+	return t, nil
+}
+
+// mintTenant builds a tenant and inserts it; the caller holds s.mu.
+// With DataDir set, the tenant's registry is store-backed and loaded
+// from disk (a fresh tenant just gets an empty directory) — which is why
+// minting can fail.
+func (s *Server) mintTenant(name string) (*tenant, error) {
+	// Dedicated: every tenant gets its own engine — its own admission
+	// state, truthful per-tenant /healthz numbers, and a drain that
+	// Server.Close can actually wait on — while the pool stays shared
+	// (one bounded goroutine set) unless Workers asks for per-tenant
+	// capacity.
+	engine := fusion.NewEngine(fusion.EngineOptions{
+		Workers:      s.opts.Workers,
+		Dedicated:    true,
+		MaxInFlight:  s.opts.MaxInFlight,
+		QueueDepth:   s.opts.QueueDepth,
+		QueueTimeout: s.opts.QueueTimeout,
+	})
+	var reg *sim.Registry
+	var st *store.Dir
+	if s.opts.DataDir != "" {
+		var err error
+		st, err = store.NewDir(filepath.Join(s.opts.DataDir, name))
+		if err == nil {
+			reg, err = engine.LoadRegistry(s.opts.MaxClusters, st, s.opts.CompactEvery)
+		}
+		if err != nil {
+			if st != nil {
+				st.Close() //nolint:errcheck // releasing handles on the failure path
+			}
+			engine.Close()
+			return nil, err
+		}
+	} else {
+		reg = sim.NewRegistry(s.opts.MaxClusters)
+	}
+	t := &tenant{name: name, engine: engine, clusters: reg, store: st}
+	s.tenants[name] = t
 	return t, nil
 }
 
@@ -215,6 +332,7 @@ var (
 	errShutdown      = errors.New("server shutting down")
 	errTenantsFull   = errors.New("tenant capacity reached")
 	errUnknownTenant = errors.New("unknown tenant")
+	errTenantStore   = errors.New("tenant storage failed")
 )
 
 // bufferedResponse captures a handler's response in memory so the
@@ -288,6 +406,10 @@ func (s *Server) serveTenant(create bool, h func(t *tenant, w http.ResponseWrite
 				msg = fmt.Sprintf("no cluster %q: tenant has no state", id)
 			}
 			writeErr(w, http.StatusNotFound, msg)
+		case errors.Is(err, errTenantStore):
+			// The durable backend refused; that is the server's fault,
+			// not the request's.
+			writeErr(w, http.StatusInternalServerError, err.Error())
 		default:
 			writeErr(w, http.StatusBadRequest, err.Error())
 		}

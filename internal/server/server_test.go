@@ -13,6 +13,16 @@ import (
 	fusion "repro"
 )
 
+// mustNew builds a server, failing the test on boot-recovery errors.
+func mustNew(t testing.TB, opts Options) *Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // do runs one in-process request against the server and decodes the JSON
 // response into out (skipped when out is nil or the body is empty).
 func do(t *testing.T, s *Server, method, path, tenant, body string, out any) *httptest.ResponseRecorder {
@@ -65,7 +75,7 @@ func wantBackups(t *testing.T, zoo []string, f int) ([]BackupResponse, int) {
 // TestGenerateEndpoint: the service's generate answer is bit-identical to
 // the library's fusion.Generate — the engine only redistributes work.
 func TestGenerateEndpoint(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 	var resp GenerateResponse
 	w := do(t, s, "POST", "/v1/generate", "", `{"zoo":["MESI","1-Counter","0-Counter"],"f":2}`, &resp)
@@ -93,7 +103,7 @@ func TestGenerateSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := fusion.FormatSpec([]*fusion.Machine{a, b})
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 	body, err := json.Marshal(GenerateRequest{MachineSetRequest: MachineSetRequest{Spec: spec}, F: 1})
 	if err != nil {
@@ -113,7 +123,7 @@ func TestGenerateSpec(t *testing.T) {
 // TestGenerateRejections: malformed and invalid requests come back as
 // structured 400s, never 500s.
 func TestGenerateRejections(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 	for _, tc := range []struct {
 		name, body string
@@ -154,7 +164,7 @@ func TestGenerateRejections(t *testing.T) {
 // TestClusterLifecycle walks the full workload end to end in-process:
 // create → inspect → events+crash → recover → delete.
 func TestClusterLifecycle(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 
 	var cl ClusterResponse
@@ -214,7 +224,7 @@ func TestClusterLifecycle(t *testing.T) {
 // counters (events applied, faults, recoveries, restorations) next to the
 // tenant's engine stats, and drops the section with the cluster.
 func TestHealthzClusterMetrics(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 
 	var cl ClusterResponse
@@ -256,7 +266,7 @@ func TestHealthzClusterMetrics(t *testing.T) {
 // TestClusterUnknownID: every {id} route 404s cleanly on a handle that
 // never existed.
 func TestClusterUnknownID(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 	for _, tc := range []struct{ method, path, body string }{
 		{"GET", "/v1/clusters/c99", ""},
@@ -278,7 +288,7 @@ func TestClusterUnknownID(t *testing.T) {
 // TestClusterEventsRejections: bad fault kinds and malformed bodies 400;
 // recovery beyond the fault budget is a 422, not a 500.
 func TestClusterEventsRejections(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 	do(t, s, "POST", "/v1/clusters", "", `{"zoo":["0-Counter","1-Counter"],"f":1,"seed":1}`, nil)
 
@@ -308,7 +318,7 @@ func TestClusterEventsRejections(t *testing.T) {
 // TestTenantIsolation: handles and engines are per tenant — one tenant's
 // cluster ids mean nothing to another, and health reports them apart.
 func TestTenantIsolation(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 	var cl ClusterResponse
 	if w := do(t, s, "POST", "/v1/clusters", "alice", `{"zoo":["0-Counter","1-Counter"],"f":1,"seed":1}`, &cl); w.Code != http.StatusCreated {
@@ -332,17 +342,22 @@ func TestTenantIsolation(t *testing.T) {
 	}
 }
 
-// TestMaxClusters: the per-tenant registry cap turns into 409, and
-// deleting frees capacity.
+// TestMaxClusters: the per-tenant registry cap turns into 429 (capacity,
+// not conflict — retrying after a delete succeeds) with a Retry-After
+// hint, and deleting frees capacity.
 func TestMaxClusters(t *testing.T) {
-	s := New(Options{MaxClusters: 1})
+	s := mustNew(t, Options{MaxClusters: 1})
 	defer s.Close()
 	body := `{"zoo":["0-Counter","1-Counter"],"f":1,"seed":1}`
 	if w := do(t, s, "POST", "/v1/clusters", "", body, nil); w.Code != http.StatusCreated {
 		t.Fatalf("first create: %d", w.Code)
 	}
-	if w := do(t, s, "POST", "/v1/clusters", "", body, nil); w.Code != http.StatusConflict {
-		t.Fatalf("over-cap create: status %d, want 409", w.Code)
+	w := do(t, s, "POST", "/v1/clusters", "", body, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap create: status %d, want 429", w.Code)
+	}
+	if w.Result().Header.Get("Retry-After") == "" {
+		t.Fatal("cluster-cap 429 without Retry-After")
 	}
 	if w := do(t, s, "DELETE", "/v1/clusters/c1", "", "", nil); w.Code != http.StatusNoContent {
 		t.Fatalf("delete: %d", w.Code)
@@ -356,7 +371,7 @@ func TestMaxClusters(t *testing.T) {
 // header values is shed with 429 once the cap is reached, while existing
 // tenants keep working.
 func TestMaxTenants(t *testing.T) {
-	s := New(Options{MaxTenants: 2})
+	s := mustNew(t, Options{MaxTenants: 2})
 	defer s.Close()
 	body := `{"zoo":["0-Counter","1-Counter"],"f":1}`
 	for _, tenant := range []string{"alice", "bob"} {
@@ -381,7 +396,7 @@ func TestMaxTenants(t *testing.T) {
 // cluster serialize — each response's step advance equals that request's
 // own window, so no response ever describes another request's events.
 func TestEventsRequestsDoNotInterleave(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 	do(t, s, "POST", "/v1/clusters", "", `{"zoo":["0-Counter","1-Counter"],"f":1,"seed":1}`, nil)
 
@@ -428,7 +443,7 @@ func TestEventsRequestsDoNotInterleave(t *testing.T) {
 // TestServerClosed: a closed server refuses everything with 503 and stays
 // refused (Close is terminal and idempotent).
 func TestServerClosed(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	do(t, s, "POST", "/v1/clusters", "", `{"zoo":["0-Counter","1-Counter"],"f":1,"seed":1}`, nil)
 	s.Close()
 	s.Close()
@@ -450,7 +465,7 @@ func TestServerClosed(t *testing.T) {
 // TestSeededClustersDiverge guards the seed plumbing: different seeds
 // must be allowed to produce different Byzantine corruption.
 func TestSeededClustersDiverge(t *testing.T) {
-	s := New(Options{})
+	s := mustNew(t, Options{})
 	defer s.Close()
 	states := make([][]int, 2)
 	for i, seed := range []int64{3, 4} {

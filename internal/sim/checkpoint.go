@@ -36,6 +36,14 @@ func (c *Cluster) Snapshot() *Checkpoint {
 // Restore resets every server to the checkpointed state. The oracle is
 // reset too: a restore rewinds the simulation, it does not diverge from
 // ground truth. Unknown or missing server names are errors.
+//
+// A checkpoint taken mid-fault restores crashed servers as crashed
+// (state -1) with an *unknown* oracle entry: ground truth for them is
+// not in the checkpoint. Unknown entries sit out the oracle replay of
+// subsequent ApplyAll calls and resync on the next successful Recover
+// (whose restored state is the fault-free state within the budget). The
+// registry's durable snapshots carry the oracle separately and do not
+// lose it.
 func (c *Cluster) Restore(cp *Checkpoint) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"repro/internal/trace"
@@ -92,6 +93,118 @@ func TestReplayRecoverMatchesFusionRecovery(t *testing.T) {
 	states := c.States()
 	if states[0] != replayed {
 		t.Fatalf("fusion recovered %d, replay recovered %d", states[0], replayed)
+	}
+}
+
+// TestSnapshotMidFaultRestore: a checkpoint taken while a server is
+// crashed restores it crashed (state -1), the unknown oracle entry sits
+// out subsequent event replay instead of panicking, and the next
+// successful recovery repairs both the server and the oracle. This is
+// the exact path the durable registry's WAL replay takes when a snapshot
+// lands between a fault and its recovery.
+func TestSnapshotMidFaultRestore(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.ApplyAll([]string{"0", "1", "0"})
+	if err := c.Inject(trace.Fault{Server: "1-Counter", Kind: trace.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	cp := c.Snapshot()
+	if cp.States["1-Counter"] != -1 {
+		t.Fatalf("mid-fault checkpoint state = %d, want -1", cp.States["1-Counter"])
+	}
+
+	// Diverge, then rewind to the mid-fault checkpoint.
+	c.ApplyAll([]string{"1", "1"})
+	if err := c.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if states := c.States(); states[1] != -1 {
+		t.Fatalf("restored state = %d, want crashed -1", states[1])
+	}
+	// Events after a mid-fault restore must not panic on the unknown
+	// oracle entry, and the crashed server still misses them.
+	c.ApplyAll([]string{"0", "1"})
+	if states := c.States(); states[1] != -1 {
+		t.Fatalf("crashed server advanced after restore: %d", states[1])
+	}
+	// Recovery repairs the server and resyncs the oracle: the cluster is
+	// fully consistent again.
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("inconsistent after mid-fault restore + recover: %v", bad)
+	}
+	// And the oracle is live again: further events keep it in lockstep.
+	c.ApplyAll([]string{"1", "0"})
+	if bad := c.Verify(); len(bad) != 0 {
+		t.Fatalf("oracle dead after resync: %v", bad)
+	}
+}
+
+// TestJournalJSONRoundTrip: a journal (base checkpoint + events)
+// round-trips through JSON and replays to the same state — the property
+// the WAL's durable form leans on.
+func TestJournalJSONRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.ApplyAll([]string{"0"})
+	j := NewJournal(c.Snapshot())
+	c.ApplyAllJournaled(j, []string{"1", "0", "0", "1"})
+
+	data, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Journal
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Base == nil || back.Base.Step != j.Base.Step ||
+		len(back.Base.States) != len(j.Base.States) || len(back.Events) != len(j.Events) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, j)
+	}
+	if err := c.Inject(trace.Fault{Server: "0-Counter", Kind: trace.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.ReplayRecover(j, "0-Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReplayRecover(&back, "0-Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("unmarshalled journal replays to %d, original to %d", got, want)
+	}
+}
+
+// TestReplayRecoverAfterRestore: rewind to the journal's base, re-apply
+// the journal, and replay-based recovery still reconstructs the live
+// state — restore and replay compose.
+func TestReplayRecoverAfterRestore(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.ApplyAll([]string{"0", "1"})
+	j := NewJournal(c.Snapshot())
+	c.ApplyAllJournaled(j, []string{"1", "0", "1"})
+	preStates := c.States()
+
+	if err := c.Restore(j.Base); err != nil {
+		t.Fatal(err)
+	}
+	c.ApplyAll(j.Events)
+	if !reflect.DeepEqual(c.States(), preStates) {
+		t.Fatalf("restore + journal replay diverged: %v vs %v", c.States(), preStates)
+	}
+	if err := c.Inject(trace.Fault{Server: "1-Counter", Kind: trace.Crash}); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := c.ReplayRecover(j, "1-Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != preStates[1] {
+		t.Fatalf("ReplayRecover after restore = %d, want %d", replayed, preStates[1])
 	}
 }
 

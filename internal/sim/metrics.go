@@ -48,5 +48,16 @@ func (s MetricsSnapshot) String() string {
 	return b.String()
 }
 
+// restore rebases the counters to a durable snapshot's values; replaying
+// the WAL tail on top re-increments them exactly as the live run did.
+func (m *Metrics) restore(s MetricsSnapshot) {
+	m.EventsApplied.Store(s.EventsApplied)
+	m.FaultsInjected.Store(s.FaultsInjected)
+	m.Recoveries.Store(s.Recoveries)
+	m.FailedRecoveries.Store(s.FailedRecoveries)
+	m.ServersRestored.Store(s.ServersRestored)
+	m.LiarsCaught.Store(s.LiarsCaught)
+}
+
 // Metrics returns the cluster's counters.
 func (c *Cluster) Metrics() *Metrics { return &c.metrics }

@@ -1,61 +1,248 @@
 package sim
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
 
+// ErrRegistryFull is returned by Add when the registry is at capacity.
+// It is the authoritative admission signal: Full() is only an advisory
+// pre-check, so callers must test Add's error with errors.Is rather than
+// trusting the pre-check (the TOCTOU window between the two is real).
+var ErrRegistryFull = errors.New("sim: registry full")
+
 // Handle is a registered cluster plus its request-serialization lock.
 // Individual Cluster methods are already safe, but a service request
 // usually spans several of them (apply a window, inject faults, read the
-// resulting states for the response); Do gives such a sequence exclusive
-// access so concurrent requests to the same cluster cannot interleave
-// mid-sequence — one request's faults strike at its own cut, and its
-// response describes its own mutations.
+// resulting states for the response); Do and Update give such a sequence
+// exclusive access so concurrent requests to the same cluster cannot
+// interleave mid-sequence — one request's faults strike at its own cut,
+// and its response describes its own mutations.
+//
+// On a store-backed registry, Update additionally journals the
+// sequence's mutations and compacts the journal into a snapshot when it
+// grows past the registry's threshold. Do is for read-only sequences: a
+// mutation made through Do bypasses the journal and is lost on restart.
 type Handle struct {
 	mu sync.Mutex
 	c  *Cluster
+
+	id           string
+	store        Store // nil = in-memory registry, no journaling
+	compactEvery int
+	walLen       int // WAL records since the last snapshot
+	// dirty means the store is BEHIND the in-memory cluster: an append
+	// (or rebase snapshot) failed after mutations were applied. Appending
+	// later windows on top would leave a gap that replays to divergent
+	// state, so while dirty every Update (and SnapshotAll) tries a full
+	// snapshot instead — the only operation that can heal the gap.
+	dirty bool
 }
 
-// Do runs f with exclusive multi-call access to the cluster. f must not
-// call Do on the same handle.
+// Do runs f with exclusive multi-call access to the cluster, for
+// read-only sequences. f must not call Do or Update on the same handle.
 func (h *Handle) Do(f func(c *Cluster)) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	f(h.c)
 }
 
+// Update runs f with exclusive multi-call access to the cluster and, on
+// a store-backed registry, durably appends the mutations f issued
+// through the Tx before returning — a response written after Update
+// describes state that survives a crash. f's error is returned verbatim
+// when journaling is off or nothing was recorded; a journaling failure
+// is joined onto it. After such a failure the in-memory state is ahead
+// of the store; the handle remembers that and heals on the next Update
+// (or SnapshotAll) by snapshotting the full current state rather than
+// appending on top of the gap. f must not call Do or Update on the same
+// handle.
+func (h *Handle) Update(f func(tx *Tx) error) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	tx := &Tx{c: h.c, store: h.store}
+	ferr := f(tx)
+	if h.store == nil {
+		return ferr
+	}
+	if tx.rebased || h.dirty {
+		// Either a Restore rewound the cluster (the snapshot of the final
+		// state is the new baseline, superseding any record of this
+		// sequence) or an earlier journaling failure left the store
+		// behind (only a full snapshot — never an append onto the gap —
+		// can make it catch up; until one succeeds the handle stays
+		// dirty and keeps refusing to append).
+		err := h.snapshotLocked()
+		h.dirty = err != nil
+		return errors.Join(ferr, err)
+	}
+	if len(tx.recs) == 0 {
+		return ferr
+	}
+	if err := h.store.AppendEvents(h.id, tx.recs); err != nil {
+		h.dirty = true
+		return errors.Join(ferr, fmt.Errorf("sim: journaling cluster %q: %w", h.id, err))
+	}
+	h.walLen += len(tx.recs)
+	if h.walLen >= h.compactEvery {
+		return errors.Join(ferr, h.snapshotLocked())
+	}
+	return ferr
+}
+
+// snapshotLocked compacts the handle's journal into a snapshot. Callers
+// hold h.mu.
+func (h *Handle) snapshotLocked() error {
+	snap, err := encodeSnapshot(h.c)
+	if err != nil {
+		return err
+	}
+	if err := h.store.Snapshot(h.id, snap); err != nil {
+		return fmt.Errorf("sim: snapshotting cluster %q: %w", h.id, err)
+	}
+	h.walLen = 0
+	return nil
+}
+
 // Registry is a concurrency-safe handle table for live Clusters: the
 // piece a long-running service needs between "create a deployment" and
 // "drive it with events / recover it" requests that arrive on different
 // connections. IDs are dense ("c1", "c2", ...), never reused within a
-// registry, and meaningless outside it — each fusiond tenant owns one
-// registry, so handles cannot leak across tenants.
+// registry (nor across the restarts of a store-backed one), and
+// meaningless outside it — each fusiond tenant owns one registry, so
+// handles cannot leak across tenants.
+//
+// With a Store attached (NewStoredRegistry / LoadRegistry), the registry
+// is durable: Add persists the cluster's spec before publishing the
+// handle, Update sequences journal their mutations, and Remove deletes
+// the durable record. Without one, behavior is the historical in-memory
+// registry with zero persistence overhead.
 type Registry struct {
-	mu       sync.Mutex
-	seq      int
-	capacity int // 0 = unbounded
-	clusters map[string]*Handle
+	mu           sync.Mutex
+	seq          int
+	capacity     int // 0 = unbounded
+	store        Store
+	compactEvery int
+	clusters     map[string]*Handle
+
+	// metaMu serializes id-sequence persistence and keeps it monotonic:
+	// concurrent Adds must not let a lower reservation overwrite a higher
+	// one in the store (the whole point of the record is never moving
+	// backwards). metaSeq is the highest value known durable.
+	metaMu  sync.Mutex
+	metaSeq int
 }
 
-// NewRegistry returns an empty registry. capacity bounds how many
-// clusters may be live at once (Add fails beyond it); 0 means unbounded.
+// NewRegistry returns an empty in-memory registry. capacity bounds how
+// many clusters may be live at once (Add fails beyond it); 0 means
+// unbounded.
 func NewRegistry(capacity int) *Registry {
-	return &Registry{capacity: capacity, clusters: make(map[string]*Handle)}
+	return NewStoredRegistry(capacity, nil, 0)
 }
 
-// Add registers a cluster and returns its fresh handle id.
+// NewStoredRegistry returns an empty registry journaling through st (nil
+// disables persistence). compactEvery is the WAL length at which a
+// handle's journal is compacted into a snapshot; 0 means
+// DefaultCompactEvery. To rebuild a registry from existing durable
+// state, use LoadRegistry instead.
+func NewStoredRegistry(capacity int, st Store, compactEvery int) *Registry {
+	if compactEvery <= 0 {
+		compactEvery = DefaultCompactEvery
+	}
+	if st != nil {
+		ensureMeta(st)
+	}
+	return &Registry{
+		capacity:     capacity,
+		store:        st,
+		compactEvery: compactEvery,
+		clusters:     make(map[string]*Handle),
+	}
+}
+
+// Add registers a cluster and returns its fresh handle id. On a
+// store-backed registry the cluster's spec is durable before the handle
+// becomes visible; a store failure aborts the registration. The store
+// write (disk fsyncs) happens outside the registry lock — only the id
+// reservation and the publish hold it, so concurrent requests to other
+// clusters of the tenant never stall behind a create's I/O. Capacity is
+// re-checked at publish time; the loser of that race rolls its spec
+// back, so ErrRegistryFull stays authoritative.
 func (r *Registry) Add(c *Cluster) (string, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.capacity > 0 && len(r.clusters) >= r.capacity {
-		return "", fmt.Errorf("sim: registry full (%d live clusters)", len(r.clusters))
+		n := len(r.clusters)
+		r.mu.Unlock()
+		return "", fmt.Errorf("%w (%d live clusters)", ErrRegistryFull, n)
 	}
 	r.seq++
-	id := fmt.Sprintf("c%d", r.seq)
-	r.clusters[id] = &Handle{c: c}
+	n := r.seq
+	id := fmt.Sprintf("c%d", n)
+	st := r.store
+	r.mu.Unlock()
+
+	if st != nil {
+		spec, err := encodeSpec(c)
+		if err != nil {
+			return "", err
+		}
+		if err := st.Put(id, spec); err != nil {
+			return "", fmt.Errorf("sim: persisting cluster %q: %w", id, err)
+		}
+		// The id high-water mark must be durable before the id is
+		// acknowledged, or a Remove of the highest id plus a restart
+		// would re-mint it for a different cluster. (A crash between the
+		// two writes is covered the other way: the surviving spec itself
+		// proves the id was reached.)
+		if err := r.persistSeqUpTo(n); err != nil {
+			st.Remove(id) //nolint:errcheck // best-effort rollback; an unacknowledged spec is harmless
+			return "", err
+		}
+	}
+
+	r.mu.Lock()
+	if r.capacity > 0 && len(r.clusters) >= r.capacity {
+		n := len(r.clusters)
+		r.mu.Unlock()
+		if st != nil {
+			// Best-effort rollback: if it fails, an unacknowledged spec
+			// survives to the next Load — the same harmless outcome as a
+			// crash right after Put.
+			st.Remove(id) //nolint:errcheck
+		}
+		return "", fmt.Errorf("%w (%d live clusters)", ErrRegistryFull, n)
+	}
+	r.clusters[id] = &Handle{c: c, id: id, store: st, compactEvery: r.compactEvery}
+	r.mu.Unlock()
 	return id, nil
+}
+
+// persistSeqUpTo records n as the durable id high-water mark unless a
+// concurrent Add already persisted something at least as high — the
+// record must never move backwards.
+func (r *Registry) persistSeqUpTo(n int) error {
+	r.metaMu.Lock()
+	defer r.metaMu.Unlock()
+	if n <= r.metaSeq {
+		return nil
+	}
+	if err := persistSeq(r.store, n); err != nil {
+		return err
+	}
+	r.metaSeq = n
+	return nil
+}
+
+// encodeSpec marshals a cluster's creation record.
+func encodeSpec(c *Cluster) ([]byte, error) {
+	spec, err := json.Marshal(c.Spec())
+	if err != nil {
+		return nil, fmt.Errorf("sim: encoding cluster spec: %w", err)
+	}
+	return spec, nil
 }
 
 // Get returns the handle for an id, or false for unknown (or removed)
@@ -68,15 +255,23 @@ func (r *Registry) Get(id string) (*Handle, bool) {
 }
 
 // Remove drops an id; it reports whether the id was live. The cluster
-// itself holds no external resources, so dropping the handle is all the
-// teardown there is (a request still inside Handle.Do finishes normally
-// on its own reference).
-func (r *Registry) Remove(id string) bool {
+// holds no external resources beyond its durable record, which is
+// deleted too — a non-nil error means the id is gone from the live table
+// but may resurrect from the store on the next load. (A request still
+// inside Do/Update finishes normally on its own reference.)
+func (r *Registry) Remove(id string) (bool, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	_, ok := r.clusters[id]
 	delete(r.clusters, id)
-	return ok
+	st := r.store
+	r.mu.Unlock()
+	if !ok || st == nil {
+		return ok, nil
+	}
+	if err := st.Remove(id); err != nil {
+		return ok, fmt.Errorf("sim: removing cluster %q from store: %w", id, err)
+	}
+	return ok, nil
 }
 
 // Full reports whether the registry is at capacity — an advisory
@@ -86,6 +281,39 @@ func (r *Registry) Full() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.capacity > 0 && len(r.clusters) >= r.capacity
+}
+
+// SnapshotAll compacts every live cluster with a non-empty journal into
+// a fresh snapshot — the shutdown-drain path, so a restart restores from
+// snapshots alone instead of replaying WAL tails. Handles are snapshotted
+// one at a time under their own locks; the first error is returned after
+// attempting the rest.
+func (r *Registry) SnapshotAll() error {
+	r.mu.Lock()
+	if r.store == nil {
+		r.mu.Unlock()
+		return nil
+	}
+	handles := make([]*Handle, 0, len(r.clusters))
+	for _, h := range r.clusters {
+		handles = append(handles, h)
+	}
+	r.mu.Unlock()
+	var first error
+	for _, h := range handles {
+		h.mu.Lock()
+		if h.walLen > 0 || h.dirty {
+			if err := h.snapshotLocked(); err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				h.dirty = false
+			}
+		}
+		h.mu.Unlock()
+	}
+	return first
 }
 
 // Metrics snapshots every live cluster's activity counters, keyed by
@@ -121,8 +349,6 @@ func (r *Registry) IDs() []string {
 	for id := range r.clusters {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return len(out[i]) < len(out[j]) || (len(out[i]) == len(out[j]) && out[i] < out[j])
-	})
+	sort.Slice(out, func(i, j int) bool { return idOrder(out[i], out[j]) })
 	return out
 }

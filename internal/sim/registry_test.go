@@ -54,8 +54,11 @@ func TestRegistryLifecycle(t *testing.T) {
 	if ids := r.IDs(); len(ids) != 2 || ids[0] != "c1" || ids[1] != "c2" {
 		t.Fatalf("IDs = %v", ids)
 	}
-	if !r.Remove(id1) || r.Remove(id1) {
-		t.Fatal("Remove not idempotent-false on second call")
+	if ok, err := r.Remove(id1); !ok || err != nil {
+		t.Fatalf("Remove = %v, %v; want true, nil", ok, err)
+	}
+	if ok, err := r.Remove(id1); ok || err != nil {
+		t.Fatalf("second Remove = %v, %v; want false, nil", ok, err)
 	}
 	if _, ok := r.Get(id1); ok {
 		t.Fatal("removed id still resolves")
@@ -81,7 +84,9 @@ func TestRegistryCapacity(t *testing.T) {
 	if _, err := r.Add(c); err == nil {
 		t.Fatal("Add beyond capacity succeeded")
 	}
-	r.Remove("c1")
+	if _, err := r.Remove("c1"); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := r.Add(c); err != nil {
 		t.Fatalf("Add after Remove failed: %v", err)
 	}
@@ -107,7 +112,7 @@ func TestRegistryConcurrent(t *testing.T) {
 					return
 				}
 				if i%2 == 0 {
-					r.Remove(id)
+					r.Remove(id) //nolint:errcheck // nil store: no error path
 				}
 			}
 		}()

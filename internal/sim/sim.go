@@ -63,6 +63,7 @@ type Cluster struct {
 	step    int
 	rng     *rand.Rand
 	f       int
+	seed    int64
 	metrics Metrics
 }
 
@@ -98,6 +99,7 @@ func NewClusterOn(pool *exec.Pool, originals []*dfsm.Machine, f int, seed int64)
 		pool:   pool,
 		rng:    rand.New(rand.NewSource(seed)),
 		f:      f,
+		seed:   seed,
 	}
 	for i, m := range sys.Machines {
 		c.servers = append(c.servers, &server{
@@ -204,12 +206,17 @@ func (c *Cluster) applyRange(lo, hi int, events []string) {
 				s.state = s.machine.Next(s.state, ev)
 			}
 		}
-		// Oracle: replay from the oracle state regardless of faults.
+		// Oracle: replay from the oracle state regardless of faults. A
+		// negative oracle entry means ground truth is unknown (a Restore
+		// from a checkpoint taken mid-fault); it stays unknown until a
+		// successful recovery resyncs it.
 		st := c.oracle[i]
-		for _, ev := range events {
-			st = s.machine.Next(st, ev)
+		if st >= 0 {
+			for _, ev := range events {
+				st = s.machine.Next(st, ev)
+			}
+			c.oracle[i] = st
 		}
-		c.oracle[i] = st
 	}
 }
 
@@ -238,6 +245,74 @@ func (c *Cluster) Inject(f trace.Fault) error {
 		s.lying = true
 	default:
 		return fmt.Errorf("sim: unknown fault kind %v", f.Kind)
+	}
+	return nil
+}
+
+// injectByzantineAt replays a journaled Byzantine fault: the corrupted
+// state was drawn from the live rng and recorded in the WAL, so replay
+// sets it directly instead of re-drawing (the reconstructed rng's cursor
+// need not match the one the dead process had advanced). lied is false
+// for the recorded no-op on a one-state machine, which cannot lie.
+func (c *Cluster) injectByzantineAt(name string, state int, lied bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.find(name)
+	if s == nil {
+		return fmt.Errorf("sim: no server %q", name)
+	}
+	if state < 0 || state >= s.machine.NumStates() {
+		return fmt.Errorf("sim: recorded state %d out of range for %q", state, name)
+	}
+	c.metrics.FaultsInjected.Add(1)
+	if lied {
+		s.state = state
+		s.lying = true
+	}
+	return nil
+}
+
+// serverStatus reports a server's current visible state and whether it is
+// lying; used to record fault outcomes in the registry's journal.
+func (c *Cluster) serverStatus(name string) (state int, lying bool, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.find(name)
+	if s == nil {
+		return 0, false, false
+	}
+	return s.state, s.lying, true
+}
+
+// oracleStates returns the fault-free ground-truth state per server name.
+// It is part of the registry's durable snapshot (not of the public
+// Checkpoint): persisting it keeps Verify faithful across a restart even
+// when the snapshot was taken mid-fault.
+func (c *Cluster) oracleStates() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.servers))
+	for i, s := range c.servers {
+		out[s.name] = c.oracle[i]
+	}
+	return out
+}
+
+// setOracle overwrites the oracle from a durable snapshot. Unknown names
+// or out-of-range states are errors; missing names keep the oracle the
+// Restore rebased.
+func (c *Cluster) setOracle(states map[string]int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, s := range c.servers {
+		st, ok := states[s.name]
+		if !ok {
+			continue
+		}
+		if st < -1 || st >= s.machine.NumStates() {
+			return fmt.Errorf("sim: oracle state %d out of range for %q", st, s.name)
+		}
+		c.oracle[i] = st
 	}
 	return nil
 }
@@ -298,7 +373,7 @@ func (c *Cluster) Recover() (*RecoveryOutcome, error) {
 
 	out := &RecoveryOutcome{TopState: res.TopState, Liars: res.Liars}
 	tuple := c.sys.Product.Proj[res.TopState]
-	for _, s := range c.servers {
+	for i, s := range c.servers {
 		var want int
 		if s.fusionIdx >= 0 {
 			want = c.fusion[s.fusionIdx].BlockOf(res.TopState)
@@ -311,6 +386,12 @@ func (c *Cluster) Recover() (*RecoveryOutcome, error) {
 		s.state = want
 		s.crashed = false
 		s.lying = false
+		// An unknown oracle entry (Restore from a mid-fault checkpoint)
+		// resyncs here: within the fault budget the recovered state IS the
+		// fault-free state, which is exactly what the oracle tracks.
+		if c.oracle[i] < 0 {
+			c.oracle[i] = want
+		}
 	}
 	sort.Strings(out.Restored)
 	c.metrics.ServersRestored.Add(int64(len(out.Restored)))

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dfsm"
+	"repro/internal/exec"
+)
+
+// ClusterSpec is the JSON-serializable description from which a Cluster
+// can be rebuilt: the original machine definitions (via dfsm's JSON
+// form), the fault capacity, and the simulation seed. It is the durable
+// creation record of the store-backed registry — the paper's
+// "failure-resistant permanent storage" holds exactly this plus the
+// event journal, and everything else (the fusion machines, the product,
+// the running states) is deterministically recomputed from it.
+type ClusterSpec struct {
+	Machines []*dfsm.Machine `json:"machines"`
+	F        int             `json:"f"`
+	Seed     int64           `json:"seed"`
+}
+
+// Spec returns the cluster's creation record. The machines are shared,
+// not cloned — they are immutable.
+func (c *Cluster) Spec() *ClusterSpec {
+	return &ClusterSpec{Machines: c.sys.Machines, F: c.f, Seed: c.seed}
+}
+
+// NewClusterFromSpec rebuilds a cluster from its spec on the shared
+// default pool. Generation is deterministic, so the rebuilt cluster has
+// the same servers, fusion machines, and initial states as the one the
+// spec was taken from.
+func NewClusterFromSpec(spec *ClusterSpec) (*Cluster, error) {
+	return NewClusterFromSpecOn(exec.Default(), spec)
+}
+
+// NewClusterFromSpecOn is NewClusterFromSpec on a specific pool.
+func NewClusterFromSpecOn(pool *exec.Pool, spec *ClusterSpec) (*Cluster, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("sim: nil cluster spec")
+	}
+	return NewClusterOn(pool, spec.Machines, spec.F, spec.Seed)
+}

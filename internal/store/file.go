@@ -1,0 +1,418 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Dir is the file-backed Store: one directory per cluster under a root,
+// holding
+//
+//	<root>/<id>/spec.json          immutable creation record
+//	<root>/<id>/snapshot-<g>.json  compaction snapshot of generation g
+//	<root>/<id>/wal-<g>.log        JSON-line WAL appended since snapshot g
+//
+// Durability discipline: spec and snapshot files are written to a .tmp
+// sibling, fsync'd, renamed into place, and the directory fsync'd — a
+// reader never observes a partial file. WAL appends write whole records
+// ending in '\n' and fsync once per AppendEvents call, so an acknowledged
+// append survives SIGKILL; a torn final record (crash mid-write) is
+// detected by JSON validity and dropped on Load.
+//
+// Snapshots advance a generation counter instead of truncating in place:
+// the new empty wal-<g+1>.log is created first, then snapshot-<g+1>.json
+// is renamed into existence (the commit point), then the old generation's
+// files are deleted best-effort. A crash anywhere leaves either the old
+// generation fully intact (commit rename never happened) or the new one
+// complete — Load always picks the highest generation with a committed
+// snapshot, so a stale WAL can never be replayed onto a newer snapshot.
+type Dir struct {
+	root string
+
+	mu   sync.Mutex
+	wals map[string]*dirWal // open appenders, keyed by cluster id
+}
+
+type dirWal struct {
+	f   *os.File
+	gen int
+}
+
+// NewDir opens (creating if needed) a file store rooted at dir.
+func NewDir(dir string) (*Dir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Dir{root: dir, wals: make(map[string]*dirWal)}, nil
+}
+
+// Root returns the directory the store persists under.
+func (s *Dir) Root() string { return s.root }
+
+func (s *Dir) dir(id string) string { return filepath.Join(s.root, id) }
+
+func snapName(gen int) string { return fmt.Sprintf("snapshot-%d.json", gen) }
+func walName(gen int) string  { return fmt.Sprintf("wal-%d.log", gen) }
+
+// writeFileAtomic writes data to path via tmp-write, fsync, rename,
+// directory fsync — the rename is the commit point.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-committed rename or create survives
+// power loss. Filesystems that cannot sync directories are tolerated.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	f.Sync() //nolint:errcheck // not all filesystems support dir fsync
+	return nil
+}
+
+// curGen returns the cluster's live generation: the highest g with a
+// committed snapshot-<g>.json, or 0 when no snapshot was ever taken.
+func curGen(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	gen := 0
+	for _, e := range entries {
+		var g int
+		if _, err := fmt.Sscanf(e.Name(), "snapshot-%d.json", &g); err == nil &&
+			e.Name() == snapName(g) && g > gen {
+			gen = g
+		}
+	}
+	return gen, nil
+}
+
+// Put records a new cluster: its directory, spec, and empty generation-0
+// WAL, all durably on disk before returning.
+func (s *Dir) Put(id string, spec []byte) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.dir(id)
+	if _, err := os.Stat(filepath.Join(dir, "spec.json")); err == nil {
+		return fmt.Errorf("store: cluster %q already exists", id)
+	}
+	// A directory without a committed spec is a torn Put from a dead
+	// process: that create was never acknowledged (and Load skips it),
+	// so the id is free to reclaim — without this, the orphan would make
+	// the id unusable forever once the restarted registry re-mints it.
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("store: reclaiming torn cluster dir %q: %w", id, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, "spec.json"), spec); err != nil {
+		return fmt.Errorf("store: writing spec for %q: %w", id, err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName(0)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating wal for %q: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.wals[id] = &dirWal{f: f, gen: 0}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(s.root)
+}
+
+// wal returns the open appender for id's current generation, opening it
+// lazily (after Load, or after a write error evicted the cached handle).
+// Reopening first truncates any torn tail — bytes after the last
+// newline, left by a crashed process or a failed write — so a new append
+// never lands mid-garbage and corrupts the log for every future Load.
+// The truncated bytes were never acknowledged: AppendEvents only returns
+// success after the records AND their newlines are written and fsync'd,
+// and readWAL applies the same records-end-at-the-last-newline rule.
+func (s *Dir) wal(id string) (*dirWal, error) {
+	if w, ok := s.wals[id]; ok {
+		return w, nil
+	}
+	dir := s.dir(id)
+	if _, err := os.Stat(filepath.Join(dir, "spec.json")); err != nil {
+		return nil, fmt.Errorf("store: no cluster %q", id)
+	}
+	gen, err := curGen(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, walName(gen))
+	if err := truncateTornTail(path); err != nil {
+		return nil, fmt.Errorf("store: repairing WAL of %q: %w", id, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := &dirWal{f: f, gen: gen}
+	s.wals[id] = w
+	return w, nil
+}
+
+// truncateTornTail cuts a WAL back to its last complete record,
+// mirroring exactly what readWAL would keep: bytes after the last '\n'
+// go, and so does at most one trailing newline-terminated record that
+// fails JSON validation (a torn sector that still got its newline).
+// The two MUST agree — if repair kept a line Load drops, the next append
+// would land after garbage and turn a tolerated tail into hard mid-file
+// corruption. A missing file needs no repair.
+func truncateTornTail(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	keep := 0
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		keep = i + 1
+	}
+	dropped := false
+	for keep > 0 {
+		lineStart := bytes.LastIndexByte(data[:keep-1], '\n') + 1
+		line := data[lineStart : keep-1]
+		if len(bytes.TrimSpace(line)) == 0 {
+			keep = lineStart // blank line: semantically nothing, safe to cut
+			continue
+		}
+		if json.Valid(line) {
+			break
+		}
+		if dropped {
+			// Two invalid records cannot come from one crash; this is
+			// real corruption. Refuse to append after it — readWAL will
+			// refuse to load it, and the two must fail together, loudly.
+			return fmt.Errorf("corrupt WAL record %q", line)
+		}
+		dropped = true
+		keep = lineStart
+	}
+	if keep == len(data) {
+		return nil
+	}
+	return os.Truncate(path, int64(keep))
+}
+
+// AppendEvents durably appends WAL records: one buffered write, one
+// fsync, regardless of how many records the call carries.
+func (s *Dir) AppendEvents(id string, recs [][]byte) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		if bytes.IndexByte(rec, '\n') >= 0 || !json.Valid(rec) {
+			return fmt.Errorf("store: WAL record for %q is not single-line JSON", id)
+		}
+		buf.Write(rec)
+		buf.WriteByte('\n')
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.wal(id)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
+		// The file position is now unknown; drop the handle so the next
+		// append reopens at a clean offset.
+		w.f.Close()
+		delete(s.wals, id)
+		return fmt.Errorf("store: appending WAL for %q: %w", id, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		delete(s.wals, id)
+		return fmt.Errorf("store: syncing WAL for %q: %w", id, err)
+	}
+	return nil
+}
+
+// Snapshot commits a new generation: fresh empty WAL first, then the
+// snapshot rename as the commit point, then best-effort cleanup of the
+// previous generation.
+func (s *Dir) Snapshot(id string, snap []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.wal(id)
+	if err != nil {
+		return err
+	}
+	dir := s.dir(id)
+	next := w.gen + 1
+	nf, err := os.OpenFile(filepath.Join(dir, walName(next)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating wal gen %d for %q: %w", next, id, err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, snapName(next)), snap); err != nil {
+		nf.Close()
+		return fmt.Errorf("store: writing snapshot for %q: %w", id, err)
+	}
+	// Committed: swap the appender and clean up the superseded generation.
+	w.f.Close()
+	os.Remove(filepath.Join(dir, walName(w.gen)))
+	if w.gen > 0 {
+		os.Remove(filepath.Join(dir, snapName(w.gen)))
+	}
+	s.wals[id] = &dirWal{f: nf, gen: next}
+	return nil
+}
+
+// Remove deletes all state for id; removing an unknown id is a no-op.
+func (s *Dir) Remove(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w, ok := s.wals[id]; ok {
+		w.f.Close()
+		delete(s.wals, id)
+	}
+	if err := os.RemoveAll(s.dir(id)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(s.root)
+}
+
+// Load scans the root and returns every committed cluster, sorted by id.
+// A directory without a committed spec (crash mid-Put) is skipped; a torn
+// final WAL record is dropped; any other malformed state is an error.
+func (s *Dir) Load() ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []Record
+	for _, e := range entries {
+		if !e.IsDir() || validID(e.Name()) != nil {
+			continue
+		}
+		id := e.Name()
+		dir := s.dir(id)
+		spec, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // torn Put: the cluster was never acknowledged
+			}
+			return nil, fmt.Errorf("store: reading spec of %q: %w", id, err)
+		}
+		rec := Record{ID: id, Spec: spec}
+		gen, err := curGen(dir)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if gen > 0 {
+			snap, err := os.ReadFile(filepath.Join(dir, snapName(gen)))
+			if err != nil {
+				return nil, fmt.Errorf("store: reading snapshot of %q: %w", id, err)
+			}
+			rec.Snapshot = snap
+		}
+		wal, err := readWAL(filepath.Join(dir, walName(gen)))
+		if err != nil {
+			return nil, fmt.Errorf("store: reading WAL of %q: %w", id, err)
+		}
+		rec.WAL = wal
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// readWAL parses a JSON-line WAL. A record is complete only when its
+// newline made it to disk (acknowledged appends always have it — the
+// newline is in the same write, before the fsync), so bytes after the
+// last '\n' are a torn tail and dropped — the same rule truncateTornTail
+// repairs by. An invalid record is additionally tolerated as the final
+// line (defense against a torn sector that still got its newline) and
+// dropped; anywhere else it is corruption and an error. A missing file
+// is an empty WAL (crash between wal-<g> creation and use).
+func readWAL(path string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var recs [][]byte
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break // torn tail: its newline (and fsync) never completed
+		}
+		line := data[:i]
+		data = data[i+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			if len(bytes.TrimSpace(data)) == 0 {
+				break // torn final record
+			}
+			return nil, fmt.Errorf("corrupt WAL record %q", line)
+		}
+		recs = append(recs, append([]byte(nil), line...))
+	}
+	return recs, nil
+}
+
+// Close releases the open WAL appenders. Pending data is already fsync'd
+// by every append, so Close is about file handles, not durability; the
+// daemon itself never needs it (process exit closes everything), tests
+// and embedders might.
+func (s *Dir) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, w := range s.wals {
+		w.f.Close()
+		delete(s.wals, id)
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// backend abstracts the common surface so both implementations run the
+// same contract suite.
+type backend interface {
+	Put(id string, spec []byte) error
+	AppendEvents(id string, recs [][]byte) error
+	Snapshot(id string, snap []byte) error
+	Remove(id string) error
+	Load() ([]Record, error)
+}
+
+func backends(t *testing.T) map[string]func() backend {
+	return map[string]func() backend{
+		"mem": func() backend { return NewMem() },
+		"dir": func() backend {
+			d, err := NewDir(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	}
+}
+
+func rec(s string) []byte { return []byte(fmt.Sprintf("{%q:%q}", "op", s)) }
+
+func TestBackendContract(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+
+			// Empty store loads empty.
+			if recs, err := s.Load(); err != nil || len(recs) != 0 {
+				t.Fatalf("empty Load = %v, %v", recs, err)
+			}
+
+			if err := s.Put("c1", []byte(`{"f":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("c1", []byte(`{"f":2}`)); err == nil {
+				t.Fatal("double Put accepted")
+			}
+			if err := s.Put("../evil", []byte(`{}`)); err == nil {
+				t.Fatal("path-traversal id accepted")
+			}
+			if err := s.AppendEvents("ghost", [][]byte{rec("a")}); err == nil {
+				t.Fatal("append to unknown cluster accepted")
+			}
+
+			if err := s.AppendEvents("c1", [][]byte{rec("a"), rec("b")}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendEvents("c1", [][]byte{rec("c")}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("c2", []byte(`{"f":9}`)); err != nil {
+				t.Fatal(err)
+			}
+			recs, err := s.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 2 || recs[0].ID != "c1" || recs[1].ID != "c2" {
+				t.Fatalf("Load ids = %v", recs)
+			}
+			if !bytes.Equal(recs[0].Spec, []byte(`{"f":1}`)) {
+				t.Fatalf("spec = %s", recs[0].Spec)
+			}
+			if recs[0].Snapshot != nil {
+				t.Fatal("snapshot before any Snapshot call")
+			}
+			if len(recs[0].WAL) != 3 || !bytes.Equal(recs[0].WAL[2], rec("c")) {
+				t.Fatalf("WAL = %q", recs[0].WAL)
+			}
+
+			// Snapshot compacts: WAL resets, later appends start fresh.
+			if err := s.Snapshot("c1", []byte(`{"snap":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendEvents("c1", [][]byte{rec("d")}); err != nil {
+				t.Fatal(err)
+			}
+			recs, err = s.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(recs[0].Snapshot, []byte(`{"snap":1}`)) {
+				t.Fatalf("snapshot = %s", recs[0].Snapshot)
+			}
+			if len(recs[0].WAL) != 1 || !bytes.Equal(recs[0].WAL[0], rec("d")) {
+				t.Fatalf("WAL after snapshot = %q", recs[0].WAL)
+			}
+
+			// A second snapshot supersedes the first.
+			if err := s.Snapshot("c1", []byte(`{"snap":2}`)); err != nil {
+				t.Fatal(err)
+			}
+			recs, _ = s.Load()
+			if !bytes.Equal(recs[0].Snapshot, []byte(`{"snap":2}`)) || len(recs[0].WAL) != 0 {
+				t.Fatalf("after second snapshot: %s / %q", recs[0].Snapshot, recs[0].WAL)
+			}
+
+			// Remove forgets everything; removing again is a no-op.
+			if err := s.Remove("c1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Remove("c1"); err != nil {
+				t.Fatalf("second Remove: %v", err)
+			}
+			recs, _ = s.Load()
+			if len(recs) != 1 || recs[0].ID != "c2" {
+				t.Fatalf("after Remove: %v", recs)
+			}
+		})
+	}
+}
+
+// TestDirSurvivesReopen: a fresh Dir over the same root sees everything a
+// previous instance persisted — the restart path.
+func TestDirSurvivesReopen(t *testing.T) {
+	root := t.TempDir()
+	d1, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Put("c1", []byte(`{"f":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.AppendEvents("c1", [][]byte{rec("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Snapshot("c1", []byte(`{"snap":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.AppendEvents("c1", [][]byte{rec("b")}); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the dead process didn't close anything either.
+
+	d2, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := d2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0].Snapshot, []byte(`{"snap":1}`)) ||
+		len(recs[0].WAL) != 1 || !bytes.Equal(recs[0].WAL[0], rec("b")) {
+		t.Fatalf("reopened state: %+v", recs)
+	}
+	// The reopened store appends to the right generation.
+	if err := d2.AppendEvents("c1", [][]byte{rec("c")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = d2.Load()
+	if len(recs[0].WAL) != 2 {
+		t.Fatalf("WAL after reopen+append = %q", recs[0].WAL)
+	}
+}
+
+// TestDirTornTail: a crash mid-append leaves a torn final record, which
+// Load drops; torn bytes anywhere else are corruption and an error.
+func TestDirTornTail(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("c1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendEvents("c1", [][]byte{rec("a"), rec("b")}); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(root, "c1", "wal-0.log")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"tor`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0].WAL) != 2 {
+		t.Fatalf("torn tail not dropped: %q", recs[0].WAL)
+	}
+
+	// Same torn bytes followed by a valid record: corruption, not a tail.
+	f, _ = os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	f.WriteString("\n" + string(rec("c")) + "\n")
+	f.Close()
+	if _, err := d.Load(); err == nil {
+		t.Fatal("mid-file corruption not reported")
+	}
+}
+
+// TestDirAppendAfterTornTail: a reopened WAL is repaired (torn bytes
+// truncated) before new appends, so a failed write followed by a
+// successful one never leaves invalid JSON mid-file — which would make
+// every future Load fail.
+func TestDirAppendAfterTornTail(t *testing.T) {
+	root := t.TempDir()
+	d1, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Put("c1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.AppendEvents("c1", [][]byte{rec("a")}); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(root, "c1", "wal-0.log")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"tor`) // torn write, no newline, never acknowledged
+	f.Close()
+
+	// A fresh store (fresh handle → lazy reopen) appends cleanly.
+	d2, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.AppendEvents("c1", [][]byte{rec("b")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := d2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0].WAL) != 2 || !bytes.Equal(recs[0].WAL[0], rec("a")) || !bytes.Equal(recs[0].WAL[1], rec("b")) {
+		t.Fatalf("WAL after torn-tail repair = %q", recs[0].WAL)
+	}
+
+	// A torn sector that still got its newline: Load tolerates it as the
+	// final record and drops it, so reopen-repair must drop it too —
+	// otherwise the next append would turn it into mid-file corruption.
+	f, err = os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{\"op\":\"gar\x00bage\n")
+	f.Close()
+	d3, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d3.AppendEvents("c1", [][]byte{rec("c")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = d3.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0].WAL) != 3 || !bytes.Equal(recs[0].WAL[2], rec("c")) {
+		t.Fatalf("WAL after newline-terminated garbage repair = %q", recs[0].WAL)
+	}
+}
+
+// TestDirPutReclaimsTornDir: a cluster directory without a committed
+// spec (crash mid-Put) does not block the id from being minted again.
+func TestDirPutReclaimsTornDir(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "c1"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "c1", "spec.json.tmp"), []byte(`{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("c1", []byte(`{"f":1}`)); err != nil {
+		t.Fatalf("Put over torn dir: %v", err)
+	}
+	recs, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0].Spec, []byte(`{"f":1}`)) {
+		t.Fatalf("reclaimed Put not loaded: %+v", recs)
+	}
+}
+
+// TestDirSnapshotCrashWindows: the generation scheme keeps either the
+// old state or the new one, never a mix.
+func TestDirSnapshotCrashWindows(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("c1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendEvents("c1", [][]byte{rec("a")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash after the next generation's WAL was created but before the
+	// snapshot rename committed: the old snapshot+WAL must win.
+	dir := filepath.Join(root, "c1")
+	if err := os.WriteFile(filepath.Join(dir, "wal-1.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snapshot-1.json.tmp"), []byte(`{"snap":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Snapshot != nil || len(recs[0].WAL) != 1 {
+		t.Fatalf("uncommitted snapshot visible: %+v", recs[0])
+	}
+
+	// Commit point: once snapshot-1.json exists, the new generation wins
+	// even though the old WAL still lingers on disk.
+	if err := os.Rename(filepath.Join(dir, "snapshot-1.json.tmp"), filepath.Join(dir, "snapshot-1.json")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recs[0].Snapshot, []byte(`{"snap":1}`)) || len(recs[0].WAL) != 0 {
+		t.Fatalf("committed snapshot not picked: %+v", recs[0])
+	}
+}
+
+// TestDirSkipsTornPut: a cluster directory without a committed spec (the
+// process died inside Put) is not a cluster.
+func TestDirSkipsTornPut(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "c7"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "c7", "spec.json.tmp"), []byte(`{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("torn Put loaded: %+v", recs)
+	}
+}
