@@ -10,6 +10,13 @@
 //	fusiond -addr :8080
 //	fusiond -addr :8080 -workers 8 -max-inflight 4 -queue-depth 16 -queue-timeout 2s
 //
+// Replicated (leader ships every durable mutation to followers; kill the
+// leader, promote a follower, keep serving — see examples/fusiond):
+//
+//	fusiond -addr :8080 -data-dir /var/lib/fusiond -role leader -replicas http://backup:8081
+//	fusiond -addr :8081 -data-dir /var/lib/fusiond-b -role follower -leader-url http://primary:8080
+//	fusiond -promote -addr :8081    # failover: make the follower the leader
+//
 // Probe it:
 //
 //	curl localhost:8080/healthz
@@ -30,11 +37,39 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
+
+// runPromote is the -promote one-shot client: it asks the daemon at addr
+// (a follower) to promote itself and prints the resulting role/epoch.
+// Split from serving so failover needs no second binary — the operator
+// (or the failover script) reuses fusiond itself.
+func runPromote(out io.Writer, addr string) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + strings.TrimPrefix(url, ":")
+		if strings.HasPrefix(addr, ":") {
+			url = "http://localhost" + addr
+		}
+	}
+	url = strings.TrimRight(url, "/") + "/repl/promote"
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck // best-effort detail
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Fprintf(out, "fusiond: promoted: %s\n", strings.TrimSpace(string(body)))
+	return nil
+}
 
 func main() {
 	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
@@ -57,15 +92,66 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		grace        = fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP exchanges")
 		dataDir      = fs.String("data-dir", "", "persist cluster registries here and recover them at boot (empty = in-memory)")
 		compactEvery = fs.Int("compact-every", 0, "WAL records per cluster between snapshot compactions (0 = default)")
+		role         = fs.String("role", "", "replication role: \"leader\" or \"follower\" (empty = no replication)")
+		leaderURL    = fs.String("leader-url", "", "follower: the leader's base URL, advertised when shedding writes")
+		replicas     = fs.String("replicas", "", "leader: comma-separated follower base URLs to ship the op feed to")
+		ack          = fs.String("ack", "leader", "write acknowledgement mode: \"leader\" (locally durable) or \"quorum\" (majority of the replication group)")
+		ackTimeout   = fs.Duration("ack-timeout", 2*time.Second, "per-request bound on the quorum-ack wait")
+		lagThreshold = fs.Uint64("lag-threshold", 0, "follower: feed lag (records) past which /readyz reports 503 (0 = default)")
+		promote      = fs.Bool("promote", false, "one-shot client: ask the follower at -addr to promote itself to leader, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *promote {
+		return runPromote(out, *addr)
 	}
 	if (*queueDepth > 0 || *queueTimeout > 0) && *maxInflight <= 0 {
 		return fmt.Errorf("-queue-depth/-queue-timeout do nothing without -max-inflight")
 	}
 	if *compactEvery > 0 && *dataDir == "" {
 		return fmt.Errorf("-compact-every does nothing without -data-dir")
+	}
+	var replicaList []string
+	if *replicas != "" {
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicaList = append(replicaList, strings.TrimRight(u, "/"))
+			}
+		}
+	}
+	switch *role {
+	case "":
+		if len(replicaList) > 0 {
+			return fmt.Errorf("-replicas requires -role leader")
+		}
+		if *leaderURL != "" {
+			return fmt.Errorf("-leader-url requires -role follower")
+		}
+	case server.RoleLeader:
+		if *dataDir == "" {
+			return fmt.Errorf("-role leader requires -data-dir (replication epochs must survive restarts)")
+		}
+	case server.RoleFollower:
+		if *dataDir == "" {
+			return fmt.Errorf("-role follower requires -data-dir")
+		}
+		if len(replicaList) > 0 {
+			return fmt.Errorf("-replicas is a leader flag; a follower ships nothing until promoted")
+		}
+	default:
+		return fmt.Errorf("-role %q: use \"leader\" or \"follower\"", *role)
+	}
+	var quorum bool
+	switch *ack {
+	case "leader":
+	case "quorum":
+		if len(replicaList) == 0 {
+			return fmt.Errorf("-ack quorum does nothing without -replicas")
+		}
+		quorum = true
+	default:
+		return fmt.Errorf("-ack %q: use \"leader\" or \"quorum\"", *ack)
 	}
 
 	srv, err := server.New(server.Options{
@@ -78,9 +164,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxTenants:   *maxTenants,
 		DataDir:      *dataDir,
 		CompactEvery: *compactEvery,
+		Role:         *role,
+		Replicas:     replicaList,
+		LeaderURL:    strings.TrimRight(*leaderURL, "/"),
+		QuorumAck:    quorum,
+		AckTimeout:   *ackTimeout,
+		LagThreshold: *lagThreshold,
 	})
 	if err != nil {
 		return err
+	}
+	if *role != "" {
+		fmt.Fprintf(out, "fusiond: replication role %s\n", *role)
 	}
 	if *dataDir != "" {
 		fmt.Fprintf(out, "fusiond: recovered durable state from %s\n", *dataDir)

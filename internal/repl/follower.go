@@ -1,0 +1,477 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// FollowerOptions configures a replication follower.
+type FollowerOptions struct {
+	// DataDir is the follower's own durable root; required.
+	DataDir string
+	// Pool runs cluster rebuilds for the warm mirrors; nil means the
+	// shared default pool.
+	Pool *exec.Pool
+	// LagThreshold is the applied-vs-head gap (in feed records) beyond
+	// which the follower reports not-ready; 0 means DefaultLagThreshold.
+	LagThreshold uint64
+}
+
+// DefaultLagThreshold is the replication lag at which a follower stops
+// reporting ready.
+const DefaultLagThreshold = 1024
+
+// followerTenant is one tenant's replica: its own Dir store (the
+// durable truth on this node) plus a warm detached registry mirror that
+// serves reads and, at promotion, becomes the authoritative registry
+// with zero replay. walLen tracks each record's current-generation WAL
+// length — the follower-side idempotency anchor matching Op.PrevWAL.
+type followerTenant struct {
+	store  *store.Dir
+	reg    *sim.Registry
+	walLen map[string]int
+}
+
+// Follower applies a leader's op feed to local state. All mutation
+// entry points (Apply, FullSync, Promote) serialize on one mutex — the
+// feed is ordered, so there is nothing to gain from concurrency, and
+// serialization makes the crash-resume reasoning airtight.
+type Follower struct {
+	opts FollowerOptions
+	pool *exec.Pool
+
+	mu        sync.Mutex
+	epoch     uint64
+	applied   uint64
+	leaderSeq uint64 // feed head last heard from the leader
+	contacted bool   // any leader exchange since boot
+	fenced    bool   // promoted (or shutting down): refuse all shipments
+	tenants   map[string]*followerTenant
+}
+
+// OpenFollower loads the follower's durable resume point and rebuilds a
+// warm mirror for every tenant directory under DataDir. The store layer
+// repairs torn WAL tails during Load, so a replica that lost power
+// mid-append resumes from its last complete record and the leader
+// re-ships the rest.
+func OpenFollower(opts FollowerOptions) (*Follower, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("repl: follower requires a data dir")
+	}
+	if opts.LagThreshold == 0 {
+		opts.LagThreshold = DefaultLagThreshold
+	}
+	pool := opts.Pool
+	if pool == nil {
+		pool = exec.Default()
+	}
+	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("repl: creating data dir: %w", err)
+	}
+	st, err := loadFollowerState(opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		opts:    opts,
+		pool:    pool,
+		epoch:   st.Epoch,
+		applied: st.Applied,
+		tenants: make(map[string]*followerTenant),
+	}
+	entries, err := os.ReadDir(opts.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("repl: scanning data dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || validTenant(e.Name()) != nil {
+			continue
+		}
+		if _, err := f.openTenant(e.Name()); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// openTenant opens (or creates) one tenant replica and its warm mirror.
+// Callers hold f.mu or own f exclusively.
+func (f *Follower) openTenant(name string) (*followerTenant, error) {
+	dir, err := store.NewDir(filepath.Join(f.opts.DataDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("repl: opening tenant %q: %w", name, err)
+	}
+	reg, walLens, err := sim.LoadDetachedRegistry(f.pool, dir)
+	if err != nil {
+		dir.Close()
+		return nil, fmt.Errorf("repl: rebuilding tenant %q mirror: %w", name, err)
+	}
+	ft := &followerTenant{store: dir, reg: reg, walLen: walLens}
+	f.tenants[name] = ft
+	return ft, nil
+}
+
+func (f *Follower) tenant(name string) (*followerTenant, error) {
+	if ft, ok := f.tenants[name]; ok {
+		return ft, nil
+	}
+	if err := validTenant(name); err != nil {
+		return nil, err
+	}
+	return f.openTenant(name)
+}
+
+// Status reports the follower's replication position.
+func (f *Follower) Status() NodeStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.statusLocked()
+}
+
+func (f *Follower) statusLocked() NodeStatus {
+	return NodeStatus{
+		Role:    "follower",
+		Epoch:   f.epoch,
+		Applied: f.applied,
+		LogSeq:  f.leaderSeq,
+	}
+}
+
+// Ready reports whether the follower can be trusted for (stale) reads
+// and as a promotion target: it has heard from a leader since boot and
+// is within the configured lag threshold. The string names what is
+// missing when not ready.
+func (f *Follower) Ready() (bool, string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fenced {
+		return false, "fenced"
+	}
+	if !f.contacted {
+		return false, "no leader contact since boot"
+	}
+	if lag := f.statusLocked().Lag(); lag > f.opts.LagThreshold {
+		return false, fmt.Sprintf("replication lag %d exceeds threshold %d", lag, f.opts.LagThreshold)
+	}
+	return true, ""
+}
+
+// Registry returns a tenant's warm mirror for read serving.
+func (f *Follower) Registry(name string) (*sim.Registry, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ft, ok := f.tenants[name]
+	if !ok {
+		return nil, false
+	}
+	return ft.reg, true
+}
+
+// TenantNames lists the replicated tenants, sorted.
+func (f *Follower) TenantNames() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.tenants))
+	for name := range f.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Apply ingests one leader batch. Fencing first: a batch from an epoch
+// below the follower's own — a deposed leader — is refused with
+// ErrFenced (HTTP 409). A batch from a later epoch than the follower
+// has synced to requests a full state transfer via NeedSync, as does a
+// sequence gap (the leader's feed was trimmed past our resume point
+// combined with a stale probe). Within the epoch, ops at or below the
+// applied mark are duplicates from a crash-resume and are skipped
+// per-kind idempotently.
+//
+// An empty-op batch is the leader's heartbeat: it refreshes the
+// follower's view of the feed head (for lag accounting) without
+// touching durable state.
+func (f *Follower) Apply(b Batch) (NodeStatus, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fenced || b.Epoch < f.epoch {
+		return f.statusLocked(), ErrFenced
+	}
+	if b.Epoch > f.epoch {
+		st := f.statusLocked()
+		st.NeedSync = true
+		return st, nil
+	}
+	f.contacted = true
+	if b.LogSeq > f.leaderSeq {
+		f.leaderSeq = b.LogSeq
+	}
+	applied := f.applied
+	for _, op := range b.Ops {
+		if op.Seq <= applied {
+			continue // crash-resume duplicate
+		}
+		if op.Seq != applied+1 {
+			st := f.statusLocked()
+			st.NeedSync = true
+			return st, nil
+		}
+		if err := f.applyOp(op); err != nil {
+			return f.statusLocked(), err
+		}
+		applied = op.Seq
+	}
+	if applied != f.applied {
+		if err := persistFollowerState(f.opts.DataDir, followerState{Epoch: f.epoch, Applied: applied}); err != nil {
+			return f.statusLocked(), err
+		}
+		f.applied = applied
+		if f.applied > f.leaderSeq {
+			f.leaderSeq = f.applied
+		}
+	}
+	return f.statusLocked(), nil
+}
+
+// applyOp applies one op to the tenant's store and warm mirror. The
+// store commit comes first; the mirror is rebuilt from the store on
+// restart, so a crash between the two cannot diverge them. Every kind
+// is idempotent against partial re-delivery:
+//
+//   - put: skipped when the record already exists;
+//   - append: anchored by PrevWAL — only the suffix the store does not
+//     yet hold is appended (a batch that half-landed before a crash,
+//     its torn tail repaired on reopen, resumes exactly);
+//   - snapshot: re-applying rewrites the same state under a bumped
+//     generation;
+//   - remove: skipped when the record is already gone.
+func (f *Follower) applyOp(op store.Op) error {
+	ft, err := f.tenant(op.Tenant)
+	if err != nil {
+		return err
+	}
+	switch op.Kind {
+	case store.OpPut:
+		if _, ok := ft.walLen[op.ID]; ok {
+			return nil
+		}
+		if err := ft.store.Put(op.ID, op.Data); err != nil {
+			return fmt.Errorf("repl: put %s/%s: %w", op.Tenant, op.ID, err)
+		}
+		ft.walLen[op.ID] = 0
+		if op.ID == sim.MetaRecordID {
+			seq, err := sim.RegistryMetaSeq(op.Data)
+			if err != nil {
+				return err
+			}
+			ft.reg.EnsureSeq(seq)
+			return nil
+		}
+		var spec sim.ClusterSpec
+		if err := json.Unmarshal(op.Data, &spec); err != nil {
+			return fmt.Errorf("repl: decoding spec of %s/%s: %w", op.Tenant, op.ID, err)
+		}
+		c, err := sim.NewClusterFromSpecOn(f.pool, &spec)
+		if err != nil {
+			return fmt.Errorf("repl: rebuilding %s/%s: %w", op.Tenant, op.ID, err)
+		}
+		return ft.reg.Attach(op.ID, c)
+	case store.OpAppend:
+		cur, ok := ft.walLen[op.ID]
+		if !ok {
+			return fmt.Errorf("repl: append for unknown cluster %s/%s", op.Tenant, op.ID)
+		}
+		want := op.PrevWAL + len(op.Recs)
+		if cur >= want {
+			return nil // fully landed before the crash
+		}
+		if cur < op.PrevWAL {
+			return fmt.Errorf("repl: append anchor gap on %s/%s: have %d records, op expects %d",
+				op.Tenant, op.ID, cur, op.PrevWAL)
+		}
+		recs := op.Recs[cur-op.PrevWAL:]
+		if err := ft.store.AppendEvents(op.ID, recs); err != nil {
+			return fmt.Errorf("repl: append %s/%s: %w", op.Tenant, op.ID, err)
+		}
+		ft.walLen[op.ID] = want
+		if h, ok := ft.reg.Get(op.ID); ok {
+			if err := h.Replay(recs); err != nil {
+				return fmt.Errorf("repl: mirror replay %s/%s: %w", op.Tenant, op.ID, err)
+			}
+		}
+		return nil
+	case store.OpSnapshot:
+		if _, ok := ft.walLen[op.ID]; !ok {
+			return fmt.Errorf("repl: snapshot for unknown cluster %s/%s", op.Tenant, op.ID)
+		}
+		if err := ft.store.Snapshot(op.ID, op.Data); err != nil {
+			return fmt.Errorf("repl: snapshot %s/%s: %w", op.Tenant, op.ID, err)
+		}
+		ft.walLen[op.ID] = 0
+		if op.ID == sim.MetaRecordID {
+			seq, err := sim.RegistryMetaSeq(op.Data)
+			if err != nil {
+				return err
+			}
+			ft.reg.EnsureSeq(seq)
+			return nil
+		}
+		if h, ok := ft.reg.Get(op.ID); ok {
+			if err := h.RestoreSnapshot(op.Data); err != nil {
+				return fmt.Errorf("repl: mirror restore %s/%s: %w", op.Tenant, op.ID, err)
+			}
+		}
+		return nil
+	case store.OpRemove:
+		if _, ok := ft.walLen[op.ID]; !ok {
+			return nil // already gone
+		}
+		if err := ft.store.Remove(op.ID); err != nil {
+			return fmt.Errorf("repl: remove %s/%s: %w", op.Tenant, op.ID, err)
+		}
+		delete(ft.walLen, op.ID)
+		ft.reg.Remove(op.ID) //nolint:errcheck // detached registry: map delete only
+		return nil
+	default:
+		return fmt.Errorf("repl: unknown op kind %q", op.Kind)
+	}
+}
+
+// FullSync replaces the follower's entire state with a leader transfer:
+// every tenant directory is wiped and rebuilt from the shipped records,
+// warm mirrors are reconstructed, and the resume point jumps to the
+// transfer's (Epoch, Seq). Ops the leader committed after capturing Seq
+// arrive as ordinary batches and dedupe through the idempotent apply.
+func (f *Follower) FullSync(state FullState) (NodeStatus, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fenced || state.Epoch < f.epoch {
+		return f.statusLocked(), ErrFenced
+	}
+	for _, ft := range f.tenants {
+		ft.store.Close() //nolint:errcheck // directory is removed next
+	}
+	f.tenants = make(map[string]*followerTenant)
+	// Wipe from disk, not from the (possibly partial) tenant map, so a
+	// transfer that failed halfway last time leaves nothing stale behind.
+	entries, err := os.ReadDir(f.opts.DataDir)
+	if err != nil {
+		return f.statusLocked(), fmt.Errorf("repl: scanning data dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || validTenant(e.Name()) != nil {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(f.opts.DataDir, e.Name())); err != nil {
+			return f.statusLocked(), fmt.Errorf("repl: wiping tenant %q: %w", e.Name(), err)
+		}
+	}
+	for _, ts := range state.Tenants {
+		if err := validTenant(ts.Name); err != nil {
+			return f.statusLocked(), err
+		}
+		ft, err := f.openTenant(ts.Name)
+		if err != nil {
+			return f.statusLocked(), err
+		}
+		for _, rec := range ts.Clusters {
+			if err := ft.store.Put(rec.ID, rec.Spec); err != nil {
+				return f.statusLocked(), fmt.Errorf("repl: sync put %s/%s: %w", ts.Name, rec.ID, err)
+			}
+			if rec.Snapshot != nil {
+				if err := ft.store.Snapshot(rec.ID, rec.Snapshot); err != nil {
+					return f.statusLocked(), fmt.Errorf("repl: sync snapshot %s/%s: %w", ts.Name, rec.ID, err)
+				}
+			}
+			if len(rec.WAL) > 0 {
+				if err := ft.store.AppendEvents(rec.ID, rec.WAL); err != nil {
+					return f.statusLocked(), fmt.Errorf("repl: sync append %s/%s: %w", ts.Name, rec.ID, err)
+				}
+			}
+		}
+		// Rebuild the mirror from what just landed durably, replacing the
+		// empty one openTenant made.
+		reg, walLens, err := sim.LoadDetachedRegistry(f.pool, ft.store)
+		if err != nil {
+			return f.statusLocked(), fmt.Errorf("repl: sync mirror %q: %w", ts.Name, err)
+		}
+		ft.reg, ft.walLen = reg, walLens
+	}
+	if err := persistFollowerState(f.opts.DataDir, followerState{Epoch: state.Epoch, Applied: state.Seq}); err != nil {
+		return f.statusLocked(), err
+	}
+	f.epoch = state.Epoch
+	f.applied = state.Seq
+	f.leaderSeq = state.Seq
+	f.contacted = true
+	return f.statusLocked(), nil
+}
+
+// PromotedTenant is one tenant's state handed from a fenced follower to
+// the serving layer at promotion.
+type PromotedTenant struct {
+	Name    string
+	Store   *store.Dir
+	Reg     *sim.Registry
+	WalLens map[string]int
+}
+
+// Promote fences the follower and hands its state over: the new epoch
+// (strictly greater than every epoch this node followed, persisted to
+// both state files before the method returns, so a deposed leader's
+// late shipments are refused even across a restart) plus each tenant's
+// store, warm registry, and WAL-length map, ready for Registry.Bind.
+// The follower keeps answering /repl/status as fenced but owns no
+// tenant state afterwards; Close becomes a no-op.
+func (f *Follower) Promote() (uint64, []PromotedTenant, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fenced {
+		return 0, nil, ErrFenced
+	}
+	newEpoch := f.epoch + 1
+	if err := persistLeaderEpoch(f.opts.DataDir, newEpoch); err != nil {
+		return 0, nil, err
+	}
+	if err := persistFollowerState(f.opts.DataDir, followerState{Epoch: newEpoch, Applied: f.applied}); err != nil {
+		return 0, nil, err
+	}
+	f.fenced = true
+	f.epoch = newEpoch
+	names := make([]string, 0, len(f.tenants))
+	for name := range f.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]PromotedTenant, 0, len(names))
+	for _, name := range names {
+		ft := f.tenants[name]
+		out = append(out, PromotedTenant{Name: name, Store: ft.store, Reg: ft.reg, WalLens: ft.walLen})
+	}
+	f.tenants = nil
+	return newEpoch, out, nil
+}
+
+// Close releases the follower's stores (unless Promote already handed
+// them off) and fences future applies.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fenced = true
+	var first error
+	for _, ft := range f.tenants {
+		if err := ft.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	f.tenants = nil
+	return first
+}

@@ -1,0 +1,358 @@
+package repl
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// LeaderOptions configures the shipping side of the replication plane.
+type LeaderOptions struct {
+	// Replicas are follower base URLs (scheme://host:port, no trailing
+	// slash required).
+	Replicas []string
+	// StateFn produces a full state transfer for a follower that cannot
+	// resume incrementally. It must capture the feed Seq BEFORE reading
+	// tenant stores (ops racing the read are then re-shipped and deduped
+	// by the follower); the shipper stamps the Epoch.
+	StateFn func() (FullState, error)
+	// Client overrides the HTTP client (tests); nil means a 30s-timeout
+	// default.
+	Client *http.Client
+	// MaxBatch bounds ops per shipment; 0 means 256.
+	MaxBatch int
+	// RetryBase/RetryMax bound the jittered exponential backoff after a
+	// failed exchange; zero means 100ms / 5s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Heartbeat is the idle interval at which an empty batch refreshes a
+	// follower's view of the feed head; 0 means 2s.
+	Heartbeat time.Duration
+	// Rand supplies jitter in [0,1); nil means math/rand/v2. Tests pin
+	// it for determinism.
+	Rand func() float64
+}
+
+// ReplicaStatus is one follower's shipping state, surfaced in /metrics
+// and /repl/status.
+type ReplicaStatus struct {
+	URL     string `json:"url"`
+	Acked   uint64 `json:"acked"`
+	Retries uint64 `json:"retries"`
+	Fenced  bool   `json:"fenced,omitempty"`
+	LastErr string `json:"lastErr,omitempty"`
+}
+
+type replica struct {
+	url string
+
+	mu      sync.Mutex
+	acked   uint64
+	retries uint64
+	fenced  bool
+	lastErr string
+}
+
+// Leader ships a Log's ops to every configured follower: one goroutine
+// per replica, each independently probing the follower's position,
+// full-syncing when it cannot resume (fresh follower, epoch change, or
+// feed trimmed past its resume point), then streaming batches as the
+// Log grows. Failed exchanges retry with jittered exponential backoff;
+// a fencing response (the follower was promoted past this leader's
+// epoch) parks the shipper at the maximum backoff — the deposed leader
+// keeps serving its local state but can no longer replicate, which is
+// exactly the fencing contract.
+type Leader struct {
+	log      *store.Log
+	opts     LeaderOptions
+	client   *http.Client
+	replicas []*replica
+
+	mu      sync.Mutex
+	ackWake chan struct{}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewLeader builds the shipping plane for log. Call Start to begin.
+func NewLeader(log *store.Log, opts LeaderOptions) *Leader {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 256
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 100 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 5 * time.Second
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 2 * time.Second
+	}
+	if opts.Rand == nil {
+		opts.Rand = rand.Float64
+	}
+	client := opts.Client
+	if client == nil {
+		client = defaultHTTPClient()
+	}
+	l := &Leader{
+		log:     log,
+		opts:    opts,
+		client:  client,
+		ackWake: make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	for _, url := range opts.Replicas {
+		l.replicas = append(l.replicas, &replica{url: url})
+	}
+	return l
+}
+
+// Start launches one shipper per replica.
+func (l *Leader) Start() {
+	for _, rep := range l.replicas {
+		l.wg.Add(1)
+		go l.ship(rep)
+	}
+}
+
+// Close stops every shipper and waits for them.
+func (l *Leader) Close() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.wg.Wait()
+}
+
+// Stats snapshots every replica's shipping state.
+func (l *Leader) Stats() []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, len(l.replicas))
+	for _, rep := range l.replicas {
+		rep.mu.Lock()
+		out = append(out, ReplicaStatus{
+			URL: rep.url, Acked: rep.acked, Retries: rep.retries,
+			Fenced: rep.fenced, LastErr: rep.lastErr,
+		})
+		rep.mu.Unlock()
+	}
+	return out
+}
+
+// AckedCount reports how many replicas have acknowledged seq.
+func (l *Leader) AckedCount(seq uint64) int {
+	n := 0
+	for _, rep := range l.replicas {
+		rep.mu.Lock()
+		if rep.acked >= seq {
+			n++
+		}
+		rep.mu.Unlock()
+	}
+	return n
+}
+
+// WaitAcked blocks until at least need replicas have acknowledged seq,
+// or the timeout elapses, or the leader is closed. It reports whether
+// the quorum was reached.
+func (l *Leader) WaitAcked(seq uint64, need int, timeout time.Duration) bool {
+	if need <= 0 {
+		return true
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		if l.AckedCount(seq) >= need {
+			return true
+		}
+		l.mu.Lock()
+		wake := l.ackWake
+		l.mu.Unlock()
+		select {
+		case <-wake:
+		case <-timer.C:
+			return false
+		case <-l.stop:
+			return false
+		}
+	}
+}
+
+// setAcked records a replica's acknowledged position and wakes quorum
+// waiters.
+func (l *Leader) setAcked(rep *replica, seq uint64) {
+	rep.mu.Lock()
+	if seq > rep.acked {
+		rep.acked = seq
+	}
+	rep.fenced = false
+	rep.lastErr = ""
+	rep.mu.Unlock()
+	l.mu.Lock()
+	close(l.ackWake)
+	l.ackWake = make(chan struct{})
+	l.mu.Unlock()
+}
+
+func (l *Leader) noteErr(rep *replica, err error) {
+	rep.mu.Lock()
+	rep.retries++
+	rep.lastErr = err.Error()
+	rep.mu.Unlock()
+}
+
+func (l *Leader) noteFenced(rep *replica, err error) {
+	rep.mu.Lock()
+	rep.retries++
+	rep.fenced = true
+	rep.lastErr = err.Error()
+	rep.mu.Unlock()
+}
+
+// sleep waits d scaled by jitter in [0.5, 1.5); false means the leader
+// closed.
+func (l *Leader) sleep(d time.Duration) bool {
+	d = time.Duration(float64(d) * (0.5 + l.opts.Rand()))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-l.stop:
+		return false
+	}
+}
+
+func (l *Leader) bump(d time.Duration) time.Duration {
+	d *= 2
+	if d > l.opts.RetryMax {
+		d = l.opts.RetryMax
+	}
+	return d
+}
+
+// ship is one replica's shipping loop.
+func (l *Leader) ship(rep *replica) {
+	defer l.wg.Done()
+	sub := l.log.Subscribe()
+	ticker := time.NewTicker(l.opts.Heartbeat)
+	defer ticker.Stop()
+	backoff := l.opts.RetryBase
+	synced := false
+	var applied uint64
+	for {
+		select {
+		case <-l.stop:
+			return
+		default:
+		}
+		if !synced {
+			var st NodeStatus
+			if err := getJSON(l.client, rep.url+"/repl/status", &st); err != nil {
+				l.noteErr(rep, err)
+				if !l.sleep(backoff) {
+					return
+				}
+				backoff = l.bump(backoff)
+				continue
+			}
+			if st.Role == "follower" && st.Epoch == l.log.Epoch() && !st.NeedSync {
+				if _, ok := l.log.Since(st.Applied, 1); ok {
+					// Resumable: the feed still holds everything past the
+					// follower's position.
+					applied = st.Applied
+					synced = true
+					backoff = l.opts.RetryBase
+					l.setAcked(rep, applied)
+					continue
+				}
+			}
+			if st.Role != "follower" || st.Epoch > l.log.Epoch() {
+				l.noteFenced(rep, &FencedError{Status: st})
+				if !l.sleep(l.opts.RetryMax) {
+					return
+				}
+				continue
+			}
+			state, err := l.opts.StateFn()
+			if err != nil {
+				l.noteErr(rep, err)
+				if !l.sleep(backoff) {
+					return
+				}
+				backoff = l.bump(backoff)
+				continue
+			}
+			state.Epoch = l.log.Epoch()
+			var resp NodeStatus
+			if err := postJSON(l.client, rep.url+"/repl/sync", state, &resp); err != nil {
+				if errors.As(err, new(*FencedError)) {
+					l.noteFenced(rep, err)
+					if !l.sleep(l.opts.RetryMax) {
+						return
+					}
+					continue
+				}
+				l.noteErr(rep, err)
+				if !l.sleep(backoff) {
+					return
+				}
+				backoff = l.bump(backoff)
+				continue
+			}
+			applied = resp.Applied
+			synced = true
+			backoff = l.opts.RetryBase
+			l.setAcked(rep, applied)
+			continue
+		}
+		ops, ok := l.log.Since(applied, l.opts.MaxBatch)
+		if !ok {
+			synced = false
+			continue
+		}
+		if len(ops) == 0 {
+			select {
+			case <-l.stop:
+				return
+			case <-sub:
+				continue
+			case <-ticker.C:
+				// Idle heartbeat: an empty batch keeps the follower's view
+				// of the head (and its readiness lag) fresh and detects
+				// fencing promptly.
+			}
+		}
+		batch := Batch{Epoch: l.log.Epoch(), LogSeq: l.log.Seq(), Ops: ops}
+		var resp NodeStatus
+		if err := postJSON(l.client, rep.url+"/repl/apply", batch, &resp); err != nil {
+			if errors.As(err, new(*FencedError)) {
+				l.noteFenced(rep, err)
+				if !l.sleep(l.opts.RetryMax) {
+					return
+				}
+				synced = false
+				continue
+			}
+			l.noteErr(rep, err)
+			if !l.sleep(backoff) {
+				return
+			}
+			backoff = l.bump(backoff)
+			synced = false
+			continue
+		}
+		if resp.NeedSync {
+			synced = false
+			continue
+		}
+		if resp.Applied > applied {
+			applied = resp.Applied
+		}
+		l.setAcked(rep, applied)
+		backoff = l.opts.RetryBase
+	}
+}

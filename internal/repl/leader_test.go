@@ -1,0 +1,174 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// followerServer exposes a real Follower over the same three routes the
+// production server mounts, so the Leader's shipping loop is exercised
+// end to end without the full daemon.
+func followerServer(t *testing.T, f *Follower) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	reply := func(w http.ResponseWriter, st NodeStatus, err error) {
+		if errors.Is(err, ErrFenced) {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(f.Status()) //nolint:errcheck
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(st) //nolint:errcheck
+	}
+	mux.HandleFunc("GET /repl/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(f.Status()) //nolint:errcheck
+	})
+	mux.HandleFunc("POST /repl/apply", func(w http.ResponseWriter, r *http.Request) {
+		var b Batch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := f.Apply(b)
+		reply(w, st, err)
+	})
+	mux.HandleFunc("POST /repl/sync", func(w http.ResponseWriter, r *http.Request) {
+		var fs FullState
+		if err := json.NewDecoder(r.Body).Decode(&fs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := f.FullSync(fs)
+		reply(w, st, err)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func newTestLeader(t *testing.T, lr *leaderRig, replicas ...string) *Leader {
+	t.Helper()
+	l := NewLeader(lr.log, LeaderOptions{
+		Replicas: replicas,
+		StateFn: func() (FullState, error) {
+			recs, err := lr.dir.Load()
+			if err != nil {
+				return FullState{}, err
+			}
+			return FullState{
+				Seq:     lr.log.Seq(),
+				Tenants: []TenantState{{Name: "default", Clusters: recs}},
+			}, nil
+		},
+		Heartbeat: 50 * time.Millisecond,
+		RetryBase: 10 * time.Millisecond,
+		RetryMax:  100 * time.Millisecond,
+	})
+	l.Start()
+	t.Cleanup(l.Close)
+	return l
+}
+
+// TestLeaderShipsAndAcks: the shipper full-syncs a virgin follower,
+// streams subsequent ops, and WaitAcked observes the follower's acks.
+func TestLeaderShipsAndAcks(t *testing.T) {
+	lr := newLeaderRig(t, 1, 1000)
+	f := openFollower(t, t.TempDir())
+	defer f.Close()
+	srv := followerServer(t, f)
+
+	l := newTestLeader(t, lr, srv.URL)
+	id := lr.addCluster(t, 1)
+	lr.drive(t, id, []string{"0", "1", "1"})
+
+	head := lr.log.Seq()
+	if !l.WaitAcked(head, 1, 5*time.Second) {
+		t.Fatalf("follower never acked seq %d; stats: %+v", head, l.Stats())
+	}
+	assertMirrored(t, lr, f, id)
+	stats := l.Stats()
+	if len(stats) != 1 || stats[0].Acked < head {
+		t.Fatalf("stats = %+v, want acked >= %d", stats, head)
+	}
+	if ok, reason := f.Ready(); !ok {
+		t.Fatalf("shipped follower not ready: %s", reason)
+	}
+
+	// More writes while the link is warm: pure streaming this time.
+	lr.drive(t, id, []string{"0"})
+	head = lr.log.Seq()
+	if !l.WaitAcked(head, 1, 5*time.Second) {
+		t.Fatalf("follower never acked streamed seq %d", head)
+	}
+	assertMirrored(t, lr, f, id)
+}
+
+// TestLeaderRetriesOnFailure: an unreachable replica accumulates retry
+// counts (the /metrics ship-retries series) without wedging the leader.
+func TestLeaderRetriesOnFailure(t *testing.T) {
+	lr := newLeaderRig(t, 1, 1000)
+	// A server that is immediately closed: every exchange fails fast.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close()
+
+	l := newTestLeader(t, lr, srv.URL)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := l.Stats()
+		if len(st) == 1 && st[0].Retries >= 2 && st[0].LastErr != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retries never accumulated: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if l.WaitAcked(lr.log.Seq(), 1, 50*time.Millisecond) {
+		t.Fatal("WaitAcked reported an ack from an unreachable replica")
+	}
+}
+
+// TestLeaderFencedByPromotedFollower: once the follower promotes, the
+// old leader's exchanges are refused and its stats mark the replica
+// fenced rather than retrying forever.
+func TestLeaderFencedByPromotedFollower(t *testing.T) {
+	lr := newLeaderRig(t, 1, 1000)
+	f := openFollower(t, t.TempDir())
+	defer f.Close()
+	srv := followerServer(t, f)
+
+	l := newTestLeader(t, lr, srv.URL)
+	id := lr.addCluster(t, 1)
+	lr.drive(t, id, []string{"0"})
+	if !l.WaitAcked(lr.log.Seq(), 1, 5*time.Second) {
+		t.Fatal("initial ship never acked")
+	}
+
+	if _, tens, err := f.Promote(); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, pt := range tens {
+			pt.Store.Close()
+		}
+	}
+	lr.drive(t, id, []string{"1"}) // deposed leader keeps writing
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := l.Stats()
+		if len(st) == 1 && st[0].Fenced {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leader never noticed the fence: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

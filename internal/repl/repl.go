@@ -1,0 +1,180 @@
+// Package repl is fusiond's replication plane: a leader ships the
+// ordered feed of durable store mutations (store.Op, published by
+// store.Tee) to f follower daemons, each of which applies them to its
+// own store.Dir and maintains a warm sim registry mirror, so losing the
+// leader node costs one promotion — not a rebuild, not the tenants'
+// state.
+//
+// This is the paper's own argument applied to the daemon that serves it:
+// fusiond already recovers *simulated* clusters from specs, snapshots,
+// and WAL replay; the replication plane streams exactly those records to
+// backups, making the tenant registries themselves the fault-tolerant
+// state machines. internal/replication holds the paper's Section 1
+// baseline (naive f+1 copies); this package is the engineered version
+// with sequence-numbered shipping, idempotent resume, and fencing.
+//
+// Protocol (all JSON over the daemon's own HTTP listener):
+//
+//	GET  /repl/status   NodeStatus: role, epoch, applied/head seq
+//	POST /repl/apply    Batch of ops; follower applies in order
+//	POST /repl/sync     FullState transfer; follower rebuilds from it
+//	POST /repl/promote  fence this follower and hand its state to serving
+//	GET  /repl/feed     pull ops after a seq (debugging / catch-up)
+//
+// Ordering and fencing: ops are totally ordered by (epoch, seq). A
+// leader opens a new epoch every boot (monotonic, persisted), so a
+// follower that sees a higher epoch resynchronizes by full state
+// transfer, and a follower that was promoted — which bumps its epoch
+// past every epoch it ever saw — refuses the deposed leader's late
+// batches outright. Within an epoch, a follower applies seq n+1 only on
+// top of applied seq n; duplicates are skipped per-kind idempotently
+// (append ops carry the PrevWAL anchor, so a batch that half-landed
+// before a crash resumes at exactly the missing suffix, with the
+// replica's torn WAL tail repaired by the store on reopen).
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Batch is one leader→follower shipment: ops in ascending seq order,
+// all from the same epoch. LogSeq is the leader's feed head at ship
+// time, letting the follower compute its lag even mid-stream.
+type Batch struct {
+	Epoch  uint64     `json:"epoch"`
+	LogSeq uint64     `json:"logSeq"`
+	Ops    []store.Op `json:"ops"`
+}
+
+// NodeStatus reports a node's replication position — the /repl/status
+// body and the /repl/apply response.
+type NodeStatus struct {
+	Role    string `json:"role"`
+	Epoch   uint64 `json:"epoch"`
+	Applied uint64 `json:"applied"`
+	// LogSeq is the feed head: the leader's own on a leader, the last
+	// head heard from the leader on a follower.
+	LogSeq uint64 `json:"logSeq"`
+	// NeedSync asks the shipper for a full state transfer (epoch moved
+	// on, or the feed no longer retains the follower's resume point).
+	NeedSync bool `json:"needSync,omitempty"`
+}
+
+// Lag is how many feed records the node is behind the head it knows of.
+func (s NodeStatus) Lag() uint64 {
+	if s.LogSeq <= s.Applied {
+		return 0
+	}
+	return s.LogSeq - s.Applied
+}
+
+// TenantState is one tenant's full durable state in a transfer.
+type TenantState struct {
+	Name     string         `json:"name"`
+	Clusters []store.Record `json:"clusters"`
+}
+
+// FullState is a complete state transfer: everything a follower needs to
+// serve reads and resume the feed at (Epoch, Seq). Seq is captured
+// before the tenant stores are read, so ops racing the read are
+// re-shipped afterwards and deduplicated by the follower's idempotent
+// apply — the transfer never needs a write freeze.
+type FullState struct {
+	Epoch   uint64        `json:"epoch"`
+	Seq     uint64        `json:"seq"`
+	Tenants []TenantState `json:"tenants"`
+}
+
+// validTenant vets a tenant name arriving in a replicated op before it
+// becomes a directory under the follower's data dir. Same rules as the
+// serving layer's tenant header validation: header- and filesystem-safe
+// charset, no leading dot (".." must never walk out of the data dir).
+func validTenant(name string) error {
+	if len(name) > 64 {
+		return fmt.Errorf("repl: tenant name longer than 64 bytes")
+	}
+	if name == "" || name[0] == '.' {
+		return fmt.Errorf("repl: tenant name %q must not start with '.'", name)
+	}
+	for _, c := range name {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' {
+			continue
+		}
+		return fmt.Errorf("repl: tenant name contains %q; use [A-Za-z0-9._-]", c)
+	}
+	return nil
+}
+
+// --- HTTP client plumbing (used by the shipper) ---------------------------
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// postJSON posts v and decodes the response into out (when non-nil).
+// A 409 Conflict — the fencing status — is returned as *FencedError with
+// the decoded body, so callers can distinguish "refused by a newer
+// epoch" from transport failures.
+func postJSON(client *http.Client, url string, v any, out any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusConflict {
+		fe := &FencedError{}
+		json.Unmarshal(body, &fe.Status) //nolint:errcheck // best-effort detail
+		return fe
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// FencedError reports that a peer refused a shipment because it is no
+// longer a follower of this leader's epoch — the deposed-leader signal.
+type FencedError struct {
+	Status NodeStatus
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("repl: fenced by peer (role %s, epoch %d)", e.Status.Role, e.Status.Epoch)
+}
+
+// defaultHTTPClient bounds every replication exchange; full syncs can be
+// large, so the timeout is generous relative to the apply path.
+func defaultHTTPClient() *http.Client {
+	return &http.Client{Timeout: 30 * time.Second}
+}

@@ -1,0 +1,121 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/store"
+)
+
+// Replication state lives in dot-prefixed files directly under the data
+// dir. Tenant directories can never collide with them: tenant names are
+// forbidden a leading dot by both the serving layer and validTenant.
+const (
+	followerStateFile = ".repl-follower.json"
+	leaderEpochFile   = ".repl-epoch.json"
+)
+
+// ErrFenced reports a replication message from a stale epoch: the
+// deposed-leader (or already-promoted-follower) signal, surfaced over
+// HTTP as 409 Conflict.
+var ErrFenced = errors.New("repl: fenced: message from a stale epoch")
+
+// followerState is the follower's durable resume point. It is persisted
+// after a batch is applied, never before — so a crash between apply and
+// persist re-ships ops the store already holds, which the per-kind
+// idempotent apply skips.
+type followerState struct {
+	Epoch   uint64 `json:"epoch"`
+	Applied uint64 `json:"applied"`
+}
+
+func loadFollowerState(dataDir string) (followerState, error) {
+	var st followerState
+	b, err := os.ReadFile(filepath.Join(dataDir, followerStateFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return st, fmt.Errorf("repl: reading follower state: %w", err)
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return st, fmt.Errorf("repl: decoding follower state: %w", err)
+	}
+	return st, nil
+}
+
+func persistFollowerState(dataDir string, st followerState) error {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return store.AtomicWrite(filepath.Join(dataDir, followerStateFile), b)
+}
+
+// leaderEpochState records the highest epoch this node ever opened as a
+// leader.
+type leaderEpochState struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+func loadLeaderEpoch(dataDir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dataDir, leaderEpochFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("repl: reading leader epoch: %w", err)
+	}
+	var st leaderEpochState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return 0, fmt.Errorf("repl: decoding leader epoch: %w", err)
+	}
+	return st.Epoch, nil
+}
+
+func persistLeaderEpoch(dataDir string, epoch uint64) error {
+	b, err := json.Marshal(leaderEpochState{Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	return store.AtomicWrite(filepath.Join(dataDir, leaderEpochFile), b)
+}
+
+// NextLeaderEpoch mints the epoch for a leader boot: strictly greater
+// than every epoch this node ever opened as a leader AND every epoch it
+// ever followed, persisted before use. The "ever followed" half matters
+// when a node that served as a follower is restarted as a leader by an
+// operator — its epoch must still beat the feed it was consuming.
+//
+// With no data dir the epoch cannot be made durable; the constant 1 is
+// returned and replication must not be configured (cmd/fusiond enforces
+// this pairing).
+func NextLeaderEpoch(dataDir string) (uint64, error) {
+	if dataDir == "" {
+		return 1, nil
+	}
+	// First boot on a fresh data dir: the epoch file is written before any
+	// tenant directory exists.
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return 0, fmt.Errorf("repl: creating data dir: %w", err)
+	}
+	led, err := loadLeaderEpoch(dataDir)
+	if err != nil {
+		return 0, err
+	}
+	fol, err := loadFollowerState(dataDir)
+	if err != nil {
+		return 0, err
+	}
+	next := led + 1
+	if fol.Epoch >= next {
+		next = fol.Epoch + 1
+	}
+	if err := persistLeaderEpoch(dataDir, next); err != nil {
+		return 0, err
+	}
+	return next, nil
+}

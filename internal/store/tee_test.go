@@ -1,0 +1,143 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLogAppendSinceAndTrim(t *testing.T) {
+	l := NewLog(7, 4)
+	if l.Epoch() != 7 {
+		t.Fatalf("epoch = %d, want 7", l.Epoch())
+	}
+	for i := 0; i < 6; i++ {
+		seq := l.Append(Op{Kind: OpPut, ID: fmt.Sprintf("c%d", i)})
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, seq)
+		}
+	}
+	if l.Seq() != 6 {
+		t.Fatalf("Seq = %d, want 6", l.Seq())
+	}
+	// Retain 4: ops 3..6 are live, 1..2 trimmed.
+	if _, ok := l.Since(1, 0); ok {
+		t.Fatal("Since(1) should report the feed trimmed")
+	}
+	ops, ok := l.Since(2, 0)
+	if !ok || len(ops) != 4 || ops[0].Seq != 3 || ops[3].Seq != 6 {
+		t.Fatalf("Since(2) = %v ops (ok=%v), want seqs 3..6", len(ops), ok)
+	}
+	ops, ok = l.Since(4, 1)
+	if !ok || len(ops) != 1 || ops[0].Seq != 5 {
+		t.Fatalf("Since(4, max 1): got %d ops (ok=%v)", len(ops), ok)
+	}
+	if ops, ok := l.Since(6, 0); !ok || len(ops) != 0 {
+		t.Fatalf("Since(head) should be empty and ok, got %d ops ok=%v", len(ops), ok)
+	}
+}
+
+func TestLogSubscribeWakes(t *testing.T) {
+	l := NewLog(1, 0)
+	ch := l.Subscribe()
+	select {
+	case <-ch:
+		t.Fatal("wake before any append")
+	default:
+	}
+	l.Append(Op{Kind: OpPut, ID: "c1"})
+	l.Append(Op{Kind: OpPut, ID: "c2"}) // coalesces into the same pending wake
+	select {
+	case <-ch:
+	default:
+		t.Fatal("no wake after append")
+	}
+}
+
+func TestTeePublishesCommittedMutations(t *testing.T) {
+	log := NewLog(1, 0)
+	tee := NewTee("acme", NewMem(), log)
+
+	if err := tee.Put("c1", []byte(`{"f":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.AppendEvents("c1", [][]byte{[]byte(`"a"`), []byte(`"b"`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.AppendEvents("c1", [][]byte{[]byte(`"c"`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Snapshot("c1", []byte(`{"s":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.AppendEvents("c1", [][]byte{[]byte(`"d"`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Remove("c1"); err != nil {
+		t.Fatal(err)
+	}
+
+	ops, ok := log.Since(0, 0)
+	if !ok || len(ops) != 6 {
+		t.Fatalf("got %d ops, want 6", len(ops))
+	}
+	wantKinds := []OpKind{OpPut, OpAppend, OpAppend, OpSnapshot, OpAppend, OpRemove}
+	wantPrev := []int{0, 0, 2, 0, 0, 0}
+	for i, op := range ops {
+		if op.Tenant != "acme" || op.ID != "c1" {
+			t.Fatalf("op %d addressed %s/%s", i, op.Tenant, op.ID)
+		}
+		if op.Kind != wantKinds[i] {
+			t.Fatalf("op %d kind = %s, want %s", i, op.Kind, wantKinds[i])
+		}
+		if op.Kind == OpAppend && op.PrevWAL != wantPrev[i] {
+			t.Fatalf("op %d PrevWAL = %d, want %d", i, op.PrevWAL, wantPrev[i])
+		}
+	}
+}
+
+func TestTeeFailedInnerOpPublishesNothing(t *testing.T) {
+	log := NewLog(1, 0)
+	tee := NewTee("acme", NewMem(), log)
+	if err := tee.Put("c1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Put("c1", []byte(`{}`)); err == nil {
+		t.Fatal("duplicate Put should fail")
+	}
+	if got := log.Seq(); got != 1 {
+		t.Fatalf("failed Put published an op: seq = %d, want 1", got)
+	}
+}
+
+func TestTeeRejectsUntrackedAppend(t *testing.T) {
+	inner := NewMem()
+	if err := inner.Put("c9", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	tee := NewTee("acme", inner, NewLog(1, 0))
+	if err := tee.AppendEvents("c9", [][]byte{[]byte(`"x"`)}); err == nil {
+		t.Fatal("append without a tracked anchor must be refused")
+	}
+}
+
+func TestTeeLoadSeedsAnchors(t *testing.T) {
+	inner := NewMem()
+	if err := inner.Put("c3", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.AppendEvents("c3", [][]byte{[]byte(`"a"`), []byte(`"b"`)}); err != nil {
+		t.Fatal(err)
+	}
+	log := NewLog(1, 0)
+	tee := NewTee("acme", inner, log)
+	if _, err := tee.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.AppendEvents("c3", [][]byte{[]byte(`"c"`)}); err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := log.Since(0, 0)
+	if len(ops) != 1 || ops[0].PrevWAL != 2 {
+		t.Fatalf("post-Load append anchored at %d, want 2", ops[0].PrevWAL)
+	}
+}
