@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfsm"
 	"repro/internal/experiments"
+	"repro/internal/fcache"
 	"repro/internal/lattice"
 	"repro/internal/machines"
 	"repro/internal/partition"
@@ -380,6 +381,69 @@ func BenchmarkServerGenerate(b *testing.B) {
 	defer srv.Close()
 	h := srv.Handler()
 	body := []byte(`{"zoo":["0-Counter","1-Counter"],"f":1}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("POST", "/v1/generate", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkGenerateCacheHit measures a content-addressed cache hit on the
+// Table 1 Row 1 generation: digest the request, look it up, copy the
+// partition slice header. This is the per-request cost fusiond pays once
+// a fusion is warm — compare against BenchmarkTable1Row1 (the cold run it
+// replaces) for the caching win.
+func BenchmarkGenerateCacheHit(b *testing.B) {
+	suite := machines.PaperSuites()[0]
+	ms, err := machines.SuiteMachines(suite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := fusion.NewSystem(ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := fusion.NewEngine(fusion.EngineOptions{Dedicated: true, Cache: fcache.New(fcache.Options{})})
+	defer eng.Close()
+	if _, err := eng.Generate(sys, suite.F); err != nil { // warm the entry
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts, err := eng.Generate(sys, suite.F)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(parts) == 0 {
+			b.Fatal("empty fusion")
+		}
+	}
+}
+
+// BenchmarkServerGenerateCached is BenchmarkServerGenerate with the
+// fusion cache on and warm: the full HTTP round trip when Algorithm 2 is
+// skipped — decode, digest, lookup, encode. The delta against
+// BenchmarkServerGenerate isolates what caching buys the service path.
+func BenchmarkServerGenerateCached(b *testing.B) {
+	srv, err := server.New(server.Options{MaxInFlight: 4, QueueDepth: 16, FusionCache: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	body := []byte(`{"zoo":["0-Counter","1-Counter"],"f":1}`)
+	warm := httptest.NewRequest("POST", "/v1/generate", bytes.NewReader(body))
+	ww := httptest.NewRecorder()
+	h.ServeHTTP(ww, warm)
+	if ww.Code != 200 {
+		b.Fatalf("warm-up status %d: %s", ww.Code, ww.Body.String())
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

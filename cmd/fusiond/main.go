@@ -98,6 +98,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ack          = fs.String("ack", "leader", "write acknowledgement mode: \"leader\" (locally durable) or \"quorum\" (majority of the replication group)")
 		ackTimeout   = fs.Duration("ack-timeout", 2*time.Second, "per-request bound on the quorum-ack wait")
 		lagThreshold = fs.Uint64("lag-threshold", 0, "follower: feed lag (records) past which /readyz reports 503 (0 = default)")
+		fusionCache  = fs.Int("fusion-cache", 4096, "content-addressed fusion cache entries; repeats of a generate request are served without recomputation (0 = disable)")
+		prewarmZoo   = fs.Bool("prewarm-zoo", true, "pre-generate the built-in machine-zoo catalog into the fusion cache after boot")
 		promote      = fs.Bool("promote", false, "one-shot client: ask the follower at -addr to promote itself to leader, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +113,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *compactEvery > 0 && *dataDir == "" {
 		return fmt.Errorf("-compact-every does nothing without -data-dir")
+	}
+	if *fusionCache < 0 {
+		return fmt.Errorf("-fusion-cache must be >= 0 (0 disables the cache)")
 	}
 	var replicaList []string
 	if *replicas != "" {
@@ -170,6 +175,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		QuorumAck:    quorum,
 		AckTimeout:   *ackTimeout,
 		LagThreshold: *lagThreshold,
+		FusionCache:  *fusionCache,
+		PrewarmZoo:   *prewarmZoo && *fusionCache > 0,
 	})
 	if err != nil {
 		return err

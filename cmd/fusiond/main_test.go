@@ -160,7 +160,11 @@ func TestSIGTERMFloodAcceptance(t *testing.T) {
 	defer stop()
 	before := runtime.NumGoroutine()
 	var out syncBuffer
-	base, errc := startDaemon(t, ctx, &out, "-max-inflight", "2", "-queue-depth", "2", "-workers", "2")
+	// The fusion cache is off here on purpose: this test measures the raw
+	// admission path (blockers pinning slots, floods shedding 429), and the
+	// cache's singleflight would coalesce the identical requests instead of
+	// queueing them.
+	base, errc := startDaemon(t, ctx, &out, "-max-inflight", "2", "-queue-depth", "2", "-workers", "2", "-fusion-cache", "0")
 	genBody := `{"zoo":["MESI","TCP"],"f":2}`
 
 	// Occupy both in-flight slots with generations heavy enough (seconds)
@@ -384,6 +388,56 @@ func TestFlagAndListenErrors(t *testing.T) {
 	// Same for a compaction threshold without a data dir.
 	if err := run(context.Background(), []string{"-compact-every", "8"}, &out); err == nil {
 		t.Error("-compact-every without -data-dir accepted")
+	}
+	// A negative cache size is a mistake, not a disable request.
+	if err := run(context.Background(), []string{"-fusion-cache", "-1"}, &out); err == nil {
+		t.Error("-fusion-cache -1 accepted")
+	}
+}
+
+// TestFusionCacheAcrossRestart: the daemon default serves an exact repeat
+// of a generate request from the cache, and a -data-dir daemon still does
+// after a restart — without recomputing.
+func TestFusionCacheAcrossRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	args := []string{"-data-dir", dataDir, "-prewarm-zoo=false"}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var out1 syncBuffer
+	base, errc := startDaemon(t, ctx1, &out1, args...)
+	genBody := `{"zoo":["0-Counter","1-Counter"],"f":1}`
+	code, want := post(t, base+"/v1/generate", genBody)
+	if code != http.StatusOK {
+		t.Fatalf("cold generate: %d %s", code, want)
+	}
+	code, repeat := post(t, base+"/v1/generate", genBody)
+	if code != http.StatusOK || repeat != want {
+		t.Fatalf("warm generate: %d, body match=%v", code, repeat == want)
+	}
+	cancel1()
+	if err := <-errc; err != nil {
+		t.Fatalf("first daemon: %v\n%s", err, out1.String())
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var out2 syncBuffer
+	base2, errc2 := startDaemon(t, ctx2, &out2, args...)
+	resp, err := http.Post(base2+"/v1/generate", "application/json", strings.NewReader(genBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body) //nolint:errcheck // checked via compare
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != want {
+		t.Fatalf("post-restart generate: %d, body match=%v", resp.StatusCode, string(body) == want)
+	}
+	if got := resp.Header.Get("X-Fusion-Cache"); got != "hit" {
+		t.Fatalf("post-restart X-Fusion-Cache = %q, want hit (rehydrated from -data-dir)", got)
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("second daemon: %v\n%s", err, out2.String())
 	}
 }
 

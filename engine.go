@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fcache"
 	"repro/internal/sim"
 )
 
@@ -39,6 +40,17 @@ type EngineOptions struct {
 	// with ErrQueueTimeout. 0 means queued callers wait until their
 	// context is cancelled. Meaningless without MaxInFlight > 0.
 	QueueTimeout time.Duration
+
+	// Cache attaches a content-addressed fusion cache (internal/fcache):
+	// Generate calls whose options are cacheable (no NoCache, no ablation
+	// knobs) are keyed by core.RequestDigest and served from it, with
+	// concurrent identical requests coalescing onto one Algorithm 2 run.
+	// nil (the default, including for DefaultEngine) means every call
+	// computes — benchmarks and library users keep measuring the real
+	// generation path unless they opt in. The cache may be shared between
+	// engines; fusiond shares one across all tenants, since fusion output
+	// is a pure function of the input machines.
+	Cache *fcache.Cache
 }
 
 // Engine is the execution engine behind fusion generation and cluster
@@ -68,6 +80,7 @@ type Engine struct {
 	pool     *exec.Pool
 	ownsPool bool // false for the shared default pool, which Close must not stop
 	admit    *admission
+	cache    *fcache.Cache
 }
 
 var defaultEngine = &Engine{pool: exec.Default(), admit: newAdmission(0, 0, 0)}
@@ -96,6 +109,7 @@ func NewEngine(opts EngineOptions) *Engine {
 	e := &Engine{
 		pool:  exec.Default(),
 		admit: newAdmission(opts.MaxInFlight, opts.QueueDepth, opts.QueueTimeout),
+		cache: opts.Cache,
 	}
 	if opts.Workers > 0 {
 		e.pool = exec.New(opts.Workers)
@@ -150,10 +164,37 @@ func (e *Engine) Generate(sys *System, f int) ([]Partition, error) {
 }
 
 // GenerateWithOptions is Generate with explicit options. The engine
-// supplies the worker pool, overriding any opts.Pool.
+// supplies the worker pool, overriding any opts.Pool. With a cache
+// attached (EngineOptions.Cache) and cacheable options, the call is
+// served by content address — an exact repeat of (machines, f, options)
+// returns the cached partitions without running Algorithm 2, and
+// concurrent identical calls share one run.
 func (e *Engine) GenerateWithOptions(sys *System, f int, opts GenerateOptions) ([]Partition, error) {
 	opts.Pool = e.pool
-	return core.GenerateFusion(sys, f, opts)
+	if e.cache == nil || !opts.Cacheable() || f < 0 {
+		return core.GenerateFusion(sys, f, opts)
+	}
+	key := core.RequestDigest(sys.Machines, f, opts)
+	ent, _, err := e.cache.Do(key, func() (fcache.Entry, error) {
+		parts, err := core.GenerateFusion(sys, f, opts)
+		if err != nil {
+			return fcache.Entry{}, err
+		}
+		return fcache.Entry{Key: key, N: sys.N(), Parts: parts}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ent.N != sys.N() {
+		// Hash-collision paranoia: a cached entry must describe this
+		// system's ⊤ exactly; anything else computes cold rather than
+		// serve a foreign fusion.
+		return core.GenerateFusion(sys, f, opts)
+	}
+	// The cached Parts slice is shared with every other caller; hand out
+	// a private header so callers may append/reorder freely (the P values
+	// themselves are immutable).
+	return append([]Partition(nil), ent.Parts...), nil
 }
 
 // NewCluster builds a simulated deployment tolerating f crash faults,

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"repro/internal/dfsm"
+)
+
+// DigestScheme versions the request-digest layout. It is the first byte
+// of the hashed stream AND a field of every persisted cache entry, so
+// bumping it — for an algorithm change that alters generated fusions, or
+// a serialization change — cleanly invalidates every previously stored
+// digest instead of serving stale results under colliding keys.
+const DigestScheme = 1
+
+// Digest is the content address of one Generate request: a SHA-256 over
+// the canonical serialization of everything that determines the output of
+// Algorithm 2 — the machines' full transition tables (via
+// dfsm.TableDigest), the fault budget f, and the semantics-affecting
+// generation options. Requests with equal digests produce bit-identical
+// fusions; the fcache package keys on it, and cross-tenant sharing is
+// safe exactly because no tenant identity participates here.
+type Digest [32]byte
+
+// String returns the digest in lowercase hex (the persisted-entry key
+// form).
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// ParseDigest decodes the hex form; ok is false on malformed input.
+func ParseDigest(s string) (Digest, bool) {
+	var d Digest
+	if len(s) != 2*len(d) {
+		return Digest{}, false
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Digest{}, false
+	}
+	copy(d[:], b)
+	return d, true
+}
+
+// RequestDigest computes the content address of GenerateFusion(sys, f,
+// opts) for a system built from ms (machine order matters — it determines
+// block numbering in ⊤ and therefore the partitions' canonical form).
+//
+// Of the options only MaxMachines participates: it changes the outcome
+// (success vs. the too-many-machines error). Pool never affects results,
+// and the ablation knobs (Recompute, NoGuardedClosure, NoIncremental)
+// return bit-identical fusions by construction — but cacheable requests
+// must not carry them anyway (see Options.Cacheable), since serving an
+// ablation run from cache would defeat its purpose of measuring.
+func RequestDigest(ms []*dfsm.Machine, f int, opts GenerateOptions) Digest {
+	buf := make([]byte, 0, 24+32*len(ms))
+	buf = append(buf, DigestScheme)
+	buf = binary.AppendUvarint(buf, uint64(f))
+	buf = binary.AppendUvarint(buf, uint64(opts.MaxMachines))
+	buf = binary.AppendUvarint(buf, uint64(len(ms)))
+	for _, m := range ms {
+		d := m.TableDigest()
+		buf = append(buf, d[:]...)
+	}
+	return sha256.Sum256(buf)
+}
+
+// Cacheable reports whether a Generate call with these options may be
+// served from (and populate) the content-addressed fusion cache: no
+// explicit opt-out, and none of the ablation knobs that exist to measure
+// the generation path itself.
+func (o GenerateOptions) Cacheable() bool {
+	return !o.NoCache && !o.Recompute && !o.NoGuardedClosure && !o.NoIncremental
+}

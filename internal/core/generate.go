@@ -35,6 +35,12 @@ type GenerateOptions struct {
 	// Incremental and cold descents return bit-identical fusions (the
 	// equivalence suite pins this).
 	NoIncremental bool
+	// NoCache opts this call out of the content-addressed fusion cache.
+	// GenerateFusion itself ignores it — core always computes — but the
+	// cache-aware layers above (fusion.Engine, fusiond's generate route)
+	// honor it, and it deliberately does NOT participate in RequestDigest:
+	// a NoCache run produces the same bits as a cached one.
+	NoCache bool
 }
 
 // guardedClosureLimit bounds the weakest-edge count up to which the

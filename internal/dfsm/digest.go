@@ -1,0 +1,76 @@
+package dfsm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// TableDigest returns a SHA-256 digest of the machine's full definition —
+// name, state names, event names, initial state, and the transition table
+// — in the same canonical order the JSON codec uses (states and events in
+// index order, delta rows in (state, event) order). Two machines have
+// equal digests iff Machine.Equal holds, so the digest is a content
+// address for the machine; the fusion cache builds whole-request keys out
+// of these (see core.RequestDigest).
+//
+// Machines are immutable, so digests are memoized per instance; repeated
+// calls on the machines of a long-lived System cost two map operations,
+// not a rehash of the table.
+func (m *Machine) TableDigest() [32]byte {
+	tableMemo.RLock()
+	d, ok := tableMemo.m[m]
+	tableMemo.RUnlock()
+	if ok {
+		return d
+	}
+	d = m.tableDigest()
+	tableMemo.Lock()
+	if len(tableMemo.m) >= tableMemoCap {
+		// The memo is keyed by pointer, so dead machines would pin entries
+		// (and their keys) forever; dropping wholesale at the cap bounds
+		// the memory while keeping steady-state service workloads — a few
+		// dozen catalog machines — permanently warm.
+		tableMemo.m = make(map[*Machine][32]byte, tableMemoCap/4)
+	}
+	tableMemo.m[m] = d
+	tableMemo.Unlock()
+	return d
+}
+
+// tableMemoCap bounds the per-process digest memo; far above any zoo or
+// tenant catalog, far below what a machine-minting flood could abuse.
+const tableMemoCap = 4096
+
+var tableMemo = struct {
+	sync.RWMutex
+	m map[*Machine][32]byte
+}{m: make(map[*Machine][32]byte)}
+
+// tableDigest hashes the canonical serialization. Every variable-length
+// field is length-prefixed (uvarint) so distinct definitions can never
+// serialize to the same byte stream.
+func (m *Machine) tableDigest() [32]byte {
+	size := 8 + len(m.name) + len(m.states)*8 + len(m.events)*8 + len(m.states)*len(m.events)*2
+	buf := make([]byte, 0, size)
+	appendStr := func(s string) {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	appendStr(m.name)
+	buf = binary.AppendUvarint(buf, uint64(len(m.states)))
+	for _, s := range m.states {
+		appendStr(s)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.events)))
+	for _, e := range m.events {
+		appendStr(e)
+	}
+	buf = binary.AppendUvarint(buf, uint64(m.initial))
+	for _, row := range m.delta {
+		for _, t := range row {
+			buf = binary.AppendUvarint(buf, uint64(t))
+		}
+	}
+	return sha256.Sum256(buf)
+}

@@ -1,0 +1,176 @@
+package fcache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	fusion "repro"
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/fcache"
+	"repro/internal/machines"
+)
+
+// generateBoth runs the same request cold (no cache) and through a cached
+// engine, and returns both results.
+func generateBoth(t *testing.T, ms []*dfsm.Machine, f int) (cold, cached []fusion.Partition) {
+	t.Helper()
+	sys, err := fusion.NewSystem(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldEng := fusion.NewEngine(fusion.EngineOptions{Dedicated: true})
+	defer coldEng.Close()
+	cold, err = coldEng.Generate(sys, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmEng := fusion.NewEngine(fusion.EngineOptions{Dedicated: true, Cache: fcache.New(fcache.Options{})})
+	defer warmEng.Close()
+	if _, err := warmEng.Generate(sys, f); err != nil { // populate (miss)
+		t.Fatal(err)
+	}
+	cached, err = warmEng.Generate(sys, f) // serve (hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cold, cached
+}
+
+// samePartitions demands bit-identical results: same count, same canonical
+// block structure, same equality under the partition's own comparison.
+func samePartitions(t *testing.T, label string, cold, cached []fusion.Partition) {
+	t.Helper()
+	if len(cold) != len(cached) {
+		t.Fatalf("%s: %d cold vs %d cached partitions", label, len(cold), len(cached))
+	}
+	for i := range cold {
+		if !cold[i].Equal(cached[i]) {
+			t.Fatalf("%s: partition %d differs", label, i)
+		}
+		if !reflect.DeepEqual(cold[i].Blocks(), cached[i].Blocks()) {
+			t.Fatalf("%s: partition %d block form differs", label, i)
+		}
+	}
+}
+
+// TestCachedEquivalenceTable1: for every row of the paper's results table,
+// the cache serves exactly what the cold path computes.
+func TestCachedEquivalenceTable1(t *testing.T) {
+	for _, suite := range machines.PaperSuites() {
+		suite := suite
+		t.Run(suite.Name, func(t *testing.T) {
+			t.Parallel()
+			ms, err := machines.SuiteMachines(suite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, cached := generateBoth(t, ms, suite.F)
+			samePartitions(t, suite.Name, cold, cached)
+		})
+	}
+}
+
+// TestCachedEquivalenceRandom: same property over randomly generated
+// machine sets, where structural accidents (symmetric tables, unreachable
+// states) are more likely than in the curated zoo.
+func TestCachedEquivalenceRandom(t *testing.T) {
+	events := []string{"a", "b", "c"}
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			ms := []*dfsm.Machine{
+				dfsm.RandomMachine(rng, "r0", 3+rng.Intn(3), events),
+				dfsm.RandomMachine(rng, "r1", 3+rng.Intn(3), events),
+			}
+			cold, cached := generateBoth(t, ms, 1)
+			samePartitions(t, "random", cold, cached)
+		})
+	}
+}
+
+// TestCollisionParanoia: an entry whose payload does not describe this
+// system (wrong N under the right key — what a digest collision would
+// look like) is not served; the engine computes cold and still answers
+// correctly.
+func TestCollisionParanoia(t *testing.T) {
+	ms, err := machines.SuiteMachines(machines.PaperSuites()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := fusion.NewSystem(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := machines.PaperSuites()[0].F
+
+	cache := fcache.New(fcache.Options{})
+	key := core.RequestDigest(ms, f, core.GenerateOptions{})
+	// Poison the cache: right key, foreign payload (N of a different ⊤).
+	cache.Put(fcache.Entry{Key: key, N: sys.N() + 1})
+
+	eng := fusion.NewEngine(fusion.EngineOptions{Dedicated: true, Cache: cache})
+	defer eng.Close()
+	got, err := eng.Generate(sys, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldEng := fusion.NewEngine(fusion.EngineOptions{Dedicated: true})
+	defer coldEng.Close()
+	want, err := coldEng.Generate(sys, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePartitions(t, "post-poison", want, got)
+}
+
+// TestSingleflightFlood: N concurrent identical requests on a cached
+// engine run Algorithm 2 exactly once — the singleflight guarantee,
+// observed through the process-wide generation counter.
+func TestSingleflightFlood(t *testing.T) {
+	ms, err := machines.SuiteMachines(machines.PaperSuites()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := fusion.NewSystem(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := machines.PaperSuites()[0].F
+	eng := fusion.NewEngine(fusion.EngineOptions{Dedicated: true, Cache: fcache.New(fcache.Options{})})
+	defer eng.Close()
+
+	before := core.GenerationCounters().Runs
+	const flood = 16
+	var wg sync.WaitGroup
+	results := make([][]fusion.Partition, flood)
+	for i := 0; i < flood; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts, err := eng.Generate(sys, f)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = parts
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if delta := core.GenerationCounters().Runs - before; delta != 1 {
+		t.Fatalf("flood of %d identical requests ran Algorithm 2 %d times, want 1", flood, delta)
+	}
+	for i := 1; i < flood; i++ {
+		samePartitions(t, fmt.Sprintf("flood caller %d", i), results[0], results[i])
+	}
+}

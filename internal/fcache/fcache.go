@@ -1,0 +1,377 @@
+// Package fcache is the content-addressed fusion cache: fusion output is
+// a pure function of (machines, f, options), so Generate requests with
+// equal canonical digests (core.RequestDigest) can share one Algorithm 2
+// run — across callers, across tenants, and (through the store-backed
+// persistence) across process restarts.
+//
+// The cache is a bounded in-process LRU with singleflight admission:
+// concurrent requests for the same digest coalesce onto one computing
+// leader (only that leader should hold an engine admission slot — callers
+// acquire inside the compute callback, not around Do), entries keep their
+// partitions in interned form so coinciding fusions share backing
+// vectors, and eviction is size-bounded with hit/miss/evict/coalesce
+// counters surfaced in fusiond's /metrics.
+//
+// Persistence is best-effort and self-verifying: entries are journaled to
+// a Store (store.Dir's atomic-rename .fcache namespace, or store.Mem) and
+// re-verified on load — scheme byte, stored digest against the filename
+// key, and a payload checksum — so a torn, corrupt, or stale-scheme entry
+// degrades to one recomputation, never to a wrong answer.
+package fcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// Key is the content address of one Generate request.
+type Key = core.Digest
+
+// Entry is one cached fusion: the digest it answers, the number of
+// reachable ⊤-states its partitions divide, and the generated backup
+// partitions themselves. Entries are immutable once cached; Parts is
+// shared between the cache and every caller it is served to.
+type Entry struct {
+	Key   Key
+	N     int
+	Parts []partition.P
+}
+
+// Store persists entries across restarts. store.Dir and store.Mem
+// implement it structurally (this package's encode/decode owns the wire
+// format; the store only sees opaque key→blob pairs).
+type Store interface {
+	PutCache(key string, data []byte) error
+	RemoveCache(key string) error
+	LoadCache() (map[string][]byte, error)
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxEntries bounds the number of live entries; 0 means 4096.
+	MaxEntries int
+	// MaxBytes bounds the estimated partition-vector memory held; 0 means
+	// 64 MiB.
+	MaxBytes int64
+	// Store enables persistence: inserts journal through it (best-effort)
+	// and LoadStore rehydrates from it at boot. nil disables persistence.
+	Store Store
+}
+
+// Outcome says how Do satisfied a request.
+type Outcome int
+
+const (
+	// Hit: served from a live entry, no computation, no coalescing wait.
+	Hit Outcome = iota
+	// Miss: this call was the flight leader and ran the computation.
+	Miss
+	// Coalesced: an identical request was already computing; this call
+	// waited for its result instead of running its own.
+	Coalesced
+)
+
+// String returns the outcome for response headers ("hit", "miss",
+// "coalesced").
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	default:
+		return "coalesced"
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Coalesced int64
+	Entries   int
+	Bytes     int64
+}
+
+// Cache is the bounded singleflight LRU. Safe for concurrent use.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+	store      Store
+
+	mu      sync.Mutex
+	lru     *list.List // of *entryNode; front = most recently used
+	index   map[Key]*list.Element
+	flights map[Key]*flight
+
+	// interns deduplicates partition backing vectors across entries,
+	// per element count (partitions of different N must never be
+	// compared). internAdds counts insertions since the last rebuild so
+	// eviction churn cannot grow the intern sets without bound.
+	interns    map[int]*partition.Set
+	internAdds int
+	liveParts  int
+	bytes      int64
+
+	hits, misses, evictions, coalesced atomic.Int64
+}
+
+type entryNode struct {
+	ent  Entry
+	size int64
+}
+
+type flight struct {
+	done chan struct{}
+	ent  Entry
+	err  error
+}
+
+// New returns an empty cache.
+func New(opts Options) *Cache {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 4096
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 64 << 20
+	}
+	return &Cache{
+		maxEntries: opts.MaxEntries,
+		maxBytes:   opts.MaxBytes,
+		store:      opts.Store,
+		lru:        list.New(),
+		index:      make(map[Key]*list.Element),
+		flights:    make(map[Key]*flight),
+		interns:    make(map[int]*partition.Set),
+	}
+}
+
+// Get returns the live entry for key, counting a hit and refreshing its
+// recency. A false return counts nothing — misses are attributed by Do,
+// where the computation happens.
+func (c *Cache) Get(key Key) (Entry, bool) {
+	c.mu.Lock()
+	el, ok := c.index[key]
+	if !ok {
+		c.mu.Unlock()
+		return Entry{}, false
+	}
+	c.lru.MoveToFront(el)
+	ent := el.Value.(*entryNode).ent
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return ent, true
+}
+
+// Do returns the entry for key, computing it at most once across
+// concurrent callers: a live entry is a Hit; an in-flight computation is
+// joined (Coalesced) — the caller blocks until the leader finishes and
+// shares its result or error; otherwise this caller becomes the leader
+// (Miss), runs compute, and inserts the result. Errors are delivered to
+// every waiter of the flight but never cached: the next request retries.
+//
+// compute runs outside the cache lock. Callers that meter work (engine
+// admission) must acquire inside compute, so coalesced waiters never hold
+// admission slots — N identical requests cost one slot, not N.
+func (c *Cache) Do(key Key, compute func() (Entry, error)) (Entry, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		ent := el.Value.(*entryNode).ent
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return ent, Hit, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-fl.done
+		if fl.err != nil {
+			return Entry{}, Coalesced, fl.err
+		}
+		return fl.ent, Coalesced, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	ent, err := compute()
+	if err == nil {
+		ent.Key = key
+		ent = c.Put(ent)
+	}
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	fl.ent, fl.err = ent, err
+	close(fl.done)
+	if err != nil {
+		return Entry{}, Miss, err
+	}
+	return ent, Miss, nil
+}
+
+// Put inserts (or refreshes) an entry, interning its partitions, evicting
+// from the cold end past the bounds, and journaling it to the store. It
+// returns the interned form actually cached.
+func (c *Cache) Put(ent Entry) Entry {
+	ent, evicted := c.put(ent, true)
+	c.afterInsert(ent, evicted, true)
+	return ent
+}
+
+// putLoaded is Put for store rehydration: no re-journaling (the entry
+// just came from disk), evictions still propagate.
+func (c *Cache) putLoaded(ent Entry) {
+	ent, evicted := c.put(ent, false)
+	c.afterInsert(ent, evicted, false)
+}
+
+// put does the locked portion of an insert and returns the keys evicted
+// to make room; store I/O happens after the lock is released.
+func (c *Cache) put(ent Entry, countEvictions bool) (Entry, []Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[ent.Key]; ok {
+		// Raced or reloaded duplicate: keep the incumbent (identical by
+		// content addressing), just refresh recency.
+		c.lru.MoveToFront(el)
+		return el.Value.(*entryNode).ent, nil
+	}
+	for i, p := range ent.Parts {
+		ent.Parts[i] = c.intern(p)
+	}
+	node := &entryNode{ent: ent, size: entrySize(ent)}
+	c.index[ent.Key] = c.lru.PushFront(node)
+	c.bytes += node.size
+	c.liveParts += len(ent.Parts)
+
+	var evicted []Key
+	for c.lru.Len() > c.maxEntries || (c.bytes > c.maxBytes && c.lru.Len() > 1) {
+		back := c.lru.Back()
+		old := back.Value.(*entryNode)
+		c.lru.Remove(back)
+		delete(c.index, old.ent.Key)
+		c.bytes -= old.size
+		c.liveParts -= len(old.ent.Parts)
+		evicted = append(evicted, old.ent.Key)
+		if countEvictions {
+			c.evictions.Add(1)
+		}
+	}
+	c.maybeRebuildInterns()
+	return ent, evicted
+}
+
+// afterInsert does the store side of an insert outside the cache lock:
+// journaling is best-effort (an unwritable entry only costs its
+// post-restart recomputation), as is dropping evicted entries.
+func (c *Cache) afterInsert(ent Entry, evicted []Key, persist bool) {
+	if c.store == nil {
+		return
+	}
+	for _, k := range evicted {
+		c.store.RemoveCache(k.String()) //nolint:errcheck // best-effort
+	}
+	if persist {
+		c.store.PutCache(ent.Key.String(), encodeEntry(ent)) //nolint:errcheck // best-effort
+	}
+}
+
+// intern canonicalizes one partition against the per-N intern set; the
+// caller holds c.mu.
+func (c *Cache) intern(p P) P {
+	set, ok := c.interns[p.N()]
+	if !ok {
+		set = partition.NewSet(16)
+		c.interns[p.N()] = set
+	}
+	before := set.Len()
+	q := set.Intern(p)
+	if set.Len() != before {
+		c.internAdds++
+	}
+	return q
+}
+
+// P aliases partition.P for the intern plumbing.
+type P = partition.P
+
+// maybeRebuildInterns drops and re-interns when eviction churn has left
+// the intern sets holding far more partitions than live entries reference
+// — otherwise a long-lived cache under rotating workloads would pin every
+// partition it ever saw. Caller holds c.mu.
+func (c *Cache) maybeRebuildInterns() {
+	if c.internAdds <= 2*c.liveParts+1024 {
+		return
+	}
+	c.interns = make(map[int]*partition.Set)
+	c.internAdds = 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		node := el.Value.(*entryNode)
+		for i, p := range node.ent.Parts {
+			node.ent.Parts[i] = c.intern(p)
+		}
+	}
+}
+
+// entrySize estimates an entry's retained memory: one int per ⊤-state per
+// partition vector plus fixed bookkeeping. Interning makes this an upper
+// bound — shared vectors are charged to every entry using them, which
+// errs on the safe side for the MaxBytes bound.
+func entrySize(ent Entry) int64 {
+	return int64(len(ent.Parts))*int64(ent.N)*8 + 128
+}
+
+// LoadStore rehydrates the cache from its store: every persisted entry
+// that decodes and verifies (scheme, digest-vs-key, checksum, partition
+// validity) is inserted; everything else is skipped — a torn or corrupt
+// entry costs one recomputation, never an error. Returns the number of
+// entries restored. Call once at boot, before serving.
+func (c *Cache) LoadStore() (int, error) {
+	if c.store == nil {
+		return 0, nil
+	}
+	m, err := c.store.LoadCache()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for key, data := range m {
+		ent, ok := decodeEntry(key, data)
+		if !ok {
+			continue
+		}
+		c.putLoaded(ent)
+		n++
+	}
+	return n, nil
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries, bytes := c.lru.Len(), c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Coalesced: c.coalesced.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

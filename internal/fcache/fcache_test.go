@@ -1,0 +1,305 @@
+package fcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/store"
+)
+
+// ent builds a small valid entry whose key is derived from id.
+func ent(t *testing.T, id byte, n int) Entry {
+	t.Helper()
+	var key Key
+	key[0] = id
+	blocks := make([][]int, n)
+	for i := range blocks {
+		blocks[i] = []int{i}
+	}
+	p, err := partition.FromBlocks(n, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Entry{Key: key, N: n, Parts: []partition.P{p}}
+}
+
+func TestDoOutcomes(t *testing.T) {
+	c := New(Options{})
+	e := ent(t, 1, 4)
+	computes := 0
+	compute := func() (Entry, error) { computes++; return e, nil }
+
+	got, out, err := c.Do(e.Key, compute)
+	if err != nil || out != Miss || got.N != 4 {
+		t.Fatalf("first Do = %v outcome=%v err=%v, want Miss", got, out, err)
+	}
+	got, out, err = c.Do(e.Key, compute)
+	if err != nil || out != Hit {
+		t.Fatalf("second Do outcome=%v err=%v, want Hit", out, err)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	if got.N != 4 || len(got.Parts) != 1 {
+		t.Fatalf("hit returned %+v", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if Hit.String() != "hit" || Miss.String() != "miss" || Coalesced.String() != "coalesced" {
+		t.Fatal("Outcome strings drifted from the X-Fusion-Cache vocabulary")
+	}
+}
+
+// TestDoCoalesce: concurrent identical requests share one computation —
+// the definitional singleflight property.
+func TestDoCoalesce(t *testing.T) {
+	c := New(Options{})
+	e := ent(t, 2, 4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var computes int
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(e.Key, func() (Entry, error) { //nolint:errcheck // outcomes checked via stats
+			computes++
+			close(entered)
+			<-release
+			return e, nil
+		})
+	}()
+	<-entered
+
+	const waiters = 8
+	outcomes := make(chan Outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, out, err := c.Do(e.Key, func() (Entry, error) {
+				t.Error("waiter ran compute")
+				return e, nil
+			})
+			if err != nil {
+				t.Errorf("waiter: %v", err)
+			}
+			outcomes <- out
+		}()
+	}
+	// Waiters must be parked on the flight before the leader finishes;
+	// poll the coalesced counter (incremented before the wait).
+	for c.Stats().Coalesced < waiters && !t.Failed() {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	close(outcomes)
+	for out := range outcomes {
+		if out != Coalesced {
+			t.Fatalf("waiter outcome = %v, want Coalesced", out)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != waiters {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDoErrorNotCached: a failed computation reaches its waiters but
+// leaves no entry — the next request retries from scratch.
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(Options{})
+	e := ent(t, 3, 4)
+	boom := errors.New("boom")
+	if _, out, err := c.Do(e.Key, func() (Entry, error) { return Entry{}, boom }); out != Miss || !errors.Is(err, boom) {
+		t.Fatalf("failed Do: outcome=%v err=%v", out, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error was cached")
+	}
+	if _, out, err := c.Do(e.Key, func() (Entry, error) { return e, nil }); out != Miss || err != nil {
+		t.Fatalf("retry after error: outcome=%v err=%v", out, err)
+	}
+	if _, ok := c.Get(e.Key); !ok {
+		t.Fatal("successful retry not cached")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Options{MaxEntries: 2})
+	a, b, d := ent(t, 10, 4), ent(t, 11, 4), ent(t, 12, 4)
+	c.Put(a)
+	c.Put(b)
+	c.Get(a.Key) // refresh a; b is now coldest
+	c.Put(d)
+	if _, ok := c.Get(b.Key); ok {
+		t.Fatal("coldest entry survived eviction")
+	}
+	if _, ok := c.Get(a.Key); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.Get(d.Key); !ok {
+		t.Fatal("new entry missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMaxBytesEviction(t *testing.T) {
+	// Each entry charges N*8 + 128 bytes; cap so only two fit.
+	c := New(Options{MaxEntries: 100, MaxBytes: 2 * (4*8 + 128)})
+	for i := byte(0); i < 4; i++ {
+		c.Put(ent(t, i+20, 4))
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 2 live / 2 evicted", st)
+	}
+	if st.Bytes > c.maxBytes {
+		t.Fatalf("bytes %d over bound %d", st.Bytes, c.maxBytes)
+	}
+}
+
+// TestPersistMemRoundTrip: entries journal through the store and a fresh
+// cache rehydrates them — with eviction dropping the store copy too.
+func TestPersistMemRoundTrip(t *testing.T) {
+	st := store.NewMem()
+	c := New(Options{MaxEntries: 2, Store: st})
+	a, b, d := ent(t, 30, 4), ent(t, 31, 4), ent(t, 32, 4)
+	c.Put(a)
+	c.Put(b)
+	c.Put(d) // evicts a
+
+	c2 := New(Options{Store: st})
+	n, err := c2.LoadStore()
+	if err != nil || n != 2 {
+		t.Fatalf("LoadStore = %d, %v; want 2 entries", n, err)
+	}
+	if _, ok := c2.Get(a.Key); ok {
+		t.Fatal("evicted entry resurrected from store")
+	}
+	for _, e := range []Entry{b, d} {
+		got, ok := c2.Get(e.Key)
+		if !ok {
+			t.Fatalf("entry %v missing after reload", e.Key)
+		}
+		if got.N != e.N || len(got.Parts) != len(e.Parts) || !got.Parts[0].Equal(e.Parts[0]) {
+			t.Fatalf("reloaded entry differs: %+v vs %+v", got, e)
+		}
+	}
+	// Rehydration is not a workload: no hits/misses were counted for it.
+	if s := c2.Stats(); s.Misses != 0 || s.Evictions != 0 {
+		t.Fatalf("reload counted workload stats: %+v", s)
+	}
+}
+
+// TestPersistDirVerification: the Dir backend survives a reopen, and the
+// loader refuses corrupt bytes, torn files, and entries filed under the
+// wrong key — each skipped, never fatal.
+func TestPersistDirVerification(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{Store: st})
+	good, victim, mislabeled := ent(t, 40, 4), ent(t, 41, 4), ent(t, 42, 4)
+	c.Put(good)
+	c.Put(victim)
+	c.Put(mislabeled)
+	st.Close()
+
+	cdir := filepath.Join(dir, ".fcache")
+	// Corrupt one entry's bytes and file another under a foreign digest.
+	if err := os.WriteFile(filepath.Join(cdir, victim.Key.String()+".json"), []byte(`{"scheme":1,"n":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var foreign Key
+	foreign[0] = 99
+	if err := os.Rename(
+		filepath.Join(cdir, mislabeled.Key.String()+".json"),
+		filepath.Join(cdir, foreign.String()+".json"),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c2 := New(Options{Store: st2})
+	n, err := c2.LoadStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("LoadStore restored %d entries, want only the intact one", n)
+	}
+	if _, ok := c2.Get(good.Key); !ok {
+		t.Fatal("intact entry lost")
+	}
+	for _, k := range []Key{victim.Key, mislabeled.Key, foreign} {
+		if _, ok := c2.Get(k); ok {
+			t.Fatalf("unverifiable entry %v served", k)
+		}
+	}
+}
+
+// TestDecodeEntryRejectsScheme: a scheme bump must invalidate old files.
+func TestDecodeEntryRejectsScheme(t *testing.T) {
+	e := ent(t, 50, 4)
+	data := encodeEntry(e)
+	if _, ok := decodeEntry(e.Key.String(), data); !ok {
+		t.Fatal("round trip failed")
+	}
+	if _, ok := decodeEntry(e.Key.String(), []byte(`{"scheme":0}`)); ok {
+		t.Fatal("foreign scheme accepted")
+	}
+	// Filed under a different key than its digest claims.
+	var other Key
+	other[0] = 51
+	if _, ok := decodeEntry(other.String(), data); ok {
+		t.Fatal("digest/key mismatch accepted")
+	}
+}
+
+// TestPrewarmZoo: the catalog walk warms every set once, repeats are
+// hits, and stop aborts between sets.
+func TestPrewarmZoo(t *testing.T) {
+	c := New(Options{})
+	sets := len(PrewarmSets())
+	if warmed := c.PrewarmZoo(nil, nil); warmed != sets {
+		t.Fatalf("warmed %d of %d sets", warmed, sets)
+	}
+	st := c.Stats()
+	if st.Entries != sets || int(st.Misses) != sets {
+		t.Fatalf("after prewarm: %+v, want %d entries/misses", st, sets)
+	}
+	// A second walk finds everything live.
+	if warmed := c.PrewarmZoo(nil, nil); warmed != sets {
+		t.Fatalf("rewarm warmed %d", warmed)
+	}
+	st = c.Stats()
+	if int(st.Misses) != sets || int(st.Hits) != sets {
+		t.Fatalf("rewarm recomputed: %+v", st)
+	}
+	// stop is honored before any work.
+	c2 := New(Options{})
+	if warmed := c2.PrewarmZoo(nil, func() bool { return true }); warmed != 0 {
+		t.Fatalf("stopped prewarm warmed %d sets", warmed)
+	}
+}

@@ -1,0 +1,114 @@
+package fcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// wireEntry is the persisted form of one cache entry. Blocks is the
+// canonical block representation of each partition (the same shape the
+// HTTP API exposes), so stored entries are debuggable with jq and the
+// decode path revalidates them through partition.FromBlocks. Sum is a
+// SHA-256 over the canonical payload serialization: together with the
+// digest-vs-filename check it makes loading self-verifying — bit rot,
+// manual tampering, or a foreign file under the right name all fail
+// closed into a recomputation.
+type wireEntry struct {
+	Scheme int       `json:"scheme"`
+	Digest string    `json:"digest"`
+	N      int       `json:"n"`
+	Blocks [][][]int `json:"blocks"`
+	Sum    string    `json:"sum"`
+}
+
+// encodeEntry serializes an entry for the store.
+func encodeEntry(ent Entry) []byte {
+	w := wireEntry{
+		Scheme: core.DigestScheme,
+		Digest: ent.Key.String(),
+		N:      ent.N,
+		Blocks: make([][][]int, len(ent.Parts)),
+	}
+	for i, p := range ent.Parts {
+		w.Blocks[i] = p.Blocks()
+	}
+	w.Sum = hex.EncodeToString(payloadSum(ent.Key, ent.N, w.Blocks))
+	data, err := json.Marshal(w)
+	if err != nil {
+		// Plain ints and slices cannot fail to marshal; keep the
+		// signature clean for callers.
+		panic("fcache: encoding cache entry: " + err.Error())
+	}
+	return data
+}
+
+// decodeEntry parses and verifies one stored entry against the store key
+// it was found under. ok is false — never an error, the cache just
+// recomputes — when the entry is torn, corrupt, checksum-mismatched,
+// filed under a different digest than it claims, or written by a
+// different digest scheme.
+func decodeEntry(key string, data []byte) (Entry, bool) {
+	var w wireEntry
+	if json.Unmarshal(data, &w) != nil {
+		return Entry{}, false
+	}
+	if w.Scheme != core.DigestScheme || w.Digest != key || w.N <= 0 {
+		return Entry{}, false
+	}
+	d, ok := core.ParseDigest(w.Digest)
+	if !ok {
+		return Entry{}, false
+	}
+	sum, err := hex.DecodeString(w.Sum)
+	if err != nil {
+		return Entry{}, false
+	}
+	want := payloadSum(d, w.N, w.Blocks)
+	if len(sum) != len(want) {
+		return Entry{}, false
+	}
+	for i := range want {
+		if sum[i] != want[i] {
+			return Entry{}, false
+		}
+	}
+	ent := Entry{Key: d, N: w.N, Parts: make([]partition.P, len(w.Blocks))}
+	for i, blocks := range w.Blocks {
+		p, err := partition.FromBlocks(w.N, blocks)
+		if err != nil {
+			return Entry{}, false
+		}
+		ent.Parts[i] = p
+	}
+	return ent, true
+}
+
+// payloadSum hashes the canonical serialization of an entry's semantic
+// content: scheme, digest, n, and every block of every partition with
+// length framing.
+func payloadSum(key Key, n int, blocks [][][]int) []byte {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(v int) {
+		h.Write(buf[:binary.PutUvarint(buf[:], uint64(v))])
+	}
+	writeInt(core.DigestScheme)
+	h.Write(key[:])
+	writeInt(n)
+	writeInt(len(blocks))
+	for _, part := range blocks {
+		writeInt(len(part))
+		for _, blk := range part {
+			writeInt(len(blk))
+			for _, x := range blk {
+				writeInt(x)
+			}
+		}
+	}
+	return h.Sum(nil)
+}

@@ -1,0 +1,75 @@
+package fcache
+
+import (
+	"repro/internal/core"
+	"repro/internal/dfsm"
+	"repro/internal/exec"
+	"repro/internal/machines"
+)
+
+// PrewarmSets returns the catalog walk of the zoo pre-warmer: every
+// built-in machine alone, plus the paper's canonical combinations (the
+// Fig. 1 counters, the Fig. 2 A/B pair, and the MESI+TCP protocol pair),
+// all at f=1 — the requests a first-time user of the catalog endpoints
+// actually sends. Ordered cheap-to-expensive so a daemon that starts
+// taking traffic immediately still warms the bulk of the catalog early.
+func PrewarmSets() [][]string {
+	names := machines.Names()
+	sets := make([][]string, 0, len(names)+3)
+	for _, n := range names {
+		sets = append(sets, []string{n})
+	}
+	sets = append(sets,
+		[]string{"0-Counter", "1-Counter"},
+		[]string{"A", "B"},
+		[]string{"MESI", "TCP"},
+	)
+	return sets
+}
+
+// PrewarmZoo walks PrewarmSets through the cache on the given pool (nil =
+// the shared default pool), so first-hit latency for the catalog
+// disappears after boot. Each generation goes through Do: it coalesces
+// with identical live traffic, populates the store, and is skipped
+// entirely when a restart already rehydrated the entry. stop is polled
+// between sets (nil = never stop); unbuildable sets are skipped. Returns
+// the number of sets now warm.
+func (c *Cache) PrewarmZoo(pool *exec.Pool, stop func() bool) int {
+	warmed := 0
+	for _, set := range PrewarmSets() {
+		if stop != nil && stop() {
+			return warmed
+		}
+		ms := make([]*dfsm.Machine, 0, len(set))
+		ok := true
+		for _, name := range set {
+			m, err := machines.Get(name)
+			if err != nil {
+				ok = false
+				break
+			}
+			ms = append(ms, m)
+		}
+		if !ok {
+			continue
+		}
+		const f = 1
+		opts := core.GenerateOptions{Pool: pool}
+		key := core.RequestDigest(ms, f, opts)
+		_, _, err := c.Do(key, func() (Entry, error) {
+			sys, err := core.NewSystem(ms)
+			if err != nil {
+				return Entry{}, err
+			}
+			parts, err := core.GenerateFusion(sys, f, opts)
+			if err != nil {
+				return Entry{}, err
+			}
+			return Entry{Key: key, N: sys.N(), Parts: parts}, nil
+		})
+		if err == nil {
+			warmed++
+		}
+	}
+	return warmed
+}

@@ -20,6 +20,12 @@ type GenerateRequest struct {
 	MachineSetRequest
 	// F is the crash-fault budget the fusion must tolerate.
 	F int `json:"f"`
+	// NoCache bypasses the content-addressed fusion cache for this request:
+	// the fusion is computed even when a cached result exists, and the
+	// result is not inserted. The X-Fusion-Cache response header reports
+	// "bypass". Output is bit-identical either way — this is a measurement
+	// and debugging knob, not a consistency one.
+	NoCache bool `json:"noCache,omitempty"`
 }
 
 // BackupResponse describes one generated backup machine as the closed
@@ -128,6 +134,15 @@ type TenantHealth struct {
 	InFlight int `json:"inFlight"`
 	Queued   int `json:"queued"`
 	Clusters int `json:"clusters"`
+	// FusionCacheHits counts this tenant's generate requests served from
+	// the shared fusion cache (hit or coalesced) without running
+	// Algorithm 2; FusionCacheMisses counts the ones that computed,
+	// including explicit noCache bypasses. FusionCacheHitRate is
+	// hits/(hits+misses). All omitted while the daemon runs without a
+	// fusion cache.
+	FusionCacheHits    int64    `json:"fusionCacheHits,omitempty"`
+	FusionCacheMisses  int64    `json:"fusionCacheMisses,omitempty"`
+	FusionCacheHitRate *float64 `json:"fusionCacheHitRate,omitempty"`
 	// ClusterMetrics maps cluster id to its simulation counters; absent
 	// when the tenant has no clusters.
 	ClusterMetrics map[string]ClusterMetrics `json:"clusterMetrics,omitempty"`

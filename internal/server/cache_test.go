@@ -1,0 +1,198 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const cacheGenBody = `{"zoo":["0-Counter","1-Counter"],"f":1}`
+
+// TestGenerateCacheFlow: miss → hit → cross-tenant hit → explicit bypass,
+// with the X-Fusion-Cache header, /healthz hit rates, and the /metrics
+// series all telling the same story.
+func TestGenerateCacheFlow(t *testing.T) {
+	s := mustNew(t, Options{FusionCache: 64})
+	defer s.Close() //nolint:errcheck // in-memory
+
+	var first GenerateResponse
+	w := do(t, s, "POST", "/v1/generate", "alpha", cacheGenBody, &first)
+	if w.Code != http.StatusOK {
+		t.Fatalf("cold generate: %d %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(headerCache); got != "miss" {
+		t.Fatalf("cold generate %s = %q, want miss", headerCache, got)
+	}
+	firstBody := w.Body.String()
+
+	w = do(t, s, "POST", "/v1/generate", "alpha", cacheGenBody, nil)
+	if got := w.Header().Get(headerCache); got != "hit" {
+		t.Fatalf("repeat generate %s = %q, want hit", headerCache, got)
+	}
+	if w.Body.String() != firstBody {
+		t.Fatalf("cached response differs from computed:\ncold: %s\nwarm: %s", firstBody, w.Body)
+	}
+
+	// The cache is content-addressed, not tenant-scoped: another tenant's
+	// identical request is a hit too.
+	w = do(t, s, "POST", "/v1/generate", "beta", cacheGenBody, nil)
+	if got := w.Header().Get(headerCache); got != "hit" {
+		t.Fatalf("cross-tenant generate %s = %q, want hit", headerCache, got)
+	}
+	if w.Body.String() != firstBody {
+		t.Fatal("cross-tenant cached response differs")
+	}
+
+	// noCache forces a fresh computation — same bytes, marked bypass.
+	w = do(t, s, "POST", "/v1/generate", "alpha", `{"zoo":["0-Counter","1-Counter"],"f":1,"noCache":true}`, nil)
+	if got := w.Header().Get(headerCache); got != "bypass" {
+		t.Fatalf("noCache generate %s = %q, want bypass", headerCache, got)
+	}
+	if w.Body.String() != firstBody {
+		t.Fatal("bypass response differs from cached")
+	}
+
+	var h HealthResponse
+	do(t, s, "GET", "/healthz", "", "", &h)
+	alpha, beta := h.Tenants["alpha"], h.Tenants["beta"]
+	if alpha.FusionCacheHits != 1 || alpha.FusionCacheMisses != 2 {
+		t.Fatalf("alpha cache counters = %d hits / %d misses, want 1/2", alpha.FusionCacheHits, alpha.FusionCacheMisses)
+	}
+	if alpha.FusionCacheHitRate == nil || *alpha.FusionCacheHitRate != 1.0/3 {
+		t.Fatalf("alpha hit rate = %v, want 1/3", alpha.FusionCacheHitRate)
+	}
+	if beta.FusionCacheHits != 1 || beta.FusionCacheMisses != 0 {
+		t.Fatalf("beta cache counters = %d hits / %d misses, want 1/0", beta.FusionCacheHits, beta.FusionCacheMisses)
+	}
+	if beta.FusionCacheHitRate == nil || *beta.FusionCacheHitRate != 1 {
+		t.Fatalf("beta hit rate = %v, want 1", beta.FusionCacheHitRate)
+	}
+
+	m := do(t, s, "GET", "/metrics", "", "", nil).Body.String()
+	for _, want := range []string{
+		"fusiond_fcache_hits 2",
+		"fusiond_fcache_misses 1",
+		"fusiond_fcache_evictions 0",
+		"fusiond_fcache_coalesced 0",
+		"fusiond_fcache_entries 1",
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, m)
+		}
+	}
+	if !strings.Contains(m, "fusiond_fcache_bytes ") {
+		t.Fatal("/metrics missing fusiond_fcache_bytes")
+	}
+}
+
+// TestGenerateCacheDisabled: the zero-value daemon keeps the historical
+// behavior — every request computes, the header says bypass, no fcache
+// series appear, and /healthz carries no cache fields.
+func TestGenerateCacheDisabled(t *testing.T) {
+	s := mustNew(t, Options{})
+	defer s.Close() //nolint:errcheck // in-memory
+
+	for i := 0; i < 2; i++ {
+		w := do(t, s, "POST", "/v1/generate", "", cacheGenBody, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("generate: %d %s", w.Code, w.Body)
+		}
+		if got := w.Header().Get(headerCache); got != "bypass" {
+			t.Fatalf("%s = %q on uncached daemon, want bypass", headerCache, got)
+		}
+	}
+	if m := do(t, s, "GET", "/metrics", "", "", nil).Body.String(); strings.Contains(m, "fusiond_fcache_") {
+		t.Fatal("uncached daemon emits fcache series")
+	}
+	var h HealthResponse
+	do(t, s, "GET", "/healthz", "", "", &h)
+	if th := h.Tenants["default"]; th.FusionCacheHitRate != nil {
+		t.Fatalf("uncached daemon reports a hit rate: %v", *th.FusionCacheHitRate)
+	}
+}
+
+// TestGenerateCachePersistence: a durable daemon's cache survives an
+// unclean restart — the warm entry is served without re-running
+// Algorithm 2, and the miss counter stays untouched.
+func TestGenerateCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, Options{FusionCache: 64, DataDir: dir})
+	if w := do(t, s, "POST", "/v1/generate", "", cacheGenBody, nil); w.Code != http.StatusOK {
+		t.Fatalf("generate: %d %s", w.Code, w.Body)
+	}
+	firstBody := do(t, s, "POST", "/v1/generate", "", cacheGenBody, nil).Body.String()
+	s.Close() //nolint:errcheck // durable state under dir
+
+	s2 := mustNew(t, Options{FusionCache: 64, DataDir: dir})
+	defer s2.Close() //nolint:errcheck // durable state under dir
+	before := core.GenerationCounters().Runs
+	w := do(t, s2, "POST", "/v1/generate", "", cacheGenBody, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-restart generate: %d %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(headerCache); got != "hit" {
+		t.Fatalf("post-restart %s = %q, want hit (rehydrated entry)", headerCache, got)
+	}
+	if w.Body.String() != firstBody {
+		t.Fatal("rehydrated response differs from the pre-restart one")
+	}
+	if delta := core.GenerationCounters().Runs - before; delta != 0 {
+		t.Fatalf("post-restart warm hit ran Algorithm 2 %d times", delta)
+	}
+	if st := s2.fcache.Stats(); st.Misses != 0 {
+		t.Fatalf("post-restart miss counter = %d, want 0", st.Misses)
+	}
+}
+
+// TestServerGenerateSingleflight: a flood of identical HTTP requests runs
+// Algorithm 2 exactly once — and only the flight leader holds an
+// admission slot, so a MaxInFlight-1 daemon still answers all of them.
+func TestServerGenerateSingleflight(t *testing.T) {
+	s := mustNew(t, Options{FusionCache: 64, MaxInFlight: 1, QueueDepth: 1})
+	defer s.Close() //nolint:errcheck // in-memory
+
+	// Use a request no other test (or the prewarmer) shares, so the runs
+	// delta below is attributable to this flood alone.
+	const body = `{"zoo":["MESI","ShiftRegister","0-Counter"],"f":2}`
+	before := core.GenerationCounters().Runs
+	const flood = 12
+	bodies := make([]string, flood)
+	outcomes := make([]string, flood)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := do(t, s, "POST", "/v1/generate", "", body, nil)
+			if w.Code != http.StatusOK {
+				t.Errorf("flood request %d: %d %s", i, w.Code, w.Body)
+				return
+			}
+			bodies[i] = w.Body.String()
+			outcomes[i] = w.Header().Get(headerCache)
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if delta := core.GenerationCounters().Runs - before; delta != 1 {
+		t.Fatalf("flood of %d identical requests ran Algorithm 2 %d times, want 1", flood, delta)
+	}
+	misses := 0
+	for i := 0; i < flood; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("request %d body differs", i)
+		}
+		if outcomes[i] == "miss" {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d flight leaders, want exactly 1 (rest hit/coalesced)", misses)
+	}
+}

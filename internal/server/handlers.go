@@ -4,13 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	fusion "repro"
+	"repro/internal/core"
 	"repro/internal/dfsm"
+	"repro/internal/fcache"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// headerCache reports how a generate request was satisfied: "hit",
+// "miss", "coalesced", or "bypass" (cache disabled or noCache set).
+const headerCache = "X-Fusion-Cache"
 
 // resolveMachines turns a request's machine-set description (zoo names or
 // an inline .fsm spec, exactly one of the two) into machines.
@@ -42,9 +49,25 @@ func resolveMachines(req MachineSetRequest) ([]*fusion.Machine, error) {
 	}
 }
 
+// httpError carries a specific HTTP status out of the generate compute
+// callback, so cache-coalesced waiters report the leader's failure with
+// the right code instead of a generic 500.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
 // handleGenerate runs Algorithm 2 for the requested machine set and fault
-// budget on the tenant's engine.
+// budget on the tenant's engine, routed through the shared fusion cache.
+// Unlike the cluster routes it is not wrapped in admitted(): the admission
+// slot is taken inside the cache's singleflight compute, so N concurrent
+// identical requests hold one slot (the flight leader's), not N.
 func (s *Server) handleGenerate(t *tenant, w http.ResponseWriter, r *http.Request) {
+	if !s.readBody(w, r) {
+		return
+	}
 	var req GenerateRequest
 	if !s.readJSON(w, r, &req) {
 		return
@@ -58,22 +81,100 @@ func (s *Server) handleGenerate(t *tenant, w http.ResponseWriter, r *http.Reques
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sys, err := fusion.NewSystem(ms)
+	s.generateVia(t.engine, t, w, r, req, ms)
+}
+
+// handleGenerateFollower serves POST /v1/generate on a follower: fusion
+// generation is a pure function of the request, so a replica answers it
+// locally — on its own engine with the daemon's admission limits, through
+// the same shared cache — instead of shedding 503. The response body is
+// byte-identical to the leader's for the same request; the staleness
+// headers only mark which node answered.
+func (s *Server) handleGenerateFollower(w http.ResponseWriter, r *http.Request) {
+	st := s.follower.Status()
+	w.Header().Set(headerRole, RoleFollower)
+	w.Header().Set(headerApplied, strconv.FormatUint(st.Applied, 10))
+	w.Header().Set(headerLag, strconv.FormatUint(st.Lag(), 10))
+	if !s.readBody(w, r) {
+		return
+	}
+	var req GenerateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.F < 0 {
+		writeErr(w, http.StatusBadRequest, "f must be >= 0")
+		return
+	}
+	ms, err := resolveMachines(req.MachineSetRequest)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	backups, err := t.engine.Generate(sys, req.F)
+	s.generateVia(s.genFollower, nil, w, r, req, ms)
+}
+
+// generateVia answers one generate request on eng. With the cache enabled
+// and the request cacheable, the result is looked up by content address —
+// a canonical digest of the machine tables, f, and the semantics-affecting
+// options — and concurrent identical requests coalesce onto one Algorithm 2
+// run. t attributes the hit/miss to a tenant (nil on followers, which run
+// no tenant state).
+func (s *Server) generateVia(eng *fusion.Engine, t *tenant, w http.ResponseWriter, r *http.Request, req GenerateRequest, ms []*fusion.Machine) {
+	compute := func() (fcache.Entry, error) {
+		if err := eng.Acquire(r.Context()); err != nil {
+			return fcache.Entry{}, err
+		}
+		defer eng.Release()
+		sys, err := fusion.NewSystem(ms)
+		if err != nil {
+			return fcache.Entry{}, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		parts, err := eng.Generate(sys, req.F)
+		if err != nil {
+			return fcache.Entry{}, &httpError{http.StatusUnprocessableEntity, err.Error()}
+		}
+		return fcache.Entry{N: sys.N(), Parts: parts}, nil
+	}
+
+	var ent fcache.Entry
+	var err error
+	outcome := "bypass"
+	if s.fcache != nil && !req.NoCache {
+		// The digest must match what the engine/library layer would compute
+		// for the same call, so a daemon cache warmed by the pre-warmer and
+		// one warmed by requests agree: default GenerateOptions, Pool
+		// excluded by construction.
+		key := core.RequestDigest(ms, req.F, core.GenerateOptions{})
+		var out fcache.Outcome
+		ent, out, err = s.fcache.Do(key, compute)
+		outcome = out.String()
+	} else {
+		ent, err = compute()
+	}
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		var he *httpError
+		if errors.As(err, &he) {
+			writeErr(w, he.code, he.msg)
+		} else {
+			s.writeAdmissionErr(w, err)
+		}
 		return
 	}
-	resp := GenerateResponse{N: sys.N(), F: req.F, Machines: make([]string, len(ms))}
+	w.Header().Set(headerCache, outcome)
+	if t != nil {
+		if outcome == "hit" || outcome == "coalesced" {
+			t.cacheHits.Add(1)
+		} else {
+			t.cacheMisses.Add(1)
+		}
+	}
+	resp := GenerateResponse{N: ent.N, F: req.F, Machines: make([]string, len(ms))}
 	for i, m := range ms {
 		resp.Machines[i] = m.Name()
 	}
-	resp.Backups = make([]BackupResponse, len(backups))
-	for i, p := range backups {
+	resp.Backups = make([]BackupResponse, len(ent.Parts))
+	for i, p := range ent.Parts {
 		resp.Backups[i] = BackupResponse{States: p.NumBlocks(), Blocks: p.Blocks()}
 	}
 	writeJSON(w, http.StatusOK, resp)

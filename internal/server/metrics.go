@@ -150,6 +150,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Content-addressed fusion cache: emitted only when the cache is
+	// enabled, so the absence of the series itself says the daemon runs
+	// uncached.
+	if s.fcache != nil {
+		cs := s.fcache.Stats()
+		for _, c := range []struct {
+			name, help string
+			v          int64
+		}{
+			{"fusiond_fcache_hits", "Generate requests served from a live cache entry.", cs.Hits},
+			{"fusiond_fcache_misses", "Generate requests that computed (flight leaders).", cs.Misses},
+			{"fusiond_fcache_evictions", "Entries evicted past the cache bounds.", cs.Evictions},
+			{"fusiond_fcache_coalesced", "Requests that joined another request's in-flight computation.", cs.Coalesced},
+		} {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+		}
+		for _, g := range []struct {
+			name, help string
+			v          int64
+		}{
+			{"fusiond_fcache_entries", "Live cache entries.", int64(cs.Entries)},
+			{"fusiond_fcache_bytes", "Estimated partition-vector memory held by the cache.", cs.Bytes},
+		} {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+		}
+	}
+
 	gen := core.GenerationCounters()
 	for _, g := range []struct {
 		name, help string

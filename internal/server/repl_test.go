@@ -178,7 +178,6 @@ func TestFollowerShedsMutations(t *testing.T) {
 
 	for _, tc := range []struct{ method, path, body string }{
 		{"POST", "/v1/clusters", `{"zoo":["0-Counter"],"f":1}`},
-		{"POST", "/v1/generate", `{"zoo":["0-Counter"],"f":1}`},
 		{"DELETE", "/v1/clusters/c1", ""},
 		{"POST", "/v1/clusters/c1/events", `{"events":["0"]}`},
 		{"POST", "/v1/clusters/c1/recover", ""},
@@ -355,5 +354,39 @@ func TestReplStatusAndFeedEndpoints(t *testing.T) {
 		if !strings.Contains(fm, want) {
 			t.Fatalf("follower /metrics missing %q", want)
 		}
+	}
+}
+
+// TestFollowerServesGenerate: fusion generation is a pure function of the
+// request, so a follower answers POST /v1/generate locally — 200, with
+// the staleness headers marking which node answered, and a body
+// byte-identical to the leader's for the same request.
+func TestFollowerServesGenerate(t *testing.T) {
+	leader, follower, _ := replPair(t, func(o *Options) { o.FusionCache = 64 })
+
+	const body = `{"zoo":["0-Counter","1-Counter"],"f":1}`
+	lw := do(t, leader, "POST", "/v1/generate", "", body, nil)
+	if lw.Code != http.StatusOK {
+		t.Fatalf("leader generate: %d\n%s", lw.Code, lw.Body.String())
+	}
+	fw := do(t, follower, "POST", "/v1/generate", "", body, nil)
+	if fw.Code != http.StatusOK {
+		t.Fatalf("follower generate: %d\n%s", fw.Code, fw.Body.String())
+	}
+	if got := fw.Header().Get("X-Fusion-Role"); got != RoleFollower {
+		t.Fatalf("follower generate role header = %q, want %q", got, RoleFollower)
+	}
+	if fw.Header().Get("X-Fusion-Applied-Seq") == "" || fw.Header().Get("X-Fusion-Replication-Lag") == "" {
+		t.Fatal("follower generate missing staleness headers")
+	}
+	if lw.Body.String() != fw.Body.String() {
+		t.Fatalf("follower generate body differs from leader's:\nleader:  %s\nfollower: %s",
+			lw.Body.String(), fw.Body.String())
+	}
+
+	// Bad requests fail on the follower the same way they do on a leader —
+	// locally, not with a 503 redirect.
+	if w := do(t, follower, "POST", "/v1/generate", "", `{"zoo":["nope"],"f":1}`, nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("follower generate with unknown machine: %d, want 400", w.Code)
 	}
 }

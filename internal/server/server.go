@@ -43,9 +43,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	fusion "repro"
+	"repro/internal/fcache"
 	"repro/internal/repl"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -125,6 +127,25 @@ type Options struct {
 	// reporting ready; 0 means repl.DefaultLagThreshold.
 	LagThreshold uint64
 
+	// FusionCache sizes the content-addressed fusion cache (entries):
+	// generate requests are keyed by a canonical digest of (machines, f,
+	// options) and exact repeats are served from the cache instead of
+	// re-running Algorithm 2, with concurrent identical requests
+	// coalescing onto one run. The cache is shared across tenants —
+	// fusion output is a pure function of the input machines, and the
+	// keys carry no tenant identity — and, with DataDir set, persists hot
+	// entries under DataDir/.fcache so a restarted daemon serves popular
+	// fusions without recomputation. 0 disables the cache (the historical
+	// behavior and the zero-value default; fusiond passes -fusion-cache,
+	// default 4096).
+	FusionCache int
+
+	// PrewarmZoo walks the built-in machine-zoo catalog through the cache
+	// in the background after boot (on the shared pool), so first-hit
+	// latency for catalog requests disappears. Ignored without
+	// FusionCache > 0.
+	PrewarmZoo bool
+
 	// ReplClient overrides the shipping HTTP client (tests).
 	ReplClient *http.Client
 
@@ -169,6 +190,12 @@ type tenant struct {
 	engine   *fusion.Engine
 	clusters *sim.Registry
 	store    *store.Dir
+
+	// cacheHits counts this tenant's generate requests served without
+	// running Algorithm 2 (cache hit or coalesced onto another's run);
+	// cacheMisses counts the ones that computed (including cache-bypass
+	// requests). Together they give the per-tenant hit rate in /healthz.
+	cacheHits, cacheMisses atomic.Int64
 }
 
 // Server routes the v1 API onto per-tenant engines. Construct with New,
@@ -180,6 +207,17 @@ type Server struct {
 	mu      sync.Mutex
 	tenants map[string]*tenant
 	closed  bool
+
+	// fcache is the cross-tenant content-addressed fusion cache (nil when
+	// Options.FusionCache is 0); cacheStore is its durable backend when
+	// DataDir is set (a Dir used only for the .fcache namespace).
+	// genFollower is the engine a follower answers /v1/generate on —
+	// generation is pure, so followers need no tenant state for it.
+	// prewarm tracks the background zoo pre-warmer for Close.
+	fcache      *fcache.Cache
+	cacheStore  *store.Dir
+	genFollower *fusion.Engine
+	prewarm     sync.WaitGroup
 
 	// Replication state (see repl.go). role transitions leader ←
 	// follower → promoting → leader; log and repLeader exist on leaders,
@@ -207,6 +245,17 @@ func New(opts Options) (*Server, error) {
 	if err := s.initReplication(); err != nil {
 		return nil, err
 	}
+	if err := s.initCache(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if s.role == RoleFollower {
+		// Generation is pure (and now content-address cached), so a
+		// follower answers /v1/generate locally instead of shedding 503 —
+		// on its own engine with the daemon's admission limits, since
+		// followers run no tenant engines.
+		s.genFollower = s.mintEngine()
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -215,7 +264,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /repl/apply", s.handleReplApply)
 	s.mux.HandleFunc("POST /repl/sync", s.handleReplSync)
 	s.mux.HandleFunc("POST /repl/promote", s.handleReplPromote)
-	s.mux.HandleFunc("POST /v1/generate", s.routed(s.admitted(s.handleGenerate), nil))
+	s.mux.HandleFunc("POST /v1/generate", s.routed(s.withTenant(true, s.handleGenerate), s.handleGenerateFollower))
 	s.mux.HandleFunc("POST /v1/clusters", s.routed(s.admitted(s.handleClusterCreate), nil))
 	s.mux.HandleFunc("GET /v1/clusters/{id}", s.routed(s.withTenant(false, s.handleClusterGet), s.followerClusterGet))
 	s.mux.HandleFunc("DELETE /v1/clusters/{id}", s.routed(s.withTenant(false, s.handleClusterDelete), nil))
@@ -231,7 +280,51 @@ func New(opts Options) (*Server, error) {
 		}
 	}
 	s.startShipping()
+	s.startPrewarm()
 	return s, nil
+}
+
+// initCache builds the shared fusion cache and, on a durable daemon,
+// rehydrates it from DataDir/.fcache. Rehydration is tolerant by design —
+// every entry is digest- and checksum-verified, the unverifiable are
+// skipped — so only a broken data dir itself is fatal here.
+func (s *Server) initCache() error {
+	if s.opts.FusionCache <= 0 {
+		return nil
+	}
+	fo := fcache.Options{MaxEntries: s.opts.FusionCache}
+	if s.opts.DataDir != "" {
+		cs, err := store.NewDir(s.opts.DataDir)
+		if err != nil {
+			return fmt.Errorf("server: fusion cache store: %w", err)
+		}
+		s.cacheStore = cs
+		fo.Store = cs
+	}
+	s.fcache = fcache.New(fo)
+	if _, err := s.fcache.LoadStore(); err != nil {
+		return fmt.Errorf("server: loading fusion cache: %w", err)
+	}
+	return nil
+}
+
+// startPrewarm launches the background zoo pre-warmer. It runs on the
+// shared pool and goes through the cache's singleflight, so it coalesces
+// with (never duplicates) early live traffic, skips entries a restart
+// already rehydrated, and stops between sets once Close begins.
+func (s *Server) startPrewarm() {
+	if s.fcache == nil || !s.opts.PrewarmZoo {
+		return
+	}
+	s.prewarm.Add(1)
+	go func() {
+		defer s.prewarm.Done()
+		s.fcache.PrewarmZoo(nil, func() bool {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.closed
+		})
+	}()
 }
 
 // recoverTenants rematerializes every tenant found under DataDir.
@@ -281,6 +374,9 @@ func (s *Server) Close() error {
 		ts = append(ts, t)
 	}
 	s.mu.Unlock()
+	// The pre-warmer checks closed between catalog sets; wait it out so
+	// shutdown never races a background generation onto the shared pool.
+	s.prewarm.Wait()
 	s.replMu.Lock()
 	repLeader, follower := s.repLeader, s.follower
 	s.replMu.Unlock()
@@ -289,6 +385,9 @@ func (s *Server) Close() error {
 	}
 	if follower != nil {
 		follower.Close() //nolint:errcheck // follower fds; data is fsync'd
+	}
+	if s.genFollower != nil {
+		s.genFollower.Close()
 	}
 	for _, t := range ts {
 		t.engine.Close()
@@ -306,6 +405,9 @@ func (s *Server) Close() error {
 		if t.store != nil {
 			t.store.Close() //nolint:errcheck // handles only; data is fsync'd
 		}
+	}
+	if s.cacheStore != nil {
+		s.cacheStore.Close() //nolint:errcheck // handles only; entries are fsync'd
 	}
 	return first
 }
@@ -506,42 +608,58 @@ func (s *Server) serveTenant(create bool, h func(t *tenant, w http.ResponseWrite
 	h(t, w, r)
 }
 
+// readBody buffers the request body in full under MaxBodyBytes, replacing
+// r.Body with the in-memory copy. A false return means the error response
+// was already written. Reading before any admission slot is taken means a
+// client stalling its upload can never pin MaxInFlight capacity or block
+// the shutdown drain — slots cover compute, not network.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// The buffered writer hides MaxBytesReader's internal
+			// close signal from net/http; say it explicitly so the
+			// server aborts instead of draining the oversized body
+			// for keep-alive reuse.
+			w.Header().Set("Connection", "close")
+			writeErr(w, http.StatusRequestEntityTooLarge, err.Error())
+		} else {
+			writeErr(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		}
+		return false
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	return true
+}
+
+// writeAdmissionErr maps an Engine.Acquire failure to its HTTP status:
+// saturation sheds 429 + Retry-After, a draining engine 503.
+func (s *Server) writeAdmissionErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, fusion.ErrQueueFull), errors.Is(err, fusion.ErrQueueTimeout):
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeErr(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, fusion.ErrEngineClosed):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		// The client went away while queued; nobody is listening,
+		// but close the exchange coherently anyway.
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	}
+}
+
 // admitted is withTenant plus the admission bracket: the handler only
 // runs while holding one of the tenant engine's in-flight slots, and
 // saturation is shed as 429 + Retry-After before any engine work starts.
-// The request body is read in full before the slot is taken, so a client
-// stalling its upload can never pin MaxInFlight capacity or block the
-// shutdown drain — slots cover compute, not network.
+// The request body is read in full before the slot is taken (readBody).
 func (s *Server) admitted(h func(t *tenant, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return s.withTenant(true, func(t *tenant, w http.ResponseWriter, r *http.Request) {
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-		if err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				// The buffered writer hides MaxBytesReader's internal
-				// close signal from net/http; say it explicitly so the
-				// server aborts instead of draining the oversized body
-				// for keep-alive reuse.
-				w.Header().Set("Connection", "close")
-				writeErr(w, http.StatusRequestEntityTooLarge, err.Error())
-			} else {
-				writeErr(w, http.StatusBadRequest, "reading request body: "+err.Error())
-			}
+		if !s.readBody(w, r) {
 			return
 		}
-		r.Body = io.NopCloser(bytes.NewReader(body))
 		if err := t.engine.Acquire(r.Context()); err != nil {
-			switch {
-			case errors.Is(err, fusion.ErrQueueFull), errors.Is(err, fusion.ErrQueueTimeout):
-				w.Header().Set("Retry-After", s.retryAfter())
-				writeErr(w, http.StatusTooManyRequests, err.Error())
-			case errors.Is(err, fusion.ErrEngineClosed):
-				writeErr(w, http.StatusServiceUnavailable, err.Error())
-			default:
-				// The client went away while queued; nobody is listening,
-				// but close the exchange coherently anyway.
-				writeErr(w, http.StatusServiceUnavailable, err.Error())
-			}
+			s.writeAdmissionErr(w, err)
 			return
 		}
 		defer t.engine.Release()
@@ -625,6 +743,14 @@ func (s *Server) Health() HealthResponse {
 			InFlight: t.engine.InFlight(),
 			Queued:   t.engine.Queued(),
 			Clusters: t.clusters.Len(),
+		}
+		if s.fcache != nil {
+			th.FusionCacheHits = t.cacheHits.Load()
+			th.FusionCacheMisses = t.cacheMisses.Load()
+			if total := th.FusionCacheHits + th.FusionCacheMisses; total > 0 {
+				rate := float64(th.FusionCacheHits) / float64(total)
+				th.FusionCacheHitRate = &rate
+			}
 		}
 		if metrics := t.clusters.Metrics(); len(metrics) > 0 {
 			th.ClusterMetrics = make(map[string]ClusterMetrics, len(metrics))

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Cache namespace: a flat key→blob store riding in the same backends as
+// the cluster records, used by internal/fcache to persist hot fusion
+// results across restarts. Keys are content addresses (lowercase hex), so
+// the namespace is deliberately tenant-free; on disk entries live under
+// <root>/.fcache/ — a dot-prefixed directory that every cluster- and
+// tenant-scanning path (Dir.Load, fusiond tenant recovery, the
+// replication plane's tenant wipe) already skips by its leading-dot
+// rule, so cache state and registry state can share one data dir without
+// ever shadowing each other.
+
+// cacheDirName is the on-disk cache namespace under a Dir's root.
+const cacheDirName = ".fcache"
+
+// validCacheKey vets a cache key: non-empty lowercase hex, bounded. The
+// charset keeps keys filename-safe by construction (no dots, no
+// separators), which is what lets PutCache join them into paths.
+func validCacheKey(key string) error {
+	if key == "" || len(key) > 128 {
+		return fmt.Errorf("store: invalid cache key %q", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("store: invalid cache key %q: use lowercase hex", key)
+		}
+	}
+	return nil
+}
+
+// --- Mem ------------------------------------------------------------------
+
+func (s *Mem) cacheMap() map[string][]byte {
+	if s.cache == nil {
+		s.cache = make(map[string][]byte)
+	}
+	return s.cache
+}
+
+// PutCache stores (or overwrites) one cache entry.
+func (s *Mem) PutCache(key string, data []byte) error {
+	if err := validCacheKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheMap()[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// RemoveCache drops one cache entry; removing an unknown key is a no-op.
+func (s *Mem) RemoveCache(key string) error {
+	if err := validCacheKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cacheMap(), key)
+	return nil
+}
+
+// LoadCache returns every cache entry by key.
+func (s *Mem) LoadCache() (map[string][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte)
+	for k, v := range s.cacheMap() {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out, nil
+}
+
+// --- Dir ------------------------------------------------------------------
+
+func (s *Dir) cacheDir() string { return filepath.Join(s.root, cacheDirName) }
+
+// PutCache persists one cache entry at <root>/.fcache/<key>.json with the
+// same atomic-rename + fsync discipline as snapshots: a crash leaves
+// either the previous entry or the new one, never a torn file (a stray
+// *.tmp from a crashed rename is ignored by LoadCache).
+func (s *Dir) PutCache(key string, data []byte) error {
+	if err := validCacheKey(key); err != nil {
+		return err
+	}
+	dir := s.cacheDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: cache dir: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, key+".json"), data); err != nil {
+		return fmt.Errorf("store: cache entry %s: %w", key, err)
+	}
+	return nil
+}
+
+// RemoveCache drops one persisted entry; removing an unknown key is a
+// no-op (eviction races a restart harmlessly).
+func (s *Dir) RemoveCache(key string) error {
+	if err := validCacheKey(key); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(s.cacheDir(), key+".json")); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: cache entry %s: %w", key, err)
+	}
+	return nil
+}
+
+// LoadCache reads every persisted cache entry. It is shaped for boot: a
+// missing namespace is an empty cache, anything that is not a committed
+// <hexkey>.json (tmp files from a crashed rename, foreign droppings) is
+// skipped, and an unreadable entry is dropped rather than fatal — the
+// caller verifies content digests anyway and a lost entry only costs one
+// recomputation.
+func (s *Dir) LoadCache() (map[string][]byte, error) {
+	entries, err := os.ReadDir(s.cacheDir())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: cache dir: %w", err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		key, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || validCacheKey(key) != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.cacheDir(), e.Name()))
+		if err != nil {
+			continue
+		}
+		out[key] = data
+	}
+	return out, nil
+}

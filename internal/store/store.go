@@ -61,6 +61,9 @@ func validID(id string) error {
 type Mem struct {
 	mu sync.Mutex
 	m  map[string]*memRecord
+	// cache is the flat content-addressed namespace (see cache.go),
+	// lazily allocated on first use.
+	cache map[string][]byte
 }
 
 type memRecord struct {
