@@ -393,6 +393,32 @@ func BenchmarkServerGenerate(b *testing.B) {
 	}
 }
 
+// BenchmarkServerGenerateNoObsv is BenchmarkServerGenerate with the
+// observability middleware disabled (Options.NoObserve): the same
+// round trip minus request-id stamping, histogram recording, and the
+// access-log append. The delta against BenchmarkServerGenerate is the
+// middleware's per-request bill, budgeted at < 2µs/req in
+// benchmarks/README.md.
+func BenchmarkServerGenerateNoObsv(b *testing.B) {
+	srv, err := server.New(server.Options{MaxInFlight: 4, QueueDepth: 16, NoObserve: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	body := []byte(`{"zoo":["0-Counter","1-Counter"],"f":1}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("POST", "/v1/generate", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
 // BenchmarkGenerateCacheHit measures a content-addressed cache hit on the
 // Table 1 Row 1 generation: digest the request, look it up, copy the
 // partition slice header. This is the per-request cost fusiond pays once

@@ -100,6 +100,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		lagThreshold = fs.Uint64("lag-threshold", 0, "follower: feed lag (records) past which /readyz reports 503 (0 = default)")
 		fusionCache  = fs.Int("fusion-cache", 4096, "content-addressed fusion cache entries; repeats of a generate request are served without recomputation (0 = disable)")
 		prewarmZoo   = fs.Bool("prewarm-zoo", true, "pre-generate the built-in machine-zoo catalog into the fusion cache after boot")
+		pprof        = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap contents; opt-in)")
+		accessLog    = fs.Int("access-log", 0, "in-memory access-log ring size served at GET /debug/log (0 = default 1024, -1 = disable)")
+		slowRequest  = fs.Duration("slow-request", 0, "log requests slower than this and count them in fusiond_http_slow_requests_total (0 = off)")
 		promote      = fs.Bool("promote", false, "one-shot client: ask the follower at -addr to promote itself to leader, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -177,6 +180,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		LagThreshold: *lagThreshold,
 		FusionCache:  *fusionCache,
 		PrewarmZoo:   *prewarmZoo && *fusionCache > 0,
+		Pprof:        *pprof,
+		AccessLog:    *accessLog,
+		SlowRequest:  *slowRequest,
 	})
 	if err != nil {
 		return err

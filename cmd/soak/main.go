@@ -1,0 +1,586 @@
+// Command soak is fusiond's sustained-load harness: it drives a live
+// daemon (or spawns one) with the mixed production workload — generate
+// floods that alternate cache hits and cold computes, deployment churn
+// (create → events/faults → recover → delete), health probes, and
+// optionally follower reads — at fixed concurrency for a configurable
+// duration, then scrapes /metrics and prints a per-route
+// p50/p95/p99 report alongside the daemon's goroutine/RSS gauges.
+//
+// Latency is measured client-side into the same mergeable histograms
+// the daemon uses (internal/obsv), so the numbers survive a daemon
+// kill/restart mid-run; the final /metrics scrape must parse under the
+// strict exposition parser, so a malformed page fails the run, not
+// just a unit test.
+//
+// Usage:
+//
+//	soak -addr localhost:8080 -duration 30s -concurrency 8
+//	soak -fusiond ./fusiond -duration 30s -kill          # spawn, kill -9 at half time, restart
+//	soak -fusiond ./fusiond -replicate                   # leader + follower; reads hit the follower
+//
+// Ceilings (-max-p99, -max-goroutines, -max-rss-mb) turn the report
+// into a gate: any breach exits nonzero, which is how the CI
+// soak-smoke job holds the daemon to its latency and leak budgets.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed flag set.
+type config struct {
+	addr        string
+	fusiond     string
+	dataDir     string
+	duration    time.Duration
+	concurrency int
+	kill        bool
+	replicate   bool
+	reqTimeout  time.Duration
+	maxP99      time.Duration
+	maxGoro     int
+	maxRSSMB    int
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	var c config
+	fs.StringVar(&c.addr, "addr", "", "drive an existing daemon at this address (host:port or URL)")
+	fs.StringVar(&c.fusiond, "fusiond", "", "spawn this fusiond binary instead of targeting -addr")
+	fs.StringVar(&c.dataDir, "data-dir", "", "data dir for the spawned daemon (default: a temp dir, removed afterwards)")
+	fs.DurationVar(&c.duration, "duration", 30*time.Second, "how long to sustain the load")
+	fs.IntVar(&c.concurrency, "concurrency", 8, "concurrent workers")
+	fs.BoolVar(&c.kill, "kill", false, "kill -9 the spawned daemon at half duration and restart it (requires -fusiond)")
+	fs.BoolVar(&c.replicate, "replicate", false, "spawn a follower too and send reads to it (requires -fusiond)")
+	fs.DurationVar(&c.reqTimeout, "req-timeout", 30*time.Second, "per-request client timeout")
+	fs.DurationVar(&c.maxP99, "max-p99", 0, "fail when any route's client-observed p99 exceeds this (0 = no ceiling)")
+	fs.IntVar(&c.maxGoro, "max-goroutines", 0, "fail when the daemon's final goroutine count exceeds this (0 = no ceiling)")
+	fs.IntVar(&c.maxRSSMB, "max-rss-mb", 0, "fail when the daemon's final RSS exceeds this many MiB (0 = no ceiling)")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	switch {
+	case c.addr == "" && c.fusiond == "":
+		return c, fmt.Errorf("set -addr (existing daemon) or -fusiond (spawn one)")
+	case c.addr != "" && c.fusiond != "":
+		return c, fmt.Errorf("-addr and -fusiond are mutually exclusive")
+	case (c.kill || c.replicate) && c.fusiond == "":
+		return c, fmt.Errorf("-kill/-replicate require -fusiond (soak must own the process)")
+	case c.concurrency < 1:
+		return c, fmt.Errorf("-concurrency must be >= 1")
+	case c.duration <= 0:
+		return c, fmt.Errorf("-duration must be > 0")
+	}
+	return c, nil
+}
+
+// baseURL normalizes an address flag to a URL.
+func baseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimRight(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "localhost" + addr
+	}
+	return "http://" + addr
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	s := &soaker{
+		cfg:    cfg,
+		out:    out,
+		client: &http.Client{Timeout: cfg.reqTimeout},
+	}
+
+	// Spawn mode: soak owns the daemon's lifecycle (and, with -kill,
+	// its death).
+	var leader, follower *daemon
+	if cfg.fusiond != "" {
+		dir := cfg.dataDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "soak-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir) //nolint:errcheck // best-effort scratch cleanup
+		}
+		addr, err := freeAddr()
+		if err != nil {
+			return err
+		}
+		largs := []string{"-addr", addr, "-access-log", "512",
+			"-max-inflight", "64", "-queue-depth", "128", "-queue-timeout", "5s"}
+		if cfg.replicate {
+			faddr, err := freeAddr()
+			if err != nil {
+				return err
+			}
+			largs = append(largs, "-role", "leader", "-data-dir", dir+"/leader",
+				"-replicas", baseURL(faddr))
+			follower = &daemon{path: cfg.fusiond, args: []string{
+				"-addr", faddr, "-role", "follower",
+				"-data-dir", dir + "/follower", "-leader-url", baseURL(addr),
+			}, url: baseURL(faddr)}
+			if err := follower.start(); err != nil {
+				return err
+			}
+			defer follower.stop(out)
+		} else {
+			largs = append(largs, "-data-dir", dir)
+		}
+		leader = &daemon{path: cfg.fusiond, args: largs, url: baseURL(addr)}
+		if err := leader.start(); err != nil {
+			return err
+		}
+		defer leader.stop(out)
+		if err := s.waitReady(ctx, leader.url, 15*time.Second); err != nil {
+			return fmt.Errorf("spawned daemon never became healthy: %w\n%s", err, leader.tail())
+		}
+		if follower != nil {
+			if err := s.waitReady(ctx, follower.url, 15*time.Second); err != nil {
+				return fmt.Errorf("spawned follower never became healthy: %w\n%s", err, follower.tail())
+			}
+		}
+		s.base = leader.url
+		fmt.Fprintf(out, "soak: spawned fusiond at %s (data dir %s)\n", leader.url, dir)
+	} else {
+		s.base = baseURL(cfg.addr)
+	}
+	s.readBase = s.base
+	if follower != nil {
+		s.readBase = follower.url
+	}
+
+	// The workload window.
+	loadCtx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	// Half-time kill -9 + restart: the harness's crash-recovery leg.
+	killErr := make(chan error, 1)
+	if cfg.kill {
+		go func() {
+			select {
+			case <-time.After(cfg.duration / 2):
+			case <-loadCtx.Done():
+				killErr <- nil
+				return
+			}
+			fmt.Fprintf(out, "soak: kill -9 at half duration\n")
+			down := time.Now()
+			if err := leader.kill9(); err != nil {
+				killErr <- fmt.Errorf("kill -9: %w", err)
+				return
+			}
+			if err := leader.start(); err != nil {
+				killErr <- fmt.Errorf("restart after kill: %w", err)
+				return
+			}
+			if err := s.waitReady(ctx, leader.url, 15*time.Second); err != nil {
+				killErr <- fmt.Errorf("daemon never recovered from kill -9: %w\n%s", err, leader.tail())
+				return
+			}
+			fmt.Fprintf(out, "soak: daemon restarted and healthy after %s\n", time.Since(down).Round(time.Millisecond))
+			killErr <- nil
+		}()
+	} else {
+		killErr <- nil
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.worker(loadCtx, w)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := <-killErr; err != nil {
+		return err
+	}
+
+	return s.report(out, elapsed)
+}
+
+// --- the load --------------------------------------------------------------
+
+// soaker holds the workload state shared by all workers: one histogram
+// per logical route (client-observed, so they survive daemon
+// restarts) and the outcome counters.
+type soaker struct {
+	cfg      config
+	out      io.Writer
+	client   *http.Client
+	base     string // writes and the final scrape
+	readBase string // reads; the follower's URL under -replicate
+
+	hists sync.Map // route string -> *obsv.Histogram
+	ok2xx, shed429, shed503,
+	other, transport atomic.Int64
+}
+
+func (s *soaker) hist(route string) *obsv.Histogram {
+	if h, ok := s.hists.Load(route); ok {
+		return h.(*obsv.Histogram)
+	}
+	h, _ := s.hists.LoadOrStore(route, &obsv.Histogram{})
+	return h.(*obsv.Histogram)
+}
+
+// request runs one HTTP exchange, records its latency under the route
+// label, and returns the status (0 on transport error). The body is
+// drained in full so connections are reused.
+func (s *soaker) request(ctx context.Context, base, method, path, route, tenant, body string) (int, []byte) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+	if err != nil {
+		s.transport.Add(1)
+		return 0, nil
+	}
+	if tenant != "" {
+		req.Header.Set("X-Fusion-Tenant", tenant)
+	}
+	start := time.Now()
+	resp, err := s.client.Do(req)
+	if err != nil {
+		// Expected during the kill window: the daemon is gone. Back off
+		// briefly so the blackout doesn't spin the error counter.
+		s.transport.Add(1)
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return 0, nil
+	}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck // best-effort body
+	resp.Body.Close()                                    //nolint:errcheck // drained above
+	s.hist(route).Record(time.Since(start))
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		s.ok2xx.Add(1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		s.shed429.Add(1)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		s.shed503.Add(1)
+	default:
+		s.other.Add(1)
+	}
+	return resp.StatusCode, b
+}
+
+// zooCombos rotate through the generate flood: the first is the
+// fixed-point the cache serves hot, the rest force cold computes.
+var zooCombos = []string{
+	`{"zoo":["0-Counter","1-Counter"],"f":1}`,
+	`{"zoo":["MESI","1-Counter"],"f":1}`,
+	`{"zoo":["0-Counter","1-Counter","MESI"],"f":1}`,
+	`{"zoo":["1-Counter","2-Counter"],"f":1}`,
+}
+
+// worker runs the mixed workload until the context expires. The mix per
+// 8-op cycle: 3 hot generates (cache hits), 1 cold/bypass generate, 1
+// full deployment-churn pass, 2 reads (healthz + metrics-adjacent), 1
+// rotating-zoo generate.
+func (s *soaker) worker(ctx context.Context, id int) {
+	tenant := fmt.Sprintf("soak-w%d", id)
+	for i := 0; ctx.Err() == nil; i++ {
+		switch i % 8 {
+		case 0, 1, 2:
+			s.request(ctx, s.base, "POST", "/v1/generate", "/v1/generate", tenant, zooCombos[0])
+		case 3:
+			// noCache bypasses the fusion cache: a guaranteed compute.
+			s.request(ctx, s.base, "POST", "/v1/generate", "/v1/generate", tenant,
+				`{"zoo":["0-Counter","1-Counter"],"f":1,"noCache":true}`)
+		case 4:
+			s.churn(ctx, tenant, int64(i))
+		case 5:
+			s.request(ctx, s.readBase, "GET", "/healthz", "/healthz", "", "")
+		case 6:
+			s.request(ctx, s.readBase, "POST", "/v1/generate", "/v1/generate", tenant, zooCombos[i/8%len(zooCombos)])
+		case 7:
+			s.request(ctx, s.base, "GET", "/debug/log?n=5", "/debug/log", "", "")
+		}
+	}
+}
+
+// churn is one deployment lifecycle: create a cluster, broadcast a
+// seeded event stream and crash a backup, run a recovery round, read
+// it back (possibly from the follower), and delete it.
+func (s *soaker) churn(ctx context.Context, tenant string, seed int64) {
+	code, body := s.request(ctx, s.base, "POST", "/v1/clusters", "/v1/clusters", tenant,
+		`{"zoo":["0-Counter","1-Counter"],"f":1,"seed":`+fmt.Sprint(seed)+`}`)
+	if code != http.StatusCreated {
+		return
+	}
+	var cl server.ClusterResponse
+	if err := json.Unmarshal(body, &cl); err != nil || cl.ID == "" || len(cl.Servers) == 0 {
+		return
+	}
+	victim := cl.Servers[len(cl.Servers)-1]
+	s.request(ctx, s.base, "POST", "/v1/clusters/"+cl.ID+"/events", "/v1/clusters/{id}/events", tenant,
+		fmt.Sprintf(`{"random":{"count":8,"seed":%d},"faults":[{"server":%q,"kind":"crash"}]}`, seed, victim))
+	s.request(ctx, s.base, "POST", "/v1/clusters/"+cl.ID+"/recover", "/v1/clusters/{id}/recover", tenant, `{}`)
+	s.request(ctx, s.readBase, "GET", "/v1/clusters/"+cl.ID, "/v1/clusters/{id}", tenant, "")
+	s.request(ctx, s.base, "DELETE", "/v1/clusters/"+cl.ID, "/v1/clusters/{id}", tenant, "")
+}
+
+// waitReady polls /healthz until the daemon answers 200.
+func (s *soaker) waitReady(ctx context.Context, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: time.Second}
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+			resp.Body.Close()              //nolint:errcheck // drained
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("no healthy response within %s", timeout)
+}
+
+// --- the report ------------------------------------------------------------
+
+// report prints the client-observed per-route quantiles and the
+// daemon's own /metrics view, then enforces the ceilings.
+func (s *soaker) report(out io.Writer, elapsed time.Duration) error {
+	total := s.ok2xx.Load() + s.shed429.Load() + s.shed503.Load() + s.other.Load()
+	fmt.Fprintf(out, "soak: %d responses in %s (%.1f req/s): %d 2xx, %d 429, %d 503, %d other, %d transport errors\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(),
+		s.ok2xx.Load(), s.shed429.Load(), s.shed503.Load(), s.other.Load(), s.transport.Load())
+	if s.ok2xx.Load() == 0 {
+		return fmt.Errorf("workload never succeeded: 0 2xx responses (%d transport errors)", s.transport.Load())
+	}
+
+	type row struct {
+		route string
+		snap  obsv.Snapshot
+	}
+	var rows []row
+	s.hists.Range(func(k, v any) bool {
+		rows = append(rows, row{k.(string), v.(*obsv.Histogram).Snapshot()})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].route < rows[j].route })
+	fmt.Fprintf(out, "\nclient-observed latency (survives daemon restarts):\n")
+	fmt.Fprintf(out, "%-28s %9s %10s %10s %10s\n", "route", "count", "p50", "p95", "p99")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-28s %9d %10s %10s %10s\n", r.route, r.snap.Count,
+			fmtSecs(r.snap.Quantile(0.50)), fmtSecs(r.snap.Quantile(0.95)), fmtSecs(r.snap.Quantile(0.99)))
+	}
+
+	// The daemon's own view: scrape /metrics and hold it to the strict
+	// parser — a malformed exposition fails the soak run.
+	var breaches []string
+	resp, err := s.client.Get(s.base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("final /metrics scrape: %w", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // read to EOF below
+	exp, err := obsv.ParseText(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("final /metrics page is malformed: %w", err)
+	}
+	if hf := exp.Family(obsv.MetricRequestDuration); hf == nil {
+		return fmt.Errorf("final /metrics page lacks %s", obsv.MetricRequestDuration)
+	} else if p99s, err := hf.QuantileBy("route", 0.99); err == nil && len(p99s) > 0 {
+		routes := make([]string, 0, len(p99s))
+		for r := range p99s {
+			routes = append(routes, r)
+		}
+		sort.Strings(routes)
+		fmt.Fprintf(out, "\nserver-side p99 since last daemon start:\n")
+		for _, r := range routes {
+			fmt.Fprintf(out, "%-28s %10s\n", r, fmtSecs(p99s[r]))
+		}
+	}
+	gauge := func(name string) (float64, bool) {
+		f := exp.Family(name)
+		if f == nil || len(f.Samples) == 0 {
+			return 0, false
+		}
+		return f.Samples[0].Value, true
+	}
+	goro, _ := gauge(obsv.MetricGoroutines)
+	rss, _ := gauge("fusiond_process_rss_bytes")
+	uptime, _ := gauge("fusiond_process_uptime_seconds")
+	fmt.Fprintf(out, "\ndaemon: goroutines=%.0f rss=%.1fMiB uptime=%.1fs\n", goro, rss/(1<<20), uptime)
+
+	if s.cfg.maxP99 > 0 {
+		for _, r := range rows {
+			if p99 := r.snap.Quantile(0.99); p99 > s.cfg.maxP99.Seconds() {
+				breaches = append(breaches, fmt.Sprintf("route %s p99 %s > ceiling %s", r.route, fmtSecs(p99), s.cfg.maxP99))
+			}
+		}
+	}
+	if s.cfg.maxGoro > 0 && goro > float64(s.cfg.maxGoro) {
+		breaches = append(breaches, fmt.Sprintf("goroutines %.0f > ceiling %d", goro, s.cfg.maxGoro))
+	}
+	if s.cfg.maxRSSMB > 0 && rss > float64(s.cfg.maxRSSMB)*(1<<20) {
+		breaches = append(breaches, fmt.Sprintf("rss %.1fMiB > ceiling %dMiB", rss/(1<<20), s.cfg.maxRSSMB))
+	}
+	if len(breaches) > 0 {
+		return fmt.Errorf("ceilings breached: %s", strings.Join(breaches, "; "))
+	}
+	fmt.Fprintln(out, "soak: all ceilings respected")
+	return nil
+}
+
+func fmtSecs(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// --- spawned daemon --------------------------------------------------------
+
+// daemon is one spawned fusiond process. start may be called again
+// after kill9 — same binary, same args, same data dir — which is
+// exactly the crash-recovery shape the harness tests.
+type daemon struct {
+	path string
+	args []string
+	url  string
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+	log *prefixBuffer
+}
+
+func (d *daemon) start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.log = &prefixBuffer{}
+	cmd := exec.Command(d.path, d.args...)
+	cmd.Stdout = d.log
+	cmd.Stderr = d.log
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", d.path, err)
+	}
+	d.cmd = cmd
+	return nil
+}
+
+// kill9 delivers SIGKILL — no drain, no goodbye — and reaps the
+// process.
+func (d *daemon) kill9() error {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("daemon not running")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	cmd.Wait() //nolint:errcheck // killed: the error is the point
+	return nil
+}
+
+// stop shuts the daemon down politely (SIGTERM, bounded wait), falling
+// back to SIGKILL.
+func (d *daemon) stop(out io.Writer) {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return // already gone
+	}
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }() //nolint:errcheck // exit status irrelevant on the way out
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		fmt.Fprintln(out, "soak: daemon ignored SIGTERM; killing")
+		cmd.Process.Kill() //nolint:errcheck // already escalating
+		<-done
+	}
+}
+
+// tail returns the daemon's recent combined output for error messages.
+func (d *daemon) tail() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return ""
+	}
+	return d.log.tail()
+}
+
+// prefixBuffer keeps the last few KiB of process output under a lock.
+type prefixBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *prefixBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	if len(b.buf) > 8<<10 {
+		b.buf = b.buf[len(b.buf)-8<<10:]
+	}
+	return len(p), nil
+}
+
+func (b *prefixBuffer) tail() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return string(b.buf)
+}
+
+// freeAddr reserves an ephemeral localhost port and releases it for the
+// daemon to bind.
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close() //nolint:errcheck // releasing the reservation
+	return addr, nil
+}

@@ -1,0 +1,108 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// AccessRecord is one structured access-log entry. Durations are whole
+// microseconds — the histogram's native floor — so records stay exact
+// under JSON round trips.
+type AccessRecord struct {
+	Time       time.Time `json:"time"`
+	ID         string    `json:"id"`
+	Method     string    `json:"method"`
+	Route      string    `json:"route"`
+	Path       string    `json:"path"`
+	Status     int       `json:"status"`
+	DurationUS int64     `json:"durationUs"`
+	Bytes      int64     `json:"bytes"`
+	Tenant     string    `json:"tenant"`
+	Cache      string    `json:"cache,omitempty"`
+}
+
+// accessLog is a bounded ring buffer of the most recent records. A
+// plain mutex over two words and a slice write: the middleware appends
+// once per request, and contention on a microsecond-scale critical
+// section is invisible next to request work.
+type accessLog struct {
+	mu    sync.Mutex
+	ring  []AccessRecord
+	next  int
+	total uint64
+}
+
+func newAccessLog(size int) *accessLog {
+	return &accessLog{ring: make([]AccessRecord, size)}
+}
+
+func (l *accessLog) append(rec AccessRecord) {
+	l.mu.Lock()
+	l.ring[l.next] = rec
+	l.next = (l.next + 1) % len(l.ring)
+	l.total++
+	l.mu.Unlock()
+}
+
+// tail returns the most recent n records, oldest first.
+func (l *accessLog) tail(n int) (out []AccessRecord, total uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	have := len(l.ring)
+	if l.total < uint64(have) {
+		have = int(l.total)
+	}
+	if n <= 0 || n > have {
+		n = have
+	}
+	out = make([]AccessRecord, 0, n)
+	for i := l.next - n; i < l.next; i++ {
+		out = append(out, l.ring[(i+len(l.ring))%len(l.ring)])
+	}
+	return out, l.total
+}
+
+// DebugLogResponse is the GET /debug/log body: the total number of
+// requests observed since boot (so a scraper can tell how much the ring
+// dropped) and the most recent records, oldest first.
+type DebugLogResponse struct {
+	Total   uint64         `json:"total"`
+	Records []AccessRecord `json:"records"`
+}
+
+// HandleDebugLog serves GET /debug/log?n=100 — a tail of the access
+// ring. n defaults to 100, capped at the ring size.
+func (o *Obs) HandleDebugLog(w http.ResponseWriter, r *http.Request) {
+	if o.ring == nil {
+		http.Error(w, `{"error":"access log disabled"}`, http.StatusNotFound)
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, `{"error":"n must be a positive integer"}`, http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	recs, total := o.ring.tail(n)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(DebugLogResponse{Total: total, Records: recs}) //nolint:errcheck // client gone; nothing left to do
+}
+
+// Tail returns the most recent n access records, oldest first (nil when
+// access logging is disabled). The soak harness and tests read through
+// this instead of the HTTP endpoint.
+func (o *Obs) Tail(n int) []AccessRecord {
+	if o.ring == nil {
+		return nil
+	}
+	recs, _ := o.ring.tail(n)
+	return recs
+}

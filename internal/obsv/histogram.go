@@ -1,0 +1,160 @@
+// Package obsv is fusiond's observability plane: lock-free per-route
+// latency histograms with mergeable snapshots, request-id + access-log
+// middleware over a bounded ring buffer, process/build gauges, a strict
+// Prometheus text-exposition writer and parser, and flag-gated pprof
+// registration. It is deliberately dependency-free — the daemon's
+// serving hot path records into it on every request, so everything on
+// the write side is a handful of atomic adds.
+package obsv
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// The latency histogram uses fixed log-spaced buckets: powers of two
+// from 1µs to 2^26µs (~67s), plus the implicit +Inf overflow. The range
+// covers everything the daemon serves — a warm cache hit lands in the
+// single-digit-µs buckets, a cold Table 1 row in the ms–s range, and a
+// soak-stalled request still resolves below the top bound — while the
+// bucket index is one bits.Len64 away, so recording stays lock-free and
+// branch-light.
+const (
+	numBuckets = 27 // upper bounds 2^0 .. 2^26 µs
+	infBucket  = numBuckets
+)
+
+// bucketBounds returns the finite upper bounds in seconds, ascending.
+func bucketBounds() []float64 {
+	b := make([]float64, numBuckets)
+	for i := range b {
+		b[i] = float64(uint64(1)<<i) * 1e-6
+	}
+	return b
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d <= 2^i µs, or infBucket past the top bound. Sub-microsecond
+// remainders round the duration up, so an observation never lands in a
+// bucket whose bound it exceeds.
+func bucketIndex(d time.Duration) int {
+	us := uint64(d+time.Microsecond-1) / uint64(time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	// bits.Len64(us-1) is ceil(log2(us)) for us > 1.
+	i := bits.Len64(us - 1)
+	if i >= numBuckets {
+		return infBucket
+	}
+	return i
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram. The zero
+// value is ready to use; Record is safe for concurrent use and costs
+// three atomic adds.
+type Histogram struct {
+	buckets [numBuckets + 1]atomic.Uint64 // per-bucket counts, +Inf last
+	count   atomic.Uint64
+	sumNS   atomic.Int64 // total observed time in nanoseconds
+}
+
+// Record observes one duration. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Snapshot copies the histogram's counters. Concurrent Records may land
+// between the bucket reads — a snapshot is a consistent-enough view for
+// monitoring, not a linearizable cut — so Count is recomputed from the
+// bucket sum to keep _count and the +Inf cumulative bucket equal, which
+// the Prometheus exposition format requires.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.SumSeconds = float64(h.sumNS.Load()) / 1e9
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Histogram: non-cumulative bucket
+// counts (last is +Inf), total count, and the sum in seconds. Snapshots
+// merge by addition, so per-worker histograms roll up exactly.
+type Snapshot struct {
+	Buckets    [numBuckets + 1]uint64
+	Count      uint64
+	SumSeconds float64
+}
+
+// Merge adds other into s.
+func (s *Snapshot) Merge(other Snapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+	s.Count += other.Count
+	s.SumSeconds += other.SumSeconds
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in seconds by linear
+// interpolation inside the target bucket, the same estimate
+// histogram_quantile() computes server-side in Prometheus. An empty
+// snapshot reports 0; a quantile landing in +Inf reports the top finite
+// bound (there is no upper edge to interpolate toward).
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	bounds := bucketBounds()
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= numBuckets {
+			return bounds[numBuckets-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - prev) / float64(c)
+		if math.IsNaN(frac) || frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return bounds[numBuckets-1]
+}
+
+// formatBound renders a bucket bound the way the exposition writer and
+// the soak report agree on: shortest round-trip decimal.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

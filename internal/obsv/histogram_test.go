@@ -1,0 +1,112 @@
+package obsv
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},         // 1.000001µs rounds up past the 1µs bound
+		{2 * time.Microsecond, 1},         // exactly on the 2µs bound
+		{3 * time.Microsecond, 2},         // in (2µs, 4µs]
+		{time.Millisecond, 10},            // 1024µs bound is 2^10
+		{time.Second, 20},                 // 2^20µs ≈ 1.049s bound
+		{67 * time.Second, infBucket - 1}, // just under 2^26µs ≈ 67.1s
+		{68 * time.Second, infBucket},
+		{time.Hour, infBucket},
+	}
+	bounds := bucketBounds()
+	for _, c := range cases {
+		got := bucketIndex(c.d)
+		if got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+		// The defining property: the observation must not exceed its
+		// bucket's upper bound, and must exceed the previous bound.
+		if got < numBuckets {
+			if c.d.Seconds() > bounds[got]+1e-12 {
+				t.Errorf("bucketIndex(%v) = %d but %v > bound %g", c.d, got, c.d, bounds[got])
+			}
+		}
+	}
+}
+
+func TestHistogramSnapshotAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 900; i++ {
+		h.Record(100 * time.Microsecond) // bucket le=128µs
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(10 * time.Millisecond) // bucket le≈16.4ms
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	wantSum := 900*100e-6 + 100*10e-3
+	if math.Abs(s.SumSeconds-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.SumSeconds, wantSum)
+	}
+	p50 := s.Quantile(0.5)
+	if p50 <= 64e-6 || p50 > 128e-6 {
+		t.Fatalf("p50 = %g, want within (64µs, 128µs]", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 <= 8.192e-3 || p99 > 16.384e-3 {
+		t.Fatalf("p99 = %g, want within the (8.192ms, 16.384ms] bucket", p99)
+	}
+	if got := s.Quantile(1); got > 16.384e-3 {
+		t.Fatalf("p100 = %g beyond top occupied bucket", got)
+	}
+	var empty Snapshot
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty snapshot quantile should be 0")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	a.Record(2 * time.Millisecond)
+	b.Record(time.Second)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", sa.Count)
+	}
+	want := 0.001 + 0.002 + 1.0
+	if math.Abs(sa.SumSeconds-want) > 1e-9 {
+		t.Fatalf("merged sum = %g, want %g", sa.SumSeconds, want)
+	}
+}
+
+// TestHistogramConcurrent hammers Record from many goroutines; run
+// under -race this is the lock-freedom contract, and the final snapshot
+// must not lose a single observation.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*i%5000) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}

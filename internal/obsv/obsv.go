@@ -1,0 +1,356 @@
+package obsv
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderRequestID carries the request id: generated when absent,
+// echoed verbatim when the client (or an upstream proxy) supplied a
+// well-formed one, and present on every response the daemon writes —
+// including sheds, where traceability matters most.
+const HeaderRequestID = "X-Fusion-Request-Id"
+
+// Options configures an Obs. The zero value observes with defaults.
+type Options struct {
+	// LogSize bounds the access-log ring buffer (records); 0 means 1024,
+	// negative disables access logging entirely.
+	LogSize int
+
+	// SlowThreshold marks requests slower than this for the slow log and
+	// the slow-request counter; 0 disables slow logging.
+	SlowThreshold time.Duration
+
+	// Logger receives slow-request lines; nil means log.Default().
+	Logger *log.Logger
+
+	// TenantHeader names the request header carrying the tenant id for
+	// the per-tenant latency label; default "X-Fusion-Tenant".
+	TenantHeader string
+
+	// RoleFn, when set, is stamped as X-Fusion-Role on every response —
+	// shed paths included — so a client always learns which role answered
+	// (or refused) it.
+	RoleFn func() string
+
+	// MaxSeries caps distinct histogram label sets; past it, new series
+	// fold their tenant label into "~overflow" so a client minting tenant
+	// names cannot grow the registry without bound. 0 means 4096.
+	MaxSeries int
+
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// seriesKey is one latency series: the full label set of
+// fusiond_http_request_duration_seconds.
+type seriesKey struct {
+	Route  string // matched mux pattern path, e.g. "/v1/generate"
+	Method string
+	Status string // status class: "2xx", "4xx", ...
+	Tenant string
+	Cache  string // X-Fusion-Cache disposition; "none" off the generate path
+}
+
+// routeStats is the per-series record: the latency histogram plus the
+// response-byte counter.
+type routeStats struct {
+	hist  Histogram
+	bytes atomic.Int64
+}
+
+// Obs is the observability plane instance: middleware, histogram
+// registry, access log, and process gauges hang off one value owned by
+// the server.
+type Obs struct {
+	opts  Options
+	start time.Time
+	idGen requestIDGen
+
+	series   sync.Map // seriesKey -> *routeStats
+	nSeries  atomic.Int64
+	inflight atomic.Int64
+	slow     atomic.Int64
+
+	ring *accessLog
+}
+
+// New builds an Obs.
+func New(opts Options) *Obs {
+	if opts.TenantHeader == "" {
+		opts.TenantHeader = "X-Fusion-Tenant"
+	}
+	if opts.MaxSeries <= 0 {
+		opts.MaxSeries = 4096
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.Default()
+	}
+	o := &Obs{opts: opts, start: opts.Now()}
+	o.idGen.init()
+	if opts.LogSize >= 0 {
+		size := opts.LogSize
+		if size == 0 {
+			size = 1024
+		}
+		o.ring = newAccessLog(size)
+	}
+	return o
+}
+
+// Middleware wraps the daemon's whole handler tree. It stamps the
+// request id and role headers on the real connection before the inner
+// handler runs (so every write path — buffered, shed, redirected —
+// carries them), then records the route latency histogram and the
+// access-log entry once the response is done. The route label is the
+// mux pattern that matched (net/http sets r.Pattern during dispatch),
+// never the raw URL, so series cardinality is bounded by the route
+// table.
+func (o *Obs) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := o.opts.Now()
+		id := o.requestID(r)
+		w.Header().Set(HeaderRequestID, id)
+		if o.opts.RoleFn != nil {
+			w.Header().Set("X-Fusion-Role", o.opts.RoleFn())
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		o.inflight.Add(1)
+		next.ServeHTTP(rec, r)
+		o.inflight.Add(-1)
+		dur := o.opts.Now().Sub(start)
+
+		route := "unmatched"
+		method := r.Method
+		if r.Pattern != "" {
+			route = r.Pattern
+			if m, p, ok := cutPattern(r.Pattern); ok {
+				method, route = m, p
+			}
+		}
+		status := rec.status()
+		cache := rec.Header().Get("X-Fusion-Cache")
+		if cache == "" {
+			cache = "none"
+		}
+		tenant := tenantLabel(r.Header.Get(o.opts.TenantHeader))
+		st := o.stats(seriesKey{
+			Route:  route,
+			Method: method,
+			Status: statusClass(status),
+			Tenant: tenant,
+			Cache:  cache,
+		})
+		st.hist.Record(dur)
+		st.bytes.Add(rec.bytes)
+
+		if thr := o.opts.SlowThreshold; thr > 0 && dur >= thr {
+			o.slow.Add(1)
+			o.opts.Logger.Printf("obsv: slow request id=%s method=%s route=%s status=%d tenant=%s dur=%s",
+				id, method, route, status, tenant, dur)
+		}
+		if o.ring != nil {
+			o.ring.append(AccessRecord{
+				Time:       start.UTC(),
+				ID:         id,
+				Method:     method,
+				Route:      route,
+				Path:       r.URL.Path,
+				Status:     status,
+				DurationUS: dur.Microseconds(),
+				Bytes:      rec.bytes,
+				Tenant:     tenant,
+				Cache:      cache,
+			})
+		}
+	})
+}
+
+// stats resolves (or mints) the series for key, folding the tenant into
+// "~overflow" at the registry cap. The overflow retry always lands:
+// with tenant pinned, the key space is bounded by routes × methods ×
+// status classes × cache dispositions, far below any sane cap.
+func (o *Obs) stats(key seriesKey) *routeStats {
+	if st, ok := o.series.Load(key); ok {
+		return st.(*routeStats)
+	}
+	if o.nSeries.Load() >= int64(o.opts.MaxSeries) && key.Tenant != "~overflow" {
+		key.Tenant = "~overflow"
+		return o.stats(key)
+	}
+	st, loaded := o.series.LoadOrStore(key, &routeStats{})
+	if !loaded {
+		o.nSeries.Add(1)
+	}
+	return st.(*routeStats)
+}
+
+// SnapshotRoutes returns a merged latency snapshot per route (labels
+// beyond the route folded together) — the soak report's shape.
+func (o *Obs) SnapshotRoutes() map[string]Snapshot {
+	out := make(map[string]Snapshot)
+	o.series.Range(func(k, v any) bool {
+		key := k.(seriesKey)
+		s := out[key.Route]
+		s.Merge(v.(*routeStats).hist.Snapshot())
+		out[key.Route] = s
+		return true
+	})
+	return out
+}
+
+// InFlight reports requests currently inside the middleware.
+func (o *Obs) InFlight() int64 { return o.inflight.Load() }
+
+// Uptime reports time since the Obs (in practice: the daemon) started.
+func (o *Obs) Uptime() time.Duration { return o.opts.Now().Sub(o.start) }
+
+// requestID validates a propagated id or mints a fresh one.
+func (o *Obs) requestID(r *http.Request) string {
+	if id := r.Header.Get(HeaderRequestID); validRequestID(id) {
+		return id
+	}
+	return o.idGen.next()
+}
+
+// validRequestID accepts ids that are safe to echo into headers and
+// logs: short, printable, no quotes or spaces. Anything else is
+// replaced rather than propagated — a request id is a tracing token,
+// not a data channel.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' || c == ':' || c == '/' || c == '+' || c == '=' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// requestIDGen mints process-unique ids: a random per-process prefix
+// plus an atomic counter. Cheaper than per-request randomness, unique
+// across restarts with overwhelming probability, and ordered within a
+// process — which makes interleaved access-log records sortable.
+type requestIDGen struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+func (g *requestIDGen) init() {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero prefix
+		// still yields valid (merely less distinctive) ids.
+		copy(b[:], "fusion")
+	}
+	g.prefix = hex.EncodeToString(b[:])
+}
+
+func (g *requestIDGen) next() string {
+	return g.prefix + "-" + formatUint(g.n.Add(1))
+}
+
+func formatUint(v uint64) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}
+
+// cutPattern splits a "METHOD /path" mux pattern; patterns without a
+// method (e.g. pprof's "/debug/pprof/") report ok=false.
+func cutPattern(p string) (method, path string, ok bool) {
+	for i := 0; i < len(p); i++ {
+		if p[i] == ' ' {
+			return p[:i], p[i+1:], true
+		}
+		if p[i] == '/' {
+			break
+		}
+	}
+	return "", p, false
+}
+
+func statusClass(code int) string {
+	switch {
+	case code >= 100 && code < 600:
+		return string([]byte{byte('0' + code/100), 'x', 'x'})
+	default:
+		return "other"
+	}
+}
+
+// tenantLabel reuses the daemon's tenant charset rules so a hostile
+// header cannot inject label syntax; names the server would reject are
+// folded into one bucket.
+func tenantLabel(name string) string {
+	if name == "" {
+		return "default"
+	}
+	if len(name) > 64 || name[0] == '.' {
+		return "~invalid"
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' {
+			continue
+		}
+		return "~invalid"
+	}
+	return name
+}
+
+// statusRecorder captures the status code and body size on the way
+// through. Unwrap keeps http.ResponseController (flush, deadlines)
+// working for streaming handlers behind the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }

@@ -1,0 +1,292 @@
+package obsv
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testPlane builds an Obs wrapping a small mux that mimics the daemon's
+// route shapes.
+func testPlane(t *testing.T, opts Options) (*Obs, http.Handler) {
+	t.Helper()
+	o := New(opts)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Fusion-Cache", "hit")
+		fmt.Fprint(w, `{"n":9}`)
+	})
+	mux.HandleFunc("GET /v1/clusters/{id}", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	})
+	mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	})
+	return o, o.Middleware(mux)
+}
+
+func TestMiddlewareRequestID(t *testing.T) {
+	_, h := testPlane(t, Options{})
+
+	// Generated when absent.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+	id := w.Header().Get(HeaderRequestID)
+	if id == "" {
+		t.Fatal("no request id generated")
+	}
+
+	// Propagated verbatim when well-formed.
+	r := httptest.NewRequest("GET", "/healthz", nil)
+	r.Header.Set(HeaderRequestID, "trace-42/abc")
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if got := w.Header().Get(HeaderRequestID); got != "trace-42/abc" {
+		t.Fatalf("propagated id = %q, want trace-42/abc", got)
+	}
+
+	// A malformed id (header injection shapes) is replaced, not echoed.
+	r = httptest.NewRequest("GET", "/healthz", nil)
+	r.Header.Set(HeaderRequestID, `evil" inject`)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if got := w.Header().Get(HeaderRequestID); got == `evil" inject` || got == "" {
+		t.Fatalf("malformed id echoed back: %q", got)
+	}
+
+	// Ids are unique per request.
+	w2 := httptest.NewRecorder()
+	h.ServeHTTP(w2, httptest.NewRequest("GET", "/healthz", nil))
+	if id2 := w2.Header().Get(HeaderRequestID); id2 == id {
+		t.Fatalf("two requests got the same id %q", id)
+	}
+}
+
+func TestMiddlewareRoleHeader(t *testing.T) {
+	_, h := testPlane(t, Options{RoleFn: func() string { return "leader" }})
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+	if got := w.Header().Get("X-Fusion-Role"); got != "leader" {
+		t.Fatalf("role header = %q, want leader", got)
+	}
+	// Unmatched routes (mux 404) carry it too — sheds stay traceable.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/no/such/route", nil))
+	if got := w.Header().Get("X-Fusion-Role"); got != "leader" {
+		t.Fatalf("role header on 404 = %q, want leader", got)
+	}
+	if w.Header().Get(HeaderRequestID) == "" {
+		t.Fatal("404 path lost the request id")
+	}
+}
+
+func TestMiddlewareRecordsRouteSeries(t *testing.T) {
+	o, h := testPlane(t, Options{})
+	for i := 0; i < 3; i++ {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/v1/generate", strings.NewReader("{}"))
+		r.Header.Set("X-Fusion-Tenant", "acme")
+		h.ServeHTTP(w, r)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/v1/clusters/c1", nil))
+
+	routes := o.SnapshotRoutes()
+	if s := routes["/v1/generate"]; s.Count != 3 {
+		t.Fatalf("generate route count = %d, want 3 (routes: %v)", s.Count, routes)
+	}
+	// The path parameter must not leak into the route label.
+	if s := routes["/v1/clusters/{id}"]; s.Count != 1 {
+		t.Fatalf("cluster route count = %d, want 1 under the pattern label (routes: %v)", s.Count, routes)
+	}
+	if _, ok := routes["/v1/clusters/c1"]; ok {
+		t.Fatal("raw URL leaked into route labels")
+	}
+
+	// The full label set behind the scenes: status class and cache
+	// disposition distinguish series.
+	var foundHit, found4xx bool
+	o.series.Range(func(k, v any) bool {
+		key := k.(seriesKey)
+		if key.Route == "/v1/generate" && key.Cache == "hit" && key.Tenant == "acme" && key.Status == "2xx" {
+			foundHit = true
+		}
+		if key.Route == "/v1/clusters/{id}" && key.Status == "4xx" && key.Cache == "none" {
+			found4xx = true
+		}
+		return true
+	})
+	if !foundHit || !found4xx {
+		t.Fatalf("expected labeled series missing (hit=%v 4xx=%v)", foundHit, found4xx)
+	}
+}
+
+func TestMiddlewareAccessLog(t *testing.T) {
+	o, h := testPlane(t, Options{LogSize: 4})
+	for i := 0; i < 6; i++ { // overflow the 4-slot ring
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/v1/generate", strings.NewReader("{}"))
+		r.Header.Set(HeaderRequestID, fmt.Sprintf("req-%d", i))
+		h.ServeHTTP(w, r)
+	}
+	recs := o.Tail(10)
+	if len(recs) != 4 {
+		t.Fatalf("tail returned %d records, want ring size 4", len(recs))
+	}
+	for i, rec := range recs {
+		want := fmt.Sprintf("req-%d", i+2) // oldest two dropped
+		if rec.ID != want {
+			t.Fatalf("tail[%d].ID = %q, want %q", i, rec.ID, want)
+		}
+		if rec.Route != "/v1/generate" || rec.Method != "POST" || rec.Status != 200 {
+			t.Fatalf("tail[%d] = %+v, want generate record", i, rec)
+		}
+		if rec.Cache != "hit" {
+			t.Fatalf("tail[%d].Cache = %q, want hit", i, rec.Cache)
+		}
+	}
+
+	// The HTTP tail endpoint serves the same records.
+	w := httptest.NewRecorder()
+	o.HandleDebugLog(w, httptest.NewRequest("GET", "/debug/log?n=2", nil))
+	if w.Code != 200 {
+		t.Fatalf("debug/log status %d", w.Code)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, `"total": 6`) || !strings.Contains(body, "req-5") || strings.Contains(body, "req-3") {
+		t.Fatalf("debug/log?n=2 body wrong:\n%s", body)
+	}
+	w = httptest.NewRecorder()
+	o.HandleDebugLog(w, httptest.NewRequest("GET", "/debug/log?n=bogus", nil))
+	if w.Code != 400 {
+		t.Fatalf("bad n: status %d, want 400", w.Code)
+	}
+}
+
+func TestMiddlewareSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	o, h := testPlane(t, Options{SlowThreshold: time.Millisecond, Logger: logger})
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/slow", nil))
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+	if o.slow.Load() != 1 {
+		t.Fatalf("slow counter = %d, want 1", o.slow.Load())
+	}
+	line := buf.String()
+	if !strings.Contains(line, "slow request") || !strings.Contains(line, "route=/slow") {
+		t.Fatalf("slow log line wrong: %q", line)
+	}
+}
+
+func TestSeriesOverflowFoldsTenant(t *testing.T) {
+	o, h := testPlane(t, Options{MaxSeries: 2})
+	for i := 0; i < 10; i++ {
+		r := httptest.NewRequest("GET", "/healthz", nil)
+		r.Header.Set("X-Fusion-Tenant", fmt.Sprintf("t%d", i))
+		h.ServeHTTP(httptest.NewRecorder(), r)
+	}
+	var overflow uint64
+	n := 0
+	o.series.Range(func(k, v any) bool {
+		n++
+		if k.(seriesKey).Tenant == "~overflow" {
+			overflow = v.(*routeStats).hist.Snapshot().Count
+		}
+		return true
+	})
+	if n > 3 { // 2 real series + the overflow fold
+		t.Fatalf("series grew to %d despite cap", n)
+	}
+	if overflow == 0 {
+		t.Fatal("no overflow series absorbed the excess tenants")
+	}
+}
+
+func TestTenantLabel(t *testing.T) {
+	cases := map[string]string{
+		"":                      "default",
+		"acme":                  "acme",
+		"a.b-c_d":               "a.b-c_d",
+		".hidden":               "~invalid",
+		"sp ace":                "~invalid",
+		`q"uote`:                "~invalid",
+		strings.Repeat("x", 65): "~invalid",
+	}
+	for in, want := range cases {
+		if got := tenantLabel(in); got != want {
+			t.Errorf("tenantLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestMiddlewareConcurrent drives the full middleware concurrently; the
+// -race CI job makes this the data-race contract for the whole plane.
+func TestMiddlewareConcurrent(t *testing.T) {
+	o, h := testPlane(t, Options{LogSize: 64})
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec := httptest.NewRecorder()
+				r := httptest.NewRequest("GET", "/healthz", nil)
+				r.Header.Set("X-Fusion-Tenant", fmt.Sprintf("t%d", w%3))
+				h.ServeHTTP(rec, r)
+				if i%50 == 0 {
+					var b bytes.Buffer
+					o.WriteMetrics(&b)
+					o.Tail(10)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range o.SnapshotRoutes() {
+		total += s.Count
+	}
+	if total != workers*per {
+		t.Fatalf("recorded %d requests, want %d", total, workers*per)
+	}
+	if o.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after drain", o.InFlight())
+	}
+}
+
+// BenchmarkMiddleware prices one request's trip through the full
+// middleware against the bare handler: id mint + header stamps +
+// statusRecorder + histogram record + access-log append. The
+// per-request budget pinned in benchmarks/README.md is < 2µs.
+func BenchmarkMiddleware(b *testing.B) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`)) //nolint:errcheck // recorder
+	})
+	run := func(b *testing.B, h http.Handler) {
+		r := httptest.NewRequest("GET", "/healthz", nil)
+		r.Pattern = "GET /healthz"
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ServeHTTP(httptest.NewRecorder(), r)
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, handler) })
+	b.Run("observed", func(b *testing.B) {
+		o := New(Options{RoleFn: func() string { return "single" }})
+		run(b, o.Middleware(handler))
+	})
+}

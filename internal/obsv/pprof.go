@@ -1,0 +1,18 @@
+package obsv
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts net/http/pprof's handlers on mux under
+// /debug/pprof/ without importing the package for its DefaultServeMux
+// side effect — the daemon decides (via a flag) whether its profiler is
+// reachable, instead of inheriting it from an import graph.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

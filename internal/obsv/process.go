@@ -1,0 +1,88 @@
+package obsv
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ProcessStats is a point-in-time view of the process gauges /metrics
+// exports and /healthz summarizes.
+type ProcessStats struct {
+	Goroutines    int
+	HeapBytes     uint64  // live heap (HeapAlloc)
+	SysBytes      uint64  // total bytes obtained from the OS
+	RSSBytes      int64   // resident set size; 0 where /proc is absent
+	GCPauseTotal  float64 // seconds, cumulative
+	NumGC         uint32
+	UptimeSeconds float64
+}
+
+// Process reads the runtime gauges. ReadMemStats briefly stops the
+// world, so this is scrape-path only — never on the request hot path.
+func (o *Obs) Process() ProcessStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ProcessStats{
+		Goroutines:    runtime.NumGoroutine(),
+		HeapBytes:     ms.HeapAlloc,
+		SysBytes:      ms.Sys,
+		RSSBytes:      readRSSBytes(),
+		GCPauseTotal:  float64(ms.PauseTotalNs) / 1e9,
+		NumGC:         ms.NumGC,
+		UptimeSeconds: o.Uptime().Seconds(),
+	}
+}
+
+// readRSSBytes reports the resident set size from /proc/self/statm
+// (second field, in pages). Platforms without procfs report 0 — the
+// gauge is absent-as-zero rather than a build constraint, so the
+// package stays portable.
+func readRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}
+
+// BuildInfo identifies the running binary for fusiond_build_info.
+type BuildInfo struct {
+	Version   string // main module version ("(devel)" for local builds)
+	GoVersion string
+	Revision  string // VCS revision when stamped, else ""
+}
+
+var (
+	buildOnce sync.Once
+	buildVal  BuildInfo
+)
+
+// Build reads the binary's build information once.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildVal = BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			if bi.Main.Version != "" {
+				buildVal.Version = bi.Main.Version
+			}
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					buildVal.Revision = s.Value
+				}
+			}
+		}
+	})
+	return buildVal
+}

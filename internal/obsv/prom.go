@@ -1,0 +1,130 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Metric family names the plane exports; the server's /metrics handler
+// and the soak report address them by these constants.
+const (
+	MetricRequestDuration = "fusiond_http_request_duration_seconds"
+	MetricResponseBytes   = "fusiond_http_response_bytes_total"
+	MetricSlowRequests    = "fusiond_http_slow_requests_total"
+	MetricInFlight        = "fusiond_http_requests_in_flight"
+	MetricBuildInfo       = "fusiond_build_info"
+	MetricGoroutines      = "fusiond_process_goroutines"
+)
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics emits the plane's series in the Prometheus text format:
+// the per-route latency histogram family (proper _bucket/_sum/_count
+// with cumulative le buckets), response-byte counters, the slow and
+// in-flight gauges, build info, and the process gauges. Series are
+// sorted, so two scrapes of the same state are byte-identical —
+// exposition order is part of the contract the parser test pins.
+func (o *Obs) WriteMetrics(w io.Writer) {
+	type row struct {
+		key   seriesKey
+		snap  Snapshot
+		bytes int64
+	}
+	var rows []row
+	o.series.Range(func(k, v any) bool {
+		st := v.(*routeStats)
+		rows = append(rows, row{key: k.(seriesKey), snap: st.hist.Snapshot(), bytes: st.bytes.Load()})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].key, rows[j].key
+		if a.Route != b.Route {
+			return a.Route < b.Route
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Status != b.Status {
+			return a.Status < b.Status
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Cache < b.Cache
+	})
+
+	labels := func(k seriesKey) string {
+		return fmt.Sprintf(`route="%s",method="%s",status="%s",tenant="%s",cache="%s"`,
+			escapeLabel(k.Route), escapeLabel(k.Method), escapeLabel(k.Status),
+			escapeLabel(k.Tenant), escapeLabel(k.Cache))
+	}
+
+	bounds := bucketBounds()
+	fmt.Fprintf(w, "# HELP %s End-to-end request latency by route, through the full middleware/handler stack.\n", MetricRequestDuration)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", MetricRequestDuration)
+	for _, r := range rows {
+		ls := labels(r.key)
+		var cum uint64
+		for i, c := range r.snap.Buckets[:numBuckets] {
+			cum += c
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", MetricRequestDuration, ls, formatBound(bounds[i]), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", MetricRequestDuration, ls, r.snap.Count)
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", MetricRequestDuration, ls, formatBound(r.snap.SumSeconds))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", MetricRequestDuration, ls, r.snap.Count)
+	}
+
+	fmt.Fprintf(w, "# HELP %s Response body bytes written, by route.\n# TYPE %s counter\n", MetricResponseBytes, MetricResponseBytes)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s{%s} %d\n", MetricResponseBytes, labels(r.key), r.bytes)
+	}
+
+	fmt.Fprintf(w, "# HELP %s Requests slower than the slow-request threshold.\n# TYPE %s counter\n%s %d\n",
+		MetricSlowRequests, MetricSlowRequests, MetricSlowRequests, o.slow.Load())
+	fmt.Fprintf(w, "# HELP %s Requests currently being served.\n# TYPE %s gauge\n%s %d\n",
+		MetricInFlight, MetricInFlight, MetricInFlight, o.inflight.Load())
+
+	bi := Build()
+	rev := bi.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	fmt.Fprintf(w, "# HELP %s Build identity of the running binary (value is always 1).\n# TYPE %s gauge\n", MetricBuildInfo, MetricBuildInfo)
+	fmt.Fprintf(w, "%s{version=\"%s\",go=\"%s\",revision=\"%s\"} 1\n",
+		MetricBuildInfo, escapeLabel(bi.Version), escapeLabel(bi.GoVersion), escapeLabel(rev))
+
+	ps := o.Process()
+	for _, g := range []struct {
+		name, help, typ string
+		v               string
+	}{
+		{MetricGoroutines, "Live goroutines.", "gauge", fmt.Sprintf("%d", ps.Goroutines)},
+		{"fusiond_process_heap_alloc_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc).", "gauge", fmt.Sprintf("%d", ps.HeapBytes)},
+		{"fusiond_process_sys_bytes", "Total bytes obtained from the OS (runtime.MemStats.Sys).", "gauge", fmt.Sprintf("%d", ps.SysBytes)},
+		{"fusiond_process_rss_bytes", "Resident set size from /proc (0 where unavailable).", "gauge", fmt.Sprintf("%d", ps.RSSBytes)},
+		{"fusiond_process_uptime_seconds", "Seconds since the daemon booted.", "gauge", formatBound(ps.UptimeSeconds)},
+		{"fusiond_process_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", "counter", formatBound(ps.GCPauseTotal)},
+		{"fusiond_process_gcs_total", "Completed GC cycles.", "counter", fmt.Sprintf("%d", ps.NumGC)},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", g.name, g.help, g.name, g.typ, g.name, g.v)
+	}
+}

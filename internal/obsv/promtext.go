@@ -1,0 +1,474 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a strict parser for the Prometheus text exposition
+// format (version 0.0.4) — strict on purpose: it is the referee for the
+// daemon's own /metrics output, so it rejects everything the format
+// permits but our writer must never produce (samples without HELP/TYPE,
+// interleaved families, bad escapes, non-monotone histogram buckets).
+// The soak harness reads scraped metrics through it, so a malformed
+// exposition fails the soak run, not just the unit test.
+
+// Sample is one exposition line: a metric name, its label set, and the
+// value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Family is one metric family: the # HELP / # TYPE header plus every
+// sample that followed it.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", ...
+	Samples []Sample
+}
+
+// Exposition is a parsed /metrics page; Order preserves family order so
+// callers can assert determinism across scrapes.
+type Exposition struct {
+	Order    []string
+	Families map[string]*Family
+}
+
+// Family returns a family by name (nil when absent).
+func (e *Exposition) Family(name string) *Family { return e.Families[name] }
+
+// ParseText parses a strict exposition page. Every returned error names
+// the offending line.
+func ParseText(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Families: make(map[string]*Family)}
+	var cur *Family
+	pendingHelp := "" // family name announced by # HELP, awaiting # TYPE
+	helpText := ""
+	seen := make(map[string]bool) // family names already closed or open
+	lineno := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("metrics line %d: %s (in %q)", lineno, fmt.Sprintf(format, args...), line)
+		}
+		if line == "" {
+			return nil, fail("blank line")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return nil, fail("malformed HELP")
+			}
+			if pendingHelp != "" {
+				return nil, fail("HELP for %q while HELP for %q awaits its TYPE", name, pendingHelp)
+			}
+			if seen[name] {
+				return nil, fail("family %q re-announced; families must be contiguous", name)
+			}
+			pendingHelp, helpText = name, help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return nil, fail("malformed TYPE")
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fail("unknown type %q", typ)
+			}
+			if pendingHelp != name {
+				return nil, fail("TYPE for %q without a preceding HELP for it", name)
+			}
+			cur = &Family{Name: name, Help: helpText, Type: typ}
+			exp.Families[name] = cur
+			exp.Order = append(exp.Order, name)
+			seen[name] = true
+			pendingHelp = ""
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fail("stray comment")
+		}
+		if pendingHelp != "" {
+			return nil, fail("sample while HELP for %q awaits its TYPE", pendingHelp)
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		if cur == nil {
+			return nil, fail("sample %q before any HELP/TYPE header", s.Name)
+		}
+		if !sampleBelongsTo(s.Name, cur) {
+			return nil, fail("sample %q does not belong to open family %q", s.Name, cur.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pendingHelp != "" {
+		return nil, fmt.Errorf("metrics: HELP for %q never got its TYPE", pendingHelp)
+	}
+	for _, name := range exp.Order {
+		if err := validateFamily(exp.Families[name]); err != nil {
+			return nil, err
+		}
+	}
+	return exp, nil
+}
+
+// sampleBelongsTo accepts the family's own name and, for histograms
+// (and summaries), the _bucket/_sum/_count expansions.
+func sampleBelongsTo(sample string, f *Family) bool {
+	if sample == f.Name {
+		return f.Type != "histogram" // histograms expose only the expansions
+	}
+	switch f.Type {
+	case "histogram":
+		return sample == f.Name+"_bucket" || sample == f.Name+"_sum" || sample == f.Name+"_count"
+	case "summary":
+		return sample == f.Name+"_sum" || sample == f.Name+"_count"
+	}
+	return false
+}
+
+// validateFamily enforces the per-family invariants: unique label sets,
+// and for histograms bucket monotonicity plus the +Inf/_count/_sum
+// triangle for every label set.
+func validateFamily(f *Family) error {
+	unique := make(map[string]bool, len(f.Samples))
+	for _, s := range f.Samples {
+		key := s.Name + "|" + labelSignature(s.Labels, "")
+		if unique[key] {
+			return fmt.Errorf("metrics family %q: duplicate sample %s{%s}", f.Name, s.Name, labelSignature(s.Labels, ""))
+		}
+		unique[key] = true
+	}
+	if f.Type != "histogram" {
+		return nil
+	}
+	type hist struct {
+		les    []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+	}
+	groups := make(map[string]*hist)
+	order := []string{}
+	group := func(labels map[string]string) *hist {
+		sig := labelSignature(labels, "le")
+		h, ok := groups[sig]
+		if !ok {
+			h = &hist{}
+			groups[sig] = h
+			order = append(order, sig)
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("metrics family %q: _bucket without le", f.Name)
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				var err error
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					return fmt.Errorf("metrics family %q: bad le %q", f.Name, leStr)
+				}
+			}
+			h := group(s.Labels)
+			h.les = append(h.les, le)
+			h.counts = append(h.counts, s.Value)
+		case f.Name + "_sum":
+			v := s.Value
+			group(s.Labels).sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			group(s.Labels).count = &v
+		}
+	}
+	for _, sig := range order {
+		h := groups[sig]
+		if len(h.les) == 0 {
+			return fmt.Errorf("metrics family %q{%s}: _sum/_count without buckets", f.Name, sig)
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				return fmt.Errorf("metrics family %q{%s}: le bounds not increasing", f.Name, sig)
+			}
+			if h.counts[i] < h.counts[i-1] {
+				return fmt.Errorf("metrics family %q{%s}: cumulative bucket counts decreased at le=%g", f.Name, sig, h.les[i])
+			}
+		}
+		if !math.IsInf(h.les[len(h.les)-1], 1) {
+			return fmt.Errorf("metrics family %q{%s}: missing le=\"+Inf\" bucket", f.Name, sig)
+		}
+		if h.count == nil || h.sum == nil {
+			return fmt.Errorf("metrics family %q{%s}: missing _sum or _count", f.Name, sig)
+		}
+		if *h.count != h.counts[len(h.counts)-1] {
+			return fmt.Errorf("metrics family %q{%s}: _count %g != +Inf bucket %g", f.Name, sig, *h.count, h.counts[len(h.counts)-1])
+		}
+	}
+	return nil
+}
+
+// labelSignature renders labels sorted, excluding one name — the
+// canonical group key for histogram label sets minus le.
+func labelSignature(labels map[string]string, exclude string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// QuantileBy groups a histogram family's buckets by one label (samples
+// missing the label group under "") and estimates the q-quantile of
+// each group by linear interpolation — the soak report's
+// p50/p95/p99-per-route math over a scraped exposition. Cumulative
+// bucket runs from different label sets in the same group (e.g. one
+// route's 2xx and 4xx series) are converted back to per-bucket deltas
+// before merging, since cumulative counts only add within one set.
+func (f *Family) QuantileBy(label string, q float64) (map[string]float64, error) {
+	if f.Type != "histogram" {
+		return nil, fmt.Errorf("family %q is a %s, not a histogram", f.Name, f.Type)
+	}
+	type bucket struct {
+		le    float64
+		count float64 // cumulative within its own label set
+	}
+	bySet := make(map[string]map[string][]bucket) // group -> labelset signature -> run
+	for _, s := range f.Samples {
+		if s.Name != f.Name+"_bucket" {
+			continue
+		}
+		le := math.Inf(1)
+		if v := s.Labels["le"]; v != "+Inf" {
+			le, _ = strconv.ParseFloat(v, 64) //nolint:errcheck // validated by ParseText
+		}
+		key := s.Labels[label]
+		if bySet[key] == nil {
+			bySet[key] = make(map[string][]bucket)
+		}
+		sig := labelSignature(s.Labels, "le")
+		bySet[key][sig] = append(bySet[key][sig], bucket{le, s.Value})
+	}
+	out := make(map[string]float64, len(bySet))
+	for key, sets := range bySet {
+		perLE := make(map[float64]float64)
+		for _, run := range sets {
+			sort.Slice(run, func(i, j int) bool { return run[i].le < run[j].le })
+			var prev float64
+			for _, b := range run {
+				perLE[b.le] += b.count - prev
+				prev = b.count
+			}
+		}
+		les := make([]float64, 0, len(perLE))
+		var total float64
+		for le, c := range perLE {
+			les = append(les, le)
+			total += c
+		}
+		sort.Float64s(les)
+		if total == 0 {
+			out[key] = 0
+			continue
+		}
+		rank := q * total
+		var cum, lo float64
+		for _, le := range les {
+			c := perLE[le]
+			if cum+c >= rank && c > 0 {
+				if math.IsInf(le, 1) {
+					out[key] = lo // no upper edge to interpolate toward
+					break
+				}
+				frac := (rank - cum) / c
+				if frac < 0 {
+					frac = 0
+				} else if frac > 1 {
+					frac = 1
+				}
+				out[key] = lo + (le-lo)*frac
+				break
+			}
+			cum += c
+			if !math.IsInf(le, 1) {
+				lo = le
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- sample-line lexer ------------------------------------------------------
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9') {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9') {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// parseSample lexes `name{label="value",...} value` (labels optional).
+// No timestamps: our writer never emits them, so the parser treats any
+// trailing token as an error.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			name := line[i:j]
+			if !validLabelName(name) {
+				return s, fmt.Errorf("invalid label name %q", name)
+			}
+			if _, dup := s.Labels[name]; dup {
+				return s, fmt.Errorf("duplicate label %q", name)
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return s, fmt.Errorf("label %q: value must be quoted", name)
+			}
+			val, rest, err := lexQuoted(line[j+1:])
+			if err != nil {
+				return s, fmt.Errorf("label %q: %v", name, err)
+			}
+			s.Labels[name] = val
+			i = len(line) - len(rest)
+			if i < len(line) && line[i] == ',' {
+				i++
+			} else if i >= len(line) || line[i] != '}' {
+				return s, fmt.Errorf("expected ',' or '}' after label %q", name)
+			}
+		}
+	}
+	if len(s.Labels) == 0 {
+		s.Labels = nil
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("expected space before value")
+	}
+	valStr := line[i+1:]
+	if valStr == "" || strings.ContainsAny(valStr, " \t") {
+		return s, fmt.Errorf("expected exactly one value token, got %q", valStr)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", valStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// lexQuoted reads a quoted label value starting at the opening quote,
+// accepting only the three legal escapes, and returns the decoded value
+// plus the remainder of the line.
+func lexQuoted(in string) (val, rest string, err error) {
+	if in == "" || in[0] != '"' {
+		return "", "", fmt.Errorf("missing opening quote")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(in) {
+		switch c := in[i]; c {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch in[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("illegal escape \\%c", in[i+1])
+			}
+			i += 2
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in label value")
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}

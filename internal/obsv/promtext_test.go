@@ -1,0 +1,180 @@
+package obsv
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteMetricsParses is the writer↔parser round trip: everything
+// the plane emits must survive its own strict parser, histogram
+// invariants included.
+func TestWriteMetricsParses(t *testing.T) {
+	o, h := testPlane(t, Options{SlowThreshold: time.Nanosecond})
+	for i := 0; i < 5; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/generate", strings.NewReader("{}")))
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/clusters/c9", nil))
+
+	var b bytes.Buffer
+	o.WriteMetrics(&b)
+	exp, err := ParseText(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("own exposition rejected: %v\n%s", err, b.String())
+	}
+	hf := exp.Family(MetricRequestDuration)
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("latency family missing or mistyped: %+v", hf)
+	}
+	var count float64
+	for _, s := range hf.Samples {
+		if s.Name == MetricRequestDuration+"_count" {
+			count += s.Value
+		}
+	}
+	if count != 6 {
+		t.Fatalf("histogram counts sum to %g, want 6", count)
+	}
+	for _, name := range []string{MetricResponseBytes, MetricSlowRequests, MetricInFlight, MetricBuildInfo, MetricGoroutines, "fusiond_process_rss_bytes", "fusiond_process_uptime_seconds"} {
+		if exp.Family(name) == nil {
+			t.Errorf("family %q missing from exposition", name)
+		}
+	}
+	if bi := exp.Family(MetricBuildInfo); bi != nil {
+		if len(bi.Samples) != 1 || bi.Samples[0].Value != 1 || bi.Samples[0].Label("go") == "" {
+			t.Fatalf("build info sample wrong: %+v", bi.Samples)
+		}
+	}
+}
+
+// TestWriteMetricsDeterministic: two writes of the same state produce
+// the same families in the same order with the same histogram series.
+func TestWriteMetricsDeterministic(t *testing.T) {
+	o, h := testPlane(t, Options{})
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+	}
+	var b1, b2 bytes.Buffer
+	o.WriteMetrics(&b1)
+	o.WriteMetrics(&b2)
+	e1, err := ParseText(&b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ParseText(&b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e1.Order, e2.Order) {
+		t.Fatalf("family order differs:\n%v\n%v", e1.Order, e2.Order)
+	}
+	f1, f2 := e1.Family(MetricRequestDuration), e2.Family(MetricRequestDuration)
+	if !reflect.DeepEqual(f1.Samples, f2.Samples) {
+		t.Fatalf("histogram series differ between scrapes:\n%v\n%v", f1.Samples, f2.Samples)
+	}
+}
+
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	hostile := "a\\b\"c\nd"
+	line := "m{l=\"" + escapeLabel(hostile) + "\"} 1\n"
+	page := "# HELP m h\n# TYPE m gauge\n" + line
+	exp, err := ParseText(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("escaped label rejected: %v", err)
+	}
+	if got := exp.Family("m").Samples[0].Label("l"); got != hostile {
+		t.Fatalf("label round trip = %q, want %q", got, hostile)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample before header":  "m 1\n",
+		"TYPE without HELP":     "# TYPE m gauge\nm 1\n",
+		"HELP without TYPE":     "# HELP m h\nm 1\n",
+		"stray comment":         "# HELP m h\n# TYPE m gauge\n# noise\nm 1\n",
+		"blank line":            "# HELP m h\n# TYPE m gauge\n\nm 1\n",
+		"reopened family":       "# HELP m h\n# TYPE m gauge\nm 1\n# HELP o h\n# TYPE o gauge\no 1\n# HELP m h\n# TYPE m gauge\nm 2\n",
+		"foreign sample":        "# HELP m h\n# TYPE m gauge\nother 1\n",
+		"bad escape":            "# HELP m h\n# TYPE m gauge\nm{l=\"\\t\"} 1\n",
+		"unquoted label":        "# HELP m h\n# TYPE m gauge\nm{l=v} 1\n",
+		"duplicate label":       "# HELP m h\n# TYPE m gauge\nm{l=\"a\",l=\"b\"} 1\n",
+		"duplicate sample":      "# HELP m h\n# TYPE m gauge\nm{l=\"a\"} 1\nm{l=\"a\"} 2\n",
+		"bad value":             "# HELP m h\n# TYPE m gauge\nm one\n",
+		"trailing token":        "# HELP m h\n# TYPE m gauge\nm 1 99999\n",
+		"bare histogram name":   "# HELP m h\n# TYPE m histogram\nm 1\n",
+		"bucket without le":     "# HELP m h\n# TYPE m histogram\nm_bucket 1\n",
+		"missing +Inf":          "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_sum 1\nm_count 1\n",
+		"shrinking cumulative":  "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3\nm_bucket{le=\"+Inf\"} 5\nm_sum 1\nm_count 5\n",
+		"count != +Inf":         "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_bucket{le=\"+Inf\"} 2\nm_sum 1\nm_count 3\n",
+		"histogram without sum": "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"+Inf\"} 1\nm_count 1\n",
+	}
+	for name, page := range cases {
+		if _, err := ParseText(strings.NewReader(page)); err == nil {
+			t.Errorf("%s: parser accepted malformed page:\n%s", name, page)
+		}
+	}
+}
+
+func TestQuantileBy(t *testing.T) {
+	// Two routes; /a has two status series that must merge. /a: 100
+	// obs <=0.1 and 100 in (0.1, 0.2]; p50 = 0.1 exactly at the seam,
+	// p99 interpolates inside (0.1, 0.2].
+	page := `# HELP d h
+# TYPE d histogram
+d_bucket{route="/a",status="2xx",le="0.1"} 100
+d_bucket{route="/a",status="2xx",le="0.2"} 100
+d_bucket{route="/a",status="2xx",le="+Inf"} 100
+d_sum{route="/a",status="2xx"} 5
+d_count{route="/a",status="2xx"} 100
+d_bucket{route="/a",status="4xx",le="0.1"} 0
+d_bucket{route="/a",status="4xx",le="0.2"} 100
+d_bucket{route="/a",status="4xx",le="+Inf"} 100
+d_sum{route="/a",status="4xx"} 15
+d_count{route="/a",status="4xx"} 100
+d_bucket{route="/b",le="0.1"} 10
+d_bucket{route="/b",le="+Inf"} 10
+d_sum{route="/b"} 1
+d_count{route="/b"} 10
+`
+	exp, err := ParseText(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50, err := exp.Family("d").QuantileBy("route", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p50["/a"]-0.1) > 1e-9 {
+		t.Fatalf("p50[/a] = %g, want 0.1", p50["/a"])
+	}
+	p99, _ := exp.Family("d").QuantileBy("route", 0.99)
+	if p99["/a"] <= 0.1 || p99["/a"] > 0.2 {
+		t.Fatalf("p99[/a] = %g, want in (0.1, 0.2]", p99["/a"])
+	}
+	if p99["/b"] <= 0 || p99["/b"] > 0.1 {
+		t.Fatalf("p99[/b] = %g, want in (0, 0.1]", p99["/b"])
+	}
+}
+
+// TestRegisterPprof: the handlers mount and answer without touching
+// http.DefaultServeMux.
+func TestRegisterPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterPprof(mux)
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: status %d body %q", w.Code, w.Body.String()[:min(120, w.Body.Len())])
+	}
+	if h, _ := http.DefaultServeMux.Handler(httptest.NewRequest("GET", "/debug/pprof/", nil)); h != nil {
+		// net/http/pprof's init registers on DefaultServeMux no matter
+		// what; the point is OUR daemon never serves DefaultServeMux.
+		_ = h
+	}
+}

@@ -163,11 +163,13 @@ type ClusterMetrics struct {
 // describes the replicated mirrors (engine fields zero — followers run
 // no engines) and Epoch/Applied locate it on the leader's feed.
 type HealthResponse struct {
-	Status  string                  `json:"status"`
-	Role    string                  `json:"role,omitempty"`
-	Epoch   uint64                  `json:"epoch,omitempty"`
-	Applied uint64                  `json:"applied,omitempty"`
-	Tenants map[string]TenantHealth `json:"tenants"`
+	Status        string                  `json:"status"`
+	Role          string                  `json:"role,omitempty"`
+	Epoch         uint64                  `json:"epoch,omitempty"`
+	Applied       uint64                  `json:"applied,omitempty"`
+	UptimeSeconds float64                 `json:"uptimeSeconds"`
+	Goroutines    int                     `json:"goroutines"`
+	Tenants       map[string]TenantHealth `json:"tenants"`
 }
 
 // ErrorResponse accompanies every non-2xx status.

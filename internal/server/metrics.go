@@ -193,6 +193,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
 	}
 
+	// The observability plane appends last: per-route latency histograms,
+	// response-byte counters, build info, and the process gauges.
+	if s.obs != nil {
+		s.obs.WriteMetrics(&b)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(b.String())) //nolint:errcheck // client gone; nothing left to do

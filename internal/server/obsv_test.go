@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// This file tests the observability plane as wired through the real
+// server: request ids on every response path (the shed paths above
+// all), the per-route latency histograms behind /metrics (verified by
+// the strict exposition parser), the /debug/log tail, and the process
+// fields in /healthz.
+
+// TestRequestIDOnEveryPath: every response the daemon writes carries
+// X-Fusion-Request-Id and X-Fusion-Role — success, 404, and both shed
+// flavors (429 admission, 503 follower write).
+func TestRequestIDOnEveryPath(t *testing.T) {
+	s := mustNew(t, Options{MaxTenants: 1, MaxInFlight: 1})
+	defer s.Close()
+
+	// Success path generates an id.
+	w := do(t, s, "GET", "/healthz", "", "", nil)
+	if w.Header().Get(obsv.HeaderRequestID) == "" {
+		t.Fatal("healthz response has no request id")
+	}
+	if got := w.Header().Get("X-Fusion-Role"); got != roleSingle {
+		t.Fatalf("role header = %q, want %q", got, roleSingle)
+	}
+
+	// Unmatched route: the middleware wraps the whole mux, so even the
+	// mux's own 404 is stamped.
+	w = do(t, s, "GET", "/no/such/route", "", "", nil)
+	if w.Code != http.StatusNotFound || w.Header().Get(obsv.HeaderRequestID) == "" {
+		t.Fatalf("404 path: status %d, id %q", w.Code, w.Header().Get(obsv.HeaderRequestID))
+	}
+
+	// Tenant-capacity shed (429): MaxTenants=1, so a second tenant name
+	// is refused — deterministically, before any engine work.
+	if w = do(t, s, "POST", "/v1/clusters", "first", `{"zoo":["0-Counter","1-Counter"],"f":1}`, nil); w.Code != http.StatusCreated {
+		t.Fatalf("minting first tenant: %d %s", w.Code, w.Body.String())
+	}
+	w = do(t, s, "POST", "/v1/clusters", "second", `{"zoo":["0-Counter","1-Counter"],"f":1}`, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second tenant: status %d, want 429", w.Code)
+	}
+	if w.Header().Get(obsv.HeaderRequestID) == "" {
+		t.Fatal("tenant shed (429) lost the request id")
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("tenant shed (429) lost Retry-After")
+	}
+	if w.Header().Get("X-Fusion-Role") != roleSingle {
+		t.Fatal("tenant shed (429) lost the role header")
+	}
+
+	// Engine-saturation shed (429): hold tenant "first"'s only slot
+	// directly, then ask for admitted work.
+	s.mu.Lock()
+	eng := s.tenants["first"].engine
+	s.mu.Unlock()
+	if err := eng.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	w = do(t, s, "POST", "/v1/clusters", "first", `{"zoo":["0-Counter","1-Counter"],"f":1}`, nil)
+	eng.Release()
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated engine: status %d, want 429", w.Code)
+	}
+	if w.Header().Get(obsv.HeaderRequestID) == "" || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("admission shed (429) lost tracing headers: id=%q retry=%q",
+			w.Header().Get(obsv.HeaderRequestID), w.Header().Get("Retry-After"))
+	}
+}
+
+// TestFollowerShedCarriesRequestID: a write on a follower sheds 503
+// with the leader's address — and still carries the request id (here a
+// propagated one) and the follower role.
+func TestFollowerShedCarriesRequestID(t *testing.T) {
+	f := mustNew(t, Options{Role: RoleFollower, DataDir: t.TempDir(), LeaderURL: "http://primary:8080"})
+	defer f.Close()
+
+	r := httptest.NewRequest("POST", "/v1/clusters", strings.NewReader(`{"zoo":["0-Counter"],"f":1}`))
+	r.Header.Set(obsv.HeaderRequestID, "soak-42")
+	w := httptest.NewRecorder()
+	f.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("follower write: status %d, want 503", w.Code)
+	}
+	if got := w.Header().Get(obsv.HeaderRequestID); got != "soak-42" {
+		t.Fatalf("follower shed id = %q, want propagated soak-42", got)
+	}
+	if got := w.Header().Get(headerRole); got != RoleFollower {
+		t.Fatalf("follower shed role = %q, want %q", got, RoleFollower)
+	}
+	if got := w.Header().Get(headerLeader); got != "http://primary:8080" {
+		t.Fatalf("follower shed Leader = %q", got)
+	}
+}
+
+// TestMetricsExposition drives every v1 route plus the operational
+// endpoints, then holds /metrics to the strict parser: well-formed
+// families, a latency series for each driven route, and tenant + cache
+// labels on the generate series.
+func TestMetricsExposition(t *testing.T) {
+	s := mustNew(t, Options{FusionCache: 16})
+	defer s.Close()
+
+	gen := `{"zoo":["0-Counter","1-Counter"],"f":1}`
+	if w := do(t, s, "POST", "/v1/generate", "acme", gen, nil); w.Code != http.StatusOK {
+		t.Fatalf("generate: %d %s", w.Code, w.Body.String())
+	}
+	// Second identical request: a cache hit, a distinct cache label.
+	if w := do(t, s, "POST", "/v1/generate", "acme", gen, nil); w.Header().Get(headerCache) != "hit" {
+		t.Fatalf("second generate cache = %q, want hit", w.Header().Get(headerCache))
+	}
+	var cl ClusterResponse
+	if w := do(t, s, "POST", "/v1/clusters", "acme", `{"zoo":["0-Counter","1-Counter"],"f":1}`, &cl); w.Code != http.StatusCreated {
+		t.Fatalf("cluster create: %d %s", w.Code, w.Body.String())
+	}
+	do(t, s, "GET", "/v1/clusters/"+cl.ID, "acme", "", nil)
+	do(t, s, "POST", "/v1/clusters/"+cl.ID+"/events", "acme", `{"random":{"count":4,"seed":7}}`, nil)
+	do(t, s, "POST", "/v1/clusters/"+cl.ID+"/recover", "acme", `{}`, nil)
+	do(t, s, "DELETE", "/v1/clusters/"+cl.ID, "acme", "", nil)
+	do(t, s, "GET", "/healthz", "", "", nil)
+	do(t, s, "GET", "/readyz", "", "", nil)
+	do(t, s, "GET", "/repl/status", "", "", nil)
+	do(t, s, "GET", "/debug/log", "", "", nil)
+	do(t, s, "GET", "/nowhere", "", "", nil) // the unmatched bucket
+
+	w := do(t, s, "GET", "/metrics", "", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", w.Code)
+	}
+	exp, err := obsv.ParseText(w.Body)
+	if err != nil {
+		t.Fatalf("/metrics fails its own strict parser: %v", err)
+	}
+
+	hf := exp.Family(obsv.MetricRequestDuration)
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("latency histogram family missing: %+v", hf)
+	}
+	routes := make(map[string]bool)
+	for _, sm := range hf.Samples {
+		routes[sm.Label("route")] = true
+	}
+	for _, want := range []string{
+		"/v1/generate", "/v1/clusters", "/v1/clusters/{id}",
+		"/v1/clusters/{id}/events", "/v1/clusters/{id}/recover",
+		"/healthz", "/readyz", "/repl/status", "/debug/log", "unmatched",
+	} {
+		if !routes[want] {
+			t.Errorf("no latency series for route %q (have %v)", want, routes)
+		}
+	}
+	// /metrics itself is recorded on the next scrape, not its own — the
+	// histogram is read before the request finishes.
+	var miss, hit bool
+	for _, sm := range hf.Samples {
+		if sm.Label("route") != "/v1/generate" || sm.Label("tenant") != "acme" {
+			continue
+		}
+		switch sm.Label("cache") {
+		case "miss":
+			miss = true
+		case "hit":
+			hit = true
+		}
+	}
+	if !miss || !hit {
+		t.Fatalf("generate series lack cache labels (miss=%v hit=%v)", miss, hit)
+	}
+
+	// The pre-existing handwritten families still parse alongside.
+	for _, name := range []string{"fusiond_tenant_in_flight", "fusiond_repl_role", "fusiond_generate_runs_total",
+		obsv.MetricBuildInfo, obsv.MetricGoroutines, "fusiond_process_rss_bytes"} {
+		if exp.Family(name) == nil {
+			t.Errorf("family %q missing from /metrics", name)
+		}
+	}
+
+	// Determinism: an idle second scrape keeps family order.
+	w2 := do(t, s, "GET", "/metrics", "", "", nil)
+	exp2, err := obsv.ParseText(w2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Order) != len(exp2.Order) {
+		t.Fatalf("family count changed between scrapes: %d vs %d", len(exp.Order), len(exp2.Order))
+	}
+	for i := range exp.Order {
+		if exp.Order[i] != exp2.Order[i] {
+			t.Fatalf("family order changed at %d: %q vs %q", i, exp.Order[i], exp2.Order[i])
+		}
+	}
+}
+
+// TestDebugLogTail: the access-log ring serves the most recent requests
+// with the same ids the responses carried.
+func TestDebugLogTail(t *testing.T) {
+	s := mustNew(t, Options{AccessLog: 8})
+	defer s.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		w := do(t, s, "GET", "/healthz", "", "", nil)
+		ids = append(ids, w.Header().Get(obsv.HeaderRequestID))
+	}
+	var resp obsv.DebugLogResponse
+	if w := do(t, s, "GET", "/debug/log?n=2", "", "", &resp); w.Code != http.StatusOK {
+		t.Fatalf("/debug/log: %d", w.Code)
+	}
+	if len(resp.Records) != 2 {
+		t.Fatalf("tail returned %d records, want 2", len(resp.Records))
+	}
+	for i, rec := range resp.Records {
+		if want := ids[i+1]; rec.ID != want {
+			t.Fatalf("tail[%d].ID = %q, want %q", i, rec.ID, want)
+		}
+		if rec.Route != "/healthz" || rec.Status != http.StatusOK {
+			t.Fatalf("tail[%d] = %+v, want healthz record", i, rec)
+		}
+	}
+}
+
+// TestNoObserve: the measurement knob removes the whole plane — no
+// request ids, no /debug/log — without touching the API routes.
+func TestNoObserve(t *testing.T) {
+	s := mustNew(t, Options{NoObserve: true})
+	defer s.Close()
+	w := do(t, s, "GET", "/healthz", "", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	if got := w.Header().Get(obsv.HeaderRequestID); got != "" {
+		t.Fatalf("NoObserve still stamps request ids: %q", got)
+	}
+	if w = do(t, s, "GET", "/debug/log", "", "", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("/debug/log under NoObserve: %d, want 404", w.Code)
+	}
+}
+
+// TestHealthzProcessFields: /healthz reports uptime and goroutines.
+func TestHealthzProcessFields(t *testing.T) {
+	s := mustNew(t, Options{})
+	defer s.Close()
+	var h HealthResponse
+	if w := do(t, s, "GET", "/healthz", "", "", &h); w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("uptime %g < 0", h.UptimeSeconds)
+	}
+	if h.Goroutines <= 0 {
+		t.Fatalf("goroutines = %d, want > 0", h.Goroutines)
+	}
+}
+
+// TestPprofGate: /debug/pprof is absent by default and mounts under
+// Options.Pprof.
+func TestPprofGate(t *testing.T) {
+	s := mustNew(t, Options{})
+	defer s.Close()
+	if w := do(t, s, "GET", "/debug/pprof/", "", "", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("pprof without the flag: %d, want 404", w.Code)
+	}
+	p := mustNew(t, Options{Pprof: true})
+	defer p.Close()
+	w := do(t, p, "GET", "/debug/pprof/", "", "", nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "goroutine") {
+		t.Fatalf("pprof index with the flag: %d", w.Code)
+	}
+}
+
+// TestRequestIDUnique: ids differ across requests (the generator is an
+// atomic counter behind a per-process prefix).
+func TestRequestIDUnique(t *testing.T) {
+	s := mustNew(t, Options{})
+	defer s.Close()
+	seen := make(map[string]bool)
+	for i := 0; i < 20; i++ {
+		w := do(t, s, "GET", "/healthz", "", "", nil)
+		id := w.Header().Get(obsv.HeaderRequestID)
+		if seen[id] {
+			t.Fatalf("duplicate request id %q at iteration %d", id, i)
+		}
+		seen[id] = true
+	}
+}

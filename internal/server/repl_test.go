@@ -102,7 +102,12 @@ func TestReplicatedFailover(t *testing.T) {
 	if got := followerGet.Header().Get("X-Fusion-Replication-Lag"); got != "0" {
 		t.Fatalf("caught-up follower lag header = %q, want 0", got)
 	}
-	if leaderGet.Header().Get("X-Fusion-Role") != "" {
+	// Every response names the role that served it (the observability
+	// middleware stamps it), but the staleness pair stays follower-only.
+	if got := leaderGet.Header().Get("X-Fusion-Role"); got != RoleLeader {
+		t.Fatalf("leader read role header = %q, want %q", got, RoleLeader)
+	}
+	if leaderGet.Header().Get("X-Fusion-Applied-Seq") != "" || leaderGet.Header().Get("X-Fusion-Replication-Lag") != "" {
 		t.Fatal("leader reads must not carry replica staleness headers")
 	}
 
@@ -137,7 +142,10 @@ func TestReplicatedFailover(t *testing.T) {
 	if postGet.Code != http.StatusOK || postGet.Body.String() != preKillBody {
 		t.Fatalf("promoted GET diverges from pre-kill leader:\npre:  %s\npost: %s", preKillBody, postGet.Body)
 	}
-	if postGet.Header().Get("X-Fusion-Role") != "" {
+	if got := postGet.Header().Get("X-Fusion-Role"); got != RoleLeader {
+		t.Fatalf("promoted read role header = %q, want %q", got, RoleLeader)
+	}
+	if postGet.Header().Get("X-Fusion-Applied-Seq") != "" || postGet.Header().Get("X-Fusion-Replication-Lag") != "" {
 		t.Fatal("promoted node still stamps follower staleness headers")
 	}
 	if got := metricsClusterLines(t, follower); got != preKillMetrics {

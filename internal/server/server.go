@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,7 @@ import (
 
 	fusion "repro"
 	"repro/internal/fcache"
+	"repro/internal/obsv"
 	"repro/internal/repl"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -146,6 +148,26 @@ type Options struct {
 	// FusionCache > 0.
 	PrewarmZoo bool
 
+	// Pprof mounts net/http/pprof's handlers under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and must be an
+	// operator's explicit choice (fusiond passes -pprof).
+	Pprof bool
+
+	// AccessLog bounds the in-memory access-log ring served at
+	// GET /debug/log (records); 0 means 1024, negative disables the ring
+	// (the endpoint then answers 404).
+	AccessLog int
+
+	// SlowRequest logs any request slower than this threshold and counts
+	// it in fusiond_http_slow_requests_total; 0 disables slow logging.
+	SlowRequest time.Duration
+
+	// NoObserve disables the observability middleware entirely: no
+	// request ids, no latency histograms, no access log, no /debug/log.
+	// A measurement knob — the benchmark suite uses it to price the
+	// middleware — not an operating mode.
+	NoObserve bool
+
 	// ReplClient overrides the shipping HTTP client (tests).
 	ReplClient *http.Client
 
@@ -204,6 +226,14 @@ type Server struct {
 	opts Options
 	mux  *http.ServeMux
 
+	// obs is the observability plane (nil under Options.NoObserve);
+	// handler is the mux wrapped in its middleware — every route,
+	// including sheds and 404s, records through it. started anchors the
+	// uptime reported by /healthz and /metrics.
+	obs     *obsv.Obs
+	handler http.Handler
+	started time.Time
+
 	mu      sync.Mutex
 	tenants map[string]*tenant
 	closed  bool
@@ -241,6 +271,7 @@ func New(opts Options) (*Server, error) {
 		opts:    opts.withDefaults(),
 		mux:     http.NewServeMux(),
 		tenants: make(map[string]*tenant),
+		started: time.Now(),
 	}
 	if err := s.initReplication(); err != nil {
 		return nil, err
@@ -255,6 +286,18 @@ func New(opts Options) (*Server, error) {
 		// on its own engine with the daemon's admission limits, since
 		// followers run no tenant engines.
 		s.genFollower = s.mintEngine()
+	}
+	if !s.opts.NoObserve {
+		s.obs = obsv.New(obsv.Options{
+			LogSize:       s.opts.AccessLog,
+			SlowThreshold: s.opts.SlowRequest,
+			TenantHeader:  s.opts.TenantHeader,
+			RoleFn:        s.currentRole,
+		})
+		s.mux.HandleFunc("GET /debug/log", s.obs.HandleDebugLog)
+	}
+	if s.opts.Pprof {
+		obsv.RegisterPprof(s.mux)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -278,6 +321,10 @@ func New(opts Options) (*Server, error) {
 			s.Close()
 			return nil, err
 		}
+	}
+	s.handler = http.Handler(s.mux)
+	if s.obs != nil {
+		s.handler = s.obs.Middleware(s.mux)
 	}
 	s.startShipping()
 	s.startPrewarm()
@@ -355,8 +402,11 @@ func (s *Server) recoverTenants() error {
 	return nil
 }
 
-// Handler returns the HTTP handler serving the API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the API: the route table
+// behind the observability middleware, so every response — success,
+// shed, or 404 — carries a request id and lands in the per-route
+// latency histograms.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Close drains the daemon for shutdown: new requests are refused with
 // 503, queued requests fail over to 503, and Close blocks until every
@@ -703,7 +753,13 @@ func (s *Server) Health() HealthResponse {
 	role, log, follower := s.role, s.log, s.follower
 	s.replMu.Unlock()
 
-	h := HealthResponse{Status: "ok", Role: role, Tenants: make(map[string]TenantHealth, len(ts))}
+	h := HealthResponse{
+		Status:        "ok",
+		Role:          role,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Tenants:       make(map[string]TenantHealth, len(ts)),
+	}
 	if closed {
 		h.Status = "draining"
 	}
