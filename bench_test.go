@@ -137,6 +137,20 @@ func BenchmarkTable1Row1NoIncremental(b *testing.B) {
 	benchTableRowOpts(b, machines.PaperSuites()[0], core.GenerateOptions{NoIncremental: true})
 }
 
+// BenchmarkTable1Row4LevelSharing isolates the within-level
+// pair-implication memo on the heaviest row (176-state top, one descent
+// whose level 0 runs 15,400 guarded closures): "shared" is the default
+// path, "unshared" the NoPairMemo ablation with the cross-level engine
+// still on, so the pair is the memo's own win.
+func BenchmarkTable1Row4LevelSharing(b *testing.B) {
+	b.Run("shared", func(b *testing.B) {
+		benchTableRowOpts(b, machines.PaperSuites()[3], core.GenerateOptions{})
+	})
+	b.Run("unshared", func(b *testing.B) {
+		benchTableRowOpts(b, machines.PaperSuites()[3], core.GenerateOptions{NoPairMemo: true})
+	})
+}
+
 // --- Sensor network (introduction / conclusion) ---------------------------
 
 // BenchmarkSensorNetworkFusion measures fusion-based recovery of crashed

@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		specOut = fs.Bool("spec-out", false, "print the backups in .fsm spec format")
 		plan    = fs.Bool("plan", false, "print the capacity plan (fusion vs replication) instead of the machines")
 		workers = fs.Int("workers", 0, "worker-pool size for candidate evaluation (0 = GOMAXPROCS)")
+		dstats  = fs.Bool("descent-stats", false, "print descent-engine sharing counters (implied/seeded/cold cascades) for this generation")
 	)
 	fs.Var(&specs, "spec", "machine spec file (.fsm); repeatable")
 	if err := fs.Parse(args); err != nil {
@@ -98,9 +99,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	engine := fusion.NewEngine(fusion.EngineOptions{Workers: *workers})
+	before := fusion.GenerationCounters()
 	F, err := engine.GenerateWithOptions(sys, *f, fusion.GenerateOptions{MaxMachines: *maxM})
 	if err != nil {
 		return err
+	}
+	if *dstats {
+		printDescentStats(out, before, fusion.GenerationCounters())
 	}
 	backups, err := sys.FusionMachines(F, "F")
 	if err != nil {
@@ -139,6 +144,28 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s\n", *dot)
 	}
 	return nil
+}
+
+// printDescentStats prints the delta of the process-wide generation
+// counters around this run's generation: how many descents and levels it
+// took, and how each candidate closure was resolved — the within-level
+// pair-implication split (implied / seeded-absorb / cold cascade) plus
+// the cross-level reuses (seeded joins, pruned skips, ⊤-cache hits).
+// Counters are process-wide, but fusegen runs exactly one generation, so
+// the delta is that generation's work. Small systems (below the descent
+// engine's gate) report all closures as cold cascades.
+func printDescentStats(out io.Writer, before, after fusion.GenerationStats) {
+	fmt.Fprintf(out, "descent stats: descents=%d levels=%d\n",
+		after.Descents-before.Descents, after.Levels-before.Levels)
+	fmt.Fprintf(out, "  cascades: implied=%d seeded=%d cold=%d (of %d closures)\n",
+		after.ImpliedCascades-before.ImpliedCascades,
+		after.SeededCascades-before.SeededCascades,
+		after.ColdCascades-before.ColdCascades,
+		after.ColdClosures-before.ColdClosures)
+	fmt.Fprintf(out, "  cross-level: seeded-joins=%d pruned-skips=%d top-cache-hits=%d\n",
+		after.SeededJoins-before.SeededJoins,
+		after.PrunedSkips-before.PrunedSkips,
+		after.TopCacheHits-before.TopCacheHits)
 }
 
 func ratio(a, b uint64) float64 {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,6 +37,44 @@ func TestZooGeneration(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestDescentStatsFlag(t *testing.T) {
+	// MESI,TCP has a 36-state top — above the descent engine's gate, so
+	// the generation runs memoized and the cascade split is populated.
+	out, err := runCapture(t, "-zoo", "MESI,TCP", "-f", "2", "-descent-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "descent stats:") {
+		t.Fatalf("-descent-stats output missing stats block:\n%s", out)
+	}
+	var descents, levels, implied, seeded, cold, closures int
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "descent stats:") {
+			if _, err := fmt.Sscanf(line, "descent stats: descents=%d levels=%d", &descents, &levels); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+		}
+		if strings.HasPrefix(line, "cascades:") {
+			if _, err := fmt.Sscanf(line, "cascades: implied=%d seeded=%d cold=%d (of %d closures)", &implied, &seeded, &cold, &closures); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+		}
+	}
+	if descents != 2 {
+		t.Errorf("descents = %d, want 2 (f=2 from dmin=1)", descents)
+	}
+	if levels == 0 || closures == 0 {
+		t.Errorf("levels = %d, closures = %d; want both > 0", levels, closures)
+	}
+	if implied+seeded+cold != closures {
+		t.Errorf("cascade split %d+%d+%d != %d closures", implied, seeded, cold, closures)
+	}
+	if implied == 0 {
+		t.Errorf("implied = 0; the pair-implication memo should fire on a 36-state top")
 	}
 }
 

@@ -167,10 +167,11 @@ func TestSIGTERMFloodAcceptance(t *testing.T) {
 	base, errc := startDaemon(t, ctx, &out, "-max-inflight", "2", "-queue-depth", "2", "-workers", "2", "-fusion-cache", "0")
 	genBody := `{"zoo":["MESI","TCP"],"f":2}`
 
-	// Occupy both in-flight slots with generations heavy enough (seconds)
-	// that the flood below deterministically overlaps them, and wait until
-	// /healthz confirms both are admitted and running.
-	blockBody := `{"zoo":["MESI","TCP","A","B"],"f":2}`
+	// Occupy both in-flight slots with generations heavy enough (seconds
+	// even with the pair-implication memo sharing cascades) that the flood
+	// below deterministically overlaps them, and wait until /healthz
+	// confirms both are admitted and running.
+	blockBody := `{"zoo":["MESI","TCP","A","B","SumMod3"],"f":2}`
 	blockers := make(chan int, 2)
 	for i := 0; i < 2; i++ {
 		go func() {

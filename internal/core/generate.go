@@ -35,6 +35,14 @@ type GenerateOptions struct {
 	// Incremental and cold descents return bit-identical fusions (the
 	// equivalence suite pins this).
 	NoIncremental bool
+	// NoPairMemo disables the within-level pair-implication memo — the
+	// sharing of finished union cascades between candidate pairs of the
+	// same descent level — while keeping the cross-level incremental
+	// machinery; used by the ablation benchmark. Memoized and unmemoized
+	// levels return bit-identical fusions (the equivalence suite pins
+	// this). Implied by NoIncremental, which drops the DescentState the
+	// memo lives in.
+	NoPairMemo bool
 	// NoCache opts this call out of the content-addressed fusion cache.
 	// GenerateFusion itself ignores it — core always computes — but the
 	// cache-aware layers above (fusion.Engine, fusiond's generate route)
@@ -86,6 +94,9 @@ func GenerateFusion(s *System, f int, opts GenerateOptions) ([]partition.P, erro
 	var d *partition.DescentState
 	if !opts.NoIncremental && n >= incrementalMinStates {
 		d = partition.NewDescentState()
+		if opts.NoPairMemo {
+			d.DisablePairMemo()
+		}
 		if f-g.Dmin()+1 >= 2 {
 			// Two or more descents are coming (each generated machine
 			// raises dmin by one): retain the constraint-independent ⊤

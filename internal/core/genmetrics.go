@@ -20,6 +20,13 @@ var genCounters struct {
 	seededJoins  atomic.Int64 // re-evaluations served as join(survivor, m′)
 	prunedSkips  atomic.Int64 // pair evaluations skipped by violation pruning
 	topCacheHits atomic.Int64 // level-0 evaluations served from the ⊤-closure cache
+
+	// Within-level pair-implication memo: the split of ColdClosures by how
+	// each cascade actually resolved (implied + seeded + cold == coldClosures
+	// on memoized descents).
+	impliedCascades atomic.Int64 // resolved O(1) from a memoized closure or violation
+	seededCascades  atomic.Int64 // absorbed at least one memoized closure mid-cascade
+	coldCascades    atomic.Int64 // ran the full union cascade with no memo contact
 }
 
 // GenerationStats is a point-in-time copy of the process-wide generation
@@ -35,6 +42,16 @@ type GenerationStats struct {
 	SeededJoins  int64
 	PrunedSkips  int64
 	TopCacheHits int64
+
+	// Pair-implication memo split of ColdClosures (see DescentStats): which
+	// reuse tier resolved each non-seeded cascade. The individual values are
+	// scheduling-dependent (a pair may resolve implied on one run and cold
+	// on another, depending on publication order under work stealing); the
+	// sum ImpliedCascades+SeededCascades+ColdCascades == ColdClosures is
+	// not, and neither are the produced partitions.
+	ImpliedCascades int64
+	SeededCascades  int64
+	ColdCascades    int64
 }
 
 // GenerationCounters snapshots the process-wide generation counters.
@@ -47,6 +64,10 @@ func GenerationCounters() GenerationStats {
 		SeededJoins:  genCounters.seededJoins.Load(),
 		PrunedSkips:  genCounters.prunedSkips.Load(),
 		TopCacheHits: genCounters.topCacheHits.Load(),
+
+		ImpliedCascades: genCounters.impliedCascades.Load(),
+		SeededCascades:  genCounters.seededCascades.Load(),
+		ColdCascades:    genCounters.coldCascades.Load(),
 	}
 }
 
@@ -59,4 +80,7 @@ func recordDescent(s partition.DescentStats) {
 	genCounters.seededJoins.Add(int64(s.SeededJoins))
 	genCounters.prunedSkips.Add(int64(s.PrunedSkips))
 	genCounters.topCacheHits.Add(int64(s.TopCacheHits))
+	genCounters.impliedCascades.Add(int64(s.ImpliedCascades))
+	genCounters.seededCascades.Add(int64(s.SeededCascades))
+	genCounters.coldCascades.Add(int64(s.ColdCascades))
 }

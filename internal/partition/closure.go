@@ -133,16 +133,72 @@ func closeOn(c *exec.Ctx, top *dfsm.Machine, p P) P {
 	return closeMergingOn(c, top, p, 0, 0)
 }
 
+// cascadeOutcome classifies how a memo-aware closure cascade resolved,
+// for the level-sharing counters of DescentStats. The classification is
+// scheduling-dependent under the pooled fan-out (whether a neighbouring
+// pair's entry was published in time is a race the memo is designed to
+// tolerate); the returned partitions and verdicts are not.
+type cascadeOutcome uint8
+
+const (
+	// cascadeCold: the cascade ran entirely from scratch (no memo, or
+	// every induced pair it touched was still unpublished).
+	cascadeCold cascadeOutcome = iota
+	// cascadeSeeded: the cascade absorbed at least one memoized closure
+	// wholesale instead of re-walking its transition-table cascade.
+	cascadeSeeded
+	// cascadeImplied: the evaluation was resolved outright by an
+	// implication — an induced pair's published violation aborted it, or
+	// a mutually-implying pair's published closure WAS the answer.
+	cascadeImplied
+)
+
+// absorb unites all blocks of the closed partition m into uf — the
+// unguarded cascade-absorption step. m is wholly contained in the final
+// closure, and uniting within a closed partition's blocks needs no
+// propagation pushes (same argument as seededCloseOn: same-block states
+// have same-block successors, and every block is fully united by the end
+// of the pass, so transitivity through the forest covers the cross
+// effects).
+func absorb(sc *closureScratch, uf *UnionFind, m P) {
+	sc.resetSeed(m.NumBlocks())
+	for s, b := range m.View() {
+		if ps := sc.seedFirst[b]; ps >= 0 {
+			uf.Union(ps, s)
+		} else {
+			sc.seedFirst[b] = s
+		}
+	}
+}
+
 // closeMergingOn computes close(p with the blocks of x and y merged) by
 // seeding the union-find from p directly and uniting x with y in the
 // forest — the merged start partition is never materialized, which
 // spares every closure of the Algorithm 2 fan-out a vector copy and an
 // FNV hash. x == y degenerates to Close(p).
 func closeMergingOn(c *exec.Ctx, top *dfsm.Machine, p P, x, y int) P {
+	cand, _, _ := closeMergingMemoOn(c, top, p, x, y, nil)
+	return cand
+}
+
+// closeMergingMemoOn is closeMergingOn threaded through a level's
+// pair-implication memo (nil for the plain unmemoized cascade). Each
+// union the cascade is about to propagate first consults the memo entry
+// of its canonical induced pair: a published violation aborts the whole
+// evaluation (ok=false — sound only under a constraint monotone under
+// coarsening, which both the guarded forbidden-pair predicate and
+// MinMergeClosureOn's keep contract are); a published closure that also
+// unites x and y IS this pair's closure (mutual implication) and is
+// returned as-is; any other published closure is absorbed wholesale. The
+// result is bit-identical to the memo-free cascade in every case — the
+// memo only changes which unions pay for transition-table walks.
+func closeMergingMemoOn(c *exec.Ctx, top *dfsm.Machine, p P, x, y int, memo *pairMemo) (P, cascadeOutcome, bool) {
 	n := top.NumStates()
 	sc := scratchFor(c, n, p.NumBlocks())
 	uf := sc.uf
 	stack := sc.stack
+	outcome := cascadeCold
+	defer func() { sc.stack = stack }() // keep the grown stack for reuse
 
 	merge := func(a, b int) {
 		if uf.Union(a, b) {
@@ -168,13 +224,27 @@ func closeMergingOn(c *exec.Ctx, top *dfsm.Machine, p P, x, y int) P {
 		for e := 0; e < top.NumEvents(); e++ {
 			ta := top.NextByIndex(pr.a, e)
 			tb := top.NextByIndex(pr.b, e)
-			if uf.Find(ta) != uf.Find(tb) {
-				merge(ta, tb)
+			if uf.Find(ta) == uf.Find(tb) {
+				continue
 			}
+			if memo != nil {
+				st, m := memo.lookup(ta, tb)
+				if st&memoViolated != 0 {
+					return P{}, cascadeImplied, false
+				}
+				if st&memoHasPart != 0 {
+					if m.BlockOf(x) == m.BlockOf(y) {
+						return m, cascadeImplied, true
+					}
+					absorb(sc, uf, m)
+					outcome = cascadeSeeded
+					continue
+				}
+			}
+			merge(ta, tb)
 		}
 	}
-	sc.stack = stack // keep the grown stack for reuse
-	return uf.Partition()
+	return uf.Partition(), outcome, true
 }
 
 // CloseMergingStates is Close applied to the partition obtained from p by
@@ -213,17 +283,34 @@ func closeGuardedOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]int) (P,
 // y merged, seeding from p directly like closeMergingOn. x == y
 // degenerates to CloseGuarded(p).
 func closeGuardedMergingOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]int, x, y int) (P, bool) {
+	cand, _, ok := closeGuardedMergingMemoOn(c, top, p, forbidden, x, y, nil)
+	return cand, ok
+}
+
+// closeGuardedMergingMemoOn is closeGuardedMergingOn threaded through a
+// level's pair-implication memo (nil for the plain cascade); see
+// closeMergingMemoOn for the three reuse rules. On this path a published
+// memoViolated entry means the induced pair's closure collapses a
+// forbidden pair, so the implied abort matches exactly the violation the
+// guard would have hit after finishing the induced cascade itself.
+// Absorbed closures run every union through the incremental tag check:
+// the absorbed partition respects the forbidden pairs on its own (it was
+// published by a successful guarded evaluation), but its sets can
+// collide with sets this cascade already built, and such a collision is
+// a true violation of THIS pair.
+func closeGuardedMergingMemoOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]int, x, y int, memo *pairMemo) (P, cascadeOutcome, bool) {
 	n := top.NumStates()
 	sc := scratchFor(c, n, p.NumBlocks())
 	sc.resetGuarded(n)
 	uf := sc.uf
 	stack := sc.stack
+	outcome := cascadeCold
 	defer func() { sc.stack = stack }()
 
 	for _, e := range forbidden {
 		x, y := e[0], e[1]
 		if x == y {
-			return P{}, false // degenerate pair can never be separated
+			return P{}, outcome, false // degenerate pair can never be separated
 		}
 		if len(sc.adj[x]) == 0 {
 			sc.tags[x] = append(sc.tags[x], x)
@@ -235,8 +322,10 @@ func closeGuardedMergingOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]i
 		sc.adj[y] = append(sc.adj[y], x)
 	}
 
-	// merge unites a and b, returning false on a forbidden-pair violation.
-	merge := func(a, b int) bool {
+	// merge unites a and b, pushing the pair for propagation only when
+	// push is set (absorbed closures need no pushes); false reports a
+	// forbidden-pair violation.
+	merge := func(a, b int, push bool) bool {
 		ra, rb := uf.Find(a), uf.Find(b)
 		if ra == rb {
 			return true
@@ -244,7 +333,9 @@ func closeGuardedMergingOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]i
 		uf.Union(ra, rb)
 		root := uf.Find(ra)
 		child := ra + rb - root // the absorbed root
-		stack = append(stack, statePair{a, b})
+		if push {
+			stack = append(stack, statePair{a, b})
+		}
 		for _, s := range sc.tags[child] {
 			for _, t := range sc.adj[s] {
 				if uf.Find(t) == root {
@@ -261,15 +352,15 @@ func closeGuardedMergingOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]i
 	for s := 0; s < n; s++ {
 		b := blockOf[s]
 		if prev := sc.first[b]; prev >= 0 {
-			if !merge(prev, s) {
-				return P{}, false
+			if !merge(prev, s, true) {
+				return P{}, outcome, false
 			}
 		} else {
 			sc.first[b] = s
 		}
 	}
-	if x != y && !merge(x, y) {
-		return P{}, false
+	if x != y && !merge(x, y, true) {
+		return P{}, outcome, false
 	}
 	for len(stack) > 0 {
 		pr := stack[len(stack)-1]
@@ -277,14 +368,38 @@ func closeGuardedMergingOn(c *exec.Ctx, top *dfsm.Machine, p P, forbidden [][2]i
 		for e := 0; e < top.NumEvents(); e++ {
 			ta := top.NextByIndex(pr.a, e)
 			tb := top.NextByIndex(pr.b, e)
-			if uf.Find(ta) != uf.Find(tb) {
-				if !merge(ta, tb) {
-					return P{}, false
+			if uf.Find(ta) == uf.Find(tb) {
+				continue
+			}
+			if memo != nil {
+				st, m := memo.lookup(ta, tb)
+				if st&memoViolated != 0 {
+					return P{}, cascadeImplied, false
 				}
+				if st&memoHasPart != 0 {
+					if m.BlockOf(x) == m.BlockOf(y) {
+						return m, cascadeImplied, true
+					}
+					sc.resetSeed(m.NumBlocks())
+					for s, b := range m.View() {
+						if ps := sc.seedFirst[b]; ps >= 0 {
+							if !merge(ps, s, false) {
+								return P{}, cascadeSeeded, false
+							}
+						} else {
+							sc.seedFirst[b] = s
+						}
+					}
+					outcome = cascadeSeeded
+					continue
+				}
+			}
+			if !merge(ta, tb, true) {
+				return P{}, outcome, false
 			}
 		}
 	}
-	return uf.Partition(), true
+	return uf.Partition(), outcome, true
 }
 
 // seededCloseOn computes close(p ∨ prev), the closure of the join of two

@@ -27,7 +27,15 @@ import (
 //     consulted by a residual fixpoint check that never fires on closed
 //     inputs, turning each re-evaluation into O(N·α) union-find work.
 //
-// A third mechanism spans descents: the closures of the TOP level are
+// A third mechanism shares *within* a level: the cold evaluations of one
+// level publish their cascade outcomes into a pair-implication memo
+// (pairMemo), so a pair whose closure is implied by — or identical to —
+// an already-finished pair's resolves without re-walking the shared
+// union cascade over the transition table. Where pruning and seeding
+// only pay off from level 1 down, the memo attacks the all-cold level 0
+// itself, which is what remains of the big single-descent rows.
+//
+// A fourth mechanism spans descents: the closures of the TOP level are
 // constraint-independent — every descent starts from ⊤, and
 // close(⊤ ∪ {x~y}) depends only on the machine — so with EnableTopCache
 // the first descent retains them and later descents re-run only the
@@ -39,12 +47,20 @@ import (
 // iterations of Algorithm 2, so recorded violations expire with the
 // descent; the top cache, being constraint-independent, survives Reset).
 // It is not safe for concurrent descents; within one level the pool
-// tasks only read it.
+// tasks only read it — except the pair memo, whose entries are built for
+// exactly that concurrent publish/lookup pattern.
 type DescentState struct {
 	pruned    map[uint64]struct{}
 	survivors map[uint64]P
 	next      map[uint64]P
 	interned  *Set // canonical survivor storage: equal candidates share one P
+
+	// memo is the within-level pair-implication memo, reset for each
+	// level's start partition and dropped by Reset. memoOff (see
+	// DisablePairMemo) keeps the cascades cold for ablations and
+	// equivalence baselines.
+	memo    *pairMemo
+	memoOff bool
 
 	// Top-level closure cache (EnableTopCache): constraint-independent,
 	// so it persists across Reset. topSet interns the cached closures —
@@ -79,6 +95,20 @@ type DescentStats struct {
 	// TopCacheHits counts top-level pair evaluations served from the
 	// cross-descent closure cache (a filter check instead of a closure).
 	TopCacheHits int
+
+	// The within-level pair-implication memo splits ColdClosures by how
+	// each from-scratch evaluation actually resolved; the three always
+	// sum to ColdClosures. ImpliedCascades were answered outright by an
+	// implication (a derived pair's published violation, or a
+	// mutually-implying pair's published closure); SeededCascades
+	// absorbed at least one finished closure wholesale instead of
+	// re-walking its cascade; ColdCascades ran with no memo assist. The
+	// split — unlike every other counter here — depends on pool
+	// scheduling (whether a neighbour's entry was published in time),
+	// so only its sum is deterministic.
+	ImpliedCascades int
+	SeededCascades  int
+	ColdCascades    int
 }
 
 // NewDescentState returns an empty state, ready for one descent.
@@ -92,14 +122,26 @@ func NewDescentState() *DescentState {
 }
 
 // Reset clears all recorded outcomes for a fresh descent, retaining the
-// allocated maps and the cross-descent top-level closure cache.
+// allocated maps and the cross-descent top-level closure cache. The
+// pair-implication memo is dropped outright: its entries are keyed by
+// the block ids of one level's start partition and assume that level's
+// constraint, so nothing in it may survive into another descent.
 func (d *DescentState) Reset() {
 	clear(d.pruned)
 	clear(d.survivors)
 	clear(d.next)
 	d.interned = NewSet(64)
+	if d.memo != nil {
+		d.memo.drop()
+	}
 	d.stats = DescentStats{}
 }
+
+// DisablePairMemo turns off the within-level pair-implication memo for
+// the life of this state: every cold evaluation runs its full cascade.
+// Output is identical either way; ablation benchmarks and equivalence
+// baselines use it to keep the unmemoized path measurable.
+func (d *DescentState) DisablePairMemo() { d.memoOff = true }
 
 // EnableTopCache makes the first descent retain the full closure of every
 // top-level pair so later descents replace their level-0 closure fan-out
@@ -152,16 +194,24 @@ type descentTask struct {
 func MinMergeClosureOn(pool *exec.Pool, d *DescentState, top *dfsm.Machine, p P, keep func(P) bool) (P, bool) {
 	accept := func(cand P) bool { return keep == nil || keep(cand) }
 	return runMinMergeClosures(pool, d, p, levelEval{
-		cold: func(c *exec.Ctx, x, y int) (P, bool) {
-			cand := closeMergingOn(c, top, p, x, y)
-			return cand, accept(cand)
+		cold: func(c *exec.Ctx, x, y int, memo *pairMemo) (P, cascadeOutcome, bool) {
+			cand, out, ok := closeMergingMemoOn(c, top, p, x, y, memo)
+			if !ok {
+				// Implied violation: a pair this cascade derives was
+				// already rejected by keep, and keep's monotonicity
+				// contract makes the rejection carry to every coarser
+				// closure — this one included.
+				return P{}, out, false
+			}
+			return cand, out, accept(cand)
 		},
 		seeded: func(c *exec.Ctx, prev P) (P, bool) {
 			cand := seededCloseOn(c, top, p, prev)
 			return cand, accept(cand)
 		},
-		full: func(c *exec.Ctx, x, y int) P {
-			return closeMergingOn(c, top, p, x, y)
+		full: func(c *exec.Ctx, x, y int, memo *pairMemo) (P, cascadeOutcome) {
+			cand, out, _ := closeMergingMemoOn(c, top, p, x, y, memo)
+			return cand, out
 		},
 		accept: accept,
 	})
@@ -173,14 +223,15 @@ func MinMergeClosureOn(pool *exec.Pool, d *DescentState, top *dfsm.Machine, p P,
 // Semantically identical to pickCandidate over MergeClosuresGuardedOn.
 func MinMergeClosureGuardedOn(pool *exec.Pool, d *DescentState, top *dfsm.Machine, p P, forbidden [][2]int) (P, bool) {
 	return runMinMergeClosures(pool, d, p, levelEval{
-		cold: func(c *exec.Ctx, x, y int) (P, bool) {
-			return closeGuardedMergingOn(c, top, p, forbidden, x, y)
+		cold: func(c *exec.Ctx, x, y int, memo *pairMemo) (P, cascadeOutcome, bool) {
+			return closeGuardedMergingMemoOn(c, top, p, forbidden, x, y, memo)
 		},
 		seeded: func(c *exec.Ctx, prev P) (P, bool) {
 			return seededCloseGuardedOn(c, top, p, prev, forbidden)
 		},
-		full: func(c *exec.Ctx, x, y int) P {
-			return closeMergingOn(c, top, p, x, y)
+		full: func(c *exec.Ctx, x, y int, memo *pairMemo) (P, cascadeOutcome) {
+			cand, out, _ := closeMergingMemoOn(c, top, p, x, y, memo)
+			return cand, out
 		},
 		accept: func(cand P) bool {
 			view := cand.View()
@@ -198,12 +249,29 @@ func MinMergeClosureGuardedOn(pool *exec.Pool, d *DescentState, top *dfsm.Machin
 // level: cold is the constraint-aware from-scratch closure (guarded or
 // filter-after-close), seeded the survivor join, full the unfiltered
 // closure used to populate the top cache, and accept the constraint
-// filter — accept(full(x,y)) must agree with cold(x,y)'s verdict.
+// filter — accept(full(x,y)) must agree with cold(x,y)'s verdict. cold
+// and full thread the level's pair-implication memo (nil when sharing
+// is off) and report how the cascade resolved against it.
 type levelEval struct {
-	cold   func(c *exec.Ctx, x, y int) (P, bool)
+	cold   func(c *exec.Ctx, x, y int, memo *pairMemo) (P, cascadeOutcome, bool)
 	seeded func(c *exec.Ctx, prev P) (P, bool)
-	full   func(c *exec.Ctx, x, y int) P
+	full   func(c *exec.Ctx, x, y int, memo *pairMemo) (P, cascadeOutcome)
 	accept func(P) bool
+}
+
+// levelMemo returns the pair memo reset for a level starting at p, or
+// nil when sharing is off or the level cannot profit (fewer than two
+// cold evaluations means no cascade can reuse another's). coldTasks
+// counts the level's from-scratch evaluations.
+func (d *DescentState) levelMemo(p P, coldTasks int) *pairMemo {
+	if d == nil || d.memoOff || coldTasks < 2 {
+		return nil
+	}
+	if d.memo == nil {
+		d.memo = &pairMemo{}
+	}
+	d.memo.reset(p)
+	return d.memo
 }
 
 // runMinMergeClosures evaluates one descent level: enumerate the block
@@ -239,10 +307,23 @@ func runMinMergeClosures(pool *exec.Pool, d *DescentState, p P, eval levelEval) 
 		}
 	}
 
+	coldTasks := 0
+	for _, t := range tasks {
+		if !t.seeded {
+			coldTasks++
+		}
+	}
+	var memo *pairMemo
+	if d != nil {
+		memo = d.levelMemo(p, coldTasks)
+	}
+
 	candidates := make([]P, len(tasks))
 	valid := make([]bool, len(tasks))
+	var outcomes []cascadeOutcome // only stats-bearing descents pay for the slot array
 	var onClose func(x, y int)
 	if d != nil {
+		outcomes = make([]cascadeOutcome, len(tasks))
 		onClose = d.onClose
 	}
 	pool.Run(len(tasks), func(c *exec.Ctx, k int) {
@@ -255,7 +336,14 @@ func runMinMergeClosures(pool *exec.Pool, d *DescentState, p P, eval levelEval) 
 		if t.seeded {
 			cand, ok = eval.seeded(c, t.prev)
 		} else {
-			cand, ok = eval.cold(c, t.x, t.y)
+			var out cascadeOutcome
+			cand, out, ok = eval.cold(c, t.x, t.y, memo)
+			if outcomes != nil {
+				outcomes[k] = out
+			}
+			if memo != nil {
+				memo.publish(t.x, t.y, cand, ok)
+			}
 		}
 		if ok {
 			candidates[k] = cand
@@ -285,11 +373,12 @@ func runMinMergeClosures(pool *exec.Pool, d *DescentState, p P, eval levelEval) 
 	}
 	if d != nil {
 		d.stats.Levels++
-		for _, t := range tasks {
+		for k, t := range tasks {
 			if t.seeded {
 				d.stats.SeededJoins++
 			} else {
 				d.stats.ColdClosures++
+				d.stats.recordCascade(outcomes[k])
 			}
 		}
 		// The survivors just recorded become the seeds of the next level.
@@ -297,6 +386,19 @@ func runMinMergeClosures(pool *exec.Pool, d *DescentState, p P, eval levelEval) 
 		clear(d.next)
 	}
 	return best, found
+}
+
+// recordCascade tallies one from-scratch evaluation's resolution into
+// the implied/seeded/cold split of the level-sharing counters.
+func (s *DescentStats) recordCascade(out cascadeOutcome) {
+	switch out {
+	case cascadeImplied:
+		s.ImpliedCascades++
+	case cascadeSeeded:
+		s.SeededCascades++
+	default:
+		s.ColdCascades++
+	}
 }
 
 // topLevel evaluates the ⊤ level through the cross-descent closure
@@ -315,20 +417,32 @@ func (d *DescentState) topLevel(pool *exec.Pool, p P, eval levelEval) (P, bool) 
 				tasks = append(tasks, pairTask{x, y})
 			}
 		}
+		// The fill computes full (unfiltered) closures, so the memo holds
+		// no violation markers and only the mutual-implication and
+		// absorption reuses fire — every cached entry is still the
+		// complete closure of its pair.
+		memo := d.levelMemo(p, len(tasks))
 		closures := make([]P, len(tasks))
+		outcomes := make([]cascadeOutcome, len(tasks))
 		onClose := d.onClose
 		pool.Run(len(tasks), func(c *exec.Ctx, k int) {
 			t := tasks[k]
 			if onClose != nil {
 				onClose(t.x, t.y)
 			}
-			closures[k] = eval.full(c, t.x, t.y)
+			closures[k], outcomes[k] = eval.full(c, t.x, t.y, memo)
+			if memo != nil {
+				memo.publish(t.x, t.y, closures[k], true)
+			}
 		})
 		for k, t := range tasks {
 			d.topCache[pairKey(t.x, t.y)] = d.topSet.Intern(closures[k])
 		}
 		d.topFilled = true
 		d.stats.ColdClosures += len(tasks)
+		for _, out := range outcomes {
+			d.stats.recordCascade(out)
+		}
 	} else {
 		d.stats.TopCacheHits += n * (n - 1) / 2
 	}

@@ -158,6 +158,85 @@ func TestMinMergeClosureMatchesFullDescent(t *testing.T) {
 	}
 }
 
+// TestPairMemoMatchesUnmemoized is the pair-implication memo's
+// equivalence property: random systems descended twice per configuration
+// — once memoized (the default), once through DisablePairMemo — must
+// produce bit-identical winners at every level, on the shared pool and
+// on a serial one, guarded and unguarded. It also pins the counter
+// contracts: the memoized run's cascade split accounts for every cold
+// closure, and the unmemoized run reports every cascade cold.
+func TestPairMemoMatchesUnmemoized(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	serial := exec.New(1)
+	defer serial.Close()
+	pools := []*exec.Pool{exec.Default(), serial}
+	for trial := 0; trial < 30; trial++ {
+		top := dfsm.RandomMachine(rng, "T", 6+rng.Intn(14), []string{"a", "b"})
+		n := top.NumStates()
+		var forbidden [][2]int
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if x != y {
+				forbidden = append(forbidden, [2]int{x, y})
+			}
+		}
+		keep := func(p P) bool {
+			for _, e := range forbidden {
+				if !p.Separates(e[0], e[1]) {
+					return false
+				}
+			}
+			return true
+		}
+
+		for _, pool := range pools {
+			for _, guarded := range []bool{false, true} {
+				dm := NewDescentState()
+				dc := NewDescentState()
+				dc.DisablePairMemo()
+				if trial%2 == 0 {
+					dm.EnableTopCache()
+					dc.EnableTopCache()
+				}
+				level := func(d *DescentState, m P) (P, bool) {
+					if guarded {
+						return MinMergeClosureGuardedOn(pool, d, top, m, forbidden)
+					}
+					return MinMergeClosureOn(pool, d, top, m, keep)
+				}
+				mM, mC := Singletons(n), Singletons(n)
+				for {
+					gotM, okM := level(dm, mM)
+					gotC, okC := level(dc, mC)
+					if okM != okC {
+						t.Fatalf("trial %d guarded=%v workers=%d at %d blocks: memoized ok=%v, unmemoized ok=%v",
+							trial, guarded, pool.Workers(), mM.NumBlocks(), okM, okC)
+					}
+					if !okM {
+						break
+					}
+					if !gotM.Equal(gotC) {
+						t.Fatalf("trial %d guarded=%v workers=%d at %d blocks: memoized %s, unmemoized %s",
+							trial, guarded, pool.Workers(), mM.NumBlocks(), gotM, gotC)
+					}
+					mM, mC = gotM, gotC
+				}
+
+				sm, sc := dm.Stats(), dc.Stats()
+				if sm.ImpliedCascades+sm.SeededCascades+sm.ColdCascades != sm.ColdClosures {
+					t.Fatalf("trial %d guarded=%v workers=%d: memoized split %d+%d+%d != %d cold closures",
+						trial, guarded, pool.Workers(),
+						sm.ImpliedCascades, sm.SeededCascades, sm.ColdCascades, sm.ColdClosures)
+				}
+				if sc.ImpliedCascades != 0 || sc.SeededCascades != 0 || sc.ColdCascades != sc.ColdClosures {
+					t.Fatalf("trial %d guarded=%v workers=%d: unmemoized stats claim sharing: %+v",
+						trial, guarded, pool.Workers(), sc)
+				}
+			}
+		}
+	}
+}
+
 // TestPrunedPairNeverReclosed hooks the close observer and checks the
 // pruning contract: once a pair's closure violates the constraint, no
 // deeper level of the descent evaluates that pair again — and the skips
@@ -237,10 +316,20 @@ func TestDescentStateReset(t *testing.T) {
 		m = best
 	}
 	cached := len(d.topCache)
+	if d.memo == nil || d.memo.empty() {
+		t.Fatal("descent never engaged the pair memo; the reset check below would be vacuous")
+	}
 	d.Reset()
 	if len(d.pruned) != 0 || len(d.survivors) != 0 || d.Stats() != (DescentStats{}) {
 		t.Fatalf("Reset left descent outcomes behind: %d pruned, %d survivors, stats %+v",
 			len(d.pruned), len(d.survivors), d.Stats())
+	}
+	// The per-level memo must be demonstrably gone: its entries are keyed
+	// by the old level-start partition's block ids and hold its closures,
+	// so a stale memo would leak partitions into the next descent.
+	if !d.memo.empty() {
+		t.Fatalf("Reset left the pair memo populated: %d blocks, %d entries",
+			d.memo.blocks, len(d.memo.state))
 	}
 	if !d.topFilled || len(d.topCache) != cached {
 		t.Fatalf("Reset dropped the top cache: filled=%v size %d (was %d)", d.topFilled, len(d.topCache), cached)

@@ -159,9 +159,31 @@ type ClusterMetrics struct {
 	LiarsCaught      int64 `json:"liarsCaught"`
 }
 
+// GenerationHealth is the process-wide Algorithm 2 counter snapshot in
+// the /healthz body: generation volume (runs, descents, levels) and how
+// the descent engine's sharing tiers resolved the candidate closures —
+// the within-level cascade split (implied + seeded + cold == closures on
+// memoized descents) plus the cross-level reuses. All fields are
+// monotonic since process start; it spans every tenant and engine, since
+// generation is pure and the counters live beside the shared core path.
+type GenerationHealth struct {
+	Runs         int64 `json:"runs"`
+	Descents     int64 `json:"descents"`
+	Levels       int64 `json:"levels"`
+	ColdClosures int64 `json:"coldClosures"`
+	SeededJoins  int64 `json:"seededJoins"`
+	PrunedSkips  int64 `json:"prunedSkips"`
+	TopCacheHits int64 `json:"topCacheHits"`
+
+	ImpliedCascades int64 `json:"impliedCascades"`
+	SeededCascades  int64 `json:"seededCascades"`
+	ColdCascades    int64 `json:"coldCascades"`
+}
+
 // HealthResponse is the GET /healthz body. On a follower, Tenants
 // describes the replicated mirrors (engine fields zero — followers run
-// no engines) and Epoch/Applied locate it on the leader's feed.
+// no engines) and Epoch/Applied locate it on the leader's feed;
+// Generation is process-wide on both roles.
 type HealthResponse struct {
 	Status        string                  `json:"status"`
 	Role          string                  `json:"role,omitempty"`
@@ -169,6 +191,7 @@ type HealthResponse struct {
 	Applied       uint64                  `json:"applied,omitempty"`
 	UptimeSeconds float64                 `json:"uptimeSeconds"`
 	Goroutines    int                     `json:"goroutines"`
+	Generation    GenerationHealth        `json:"generation"`
 	Tenants       map[string]TenantHealth `json:"tenants"`
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -197,6 +198,74 @@ func TestMetricsExposition(t *testing.T) {
 		if exp.Order[i] != exp2.Order[i] {
 			t.Fatalf("family order changed at %d: %q vs %q", i, exp.Order[i], exp2.Order[i])
 		}
+	}
+}
+
+// TestCascadeCountersExposition: the within-level pair-implication
+// counters reach /metrics as well-formed counter families and /healthz
+// as the generation block, and a memoized generation (36-state MESI×TCP
+// top, above the descent engine's gate) visibly moves the implied
+// cascades. The sharing split always accounts for every cold closure:
+// implied + seeded + cold == cold_closures, process-wide.
+func TestCascadeCountersExposition(t *testing.T) {
+	s := mustNew(t, Options{FusionCache: 0})
+	defer s.Close()
+
+	before := do(t, s, "GET", "/healthz", "", "", nil)
+	var hb HealthResponse
+	if err := json.Unmarshal(before.Body.Bytes(), &hb); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := `{"zoo":["MESI","TCP"],"f":2}`
+	if w := do(t, s, "POST", "/v1/generate", "acme", gen, nil); w.Code != http.StatusOK {
+		t.Fatalf("generate: %d %s", w.Code, w.Body.String())
+	}
+
+	w := do(t, s, "GET", "/metrics", "", "", nil)
+	exp, err := obsv.ParseText(w.Body)
+	if err != nil {
+		t.Fatalf("/metrics fails its own strict parser: %v", err)
+	}
+	vals := make(map[string]float64)
+	for _, name := range []string{
+		"fusiond_generate_implied_cascades_total",
+		"fusiond_generate_seeded_cascades_total",
+		"fusiond_generate_cold_cascades_total",
+		"fusiond_generate_cold_closures_total",
+	} {
+		f := exp.Family(name)
+		if f == nil {
+			t.Fatalf("family %q missing from /metrics", name)
+		}
+		if f.Type != "counter" {
+			t.Fatalf("family %q is a %s, want counter", name, f.Type)
+		}
+		if len(f.Samples) != 1 {
+			t.Fatalf("family %q has %d samples, want 1", name, len(f.Samples))
+		}
+		vals[name] = f.Samples[0].Value
+	}
+	sum := vals["fusiond_generate_implied_cascades_total"] +
+		vals["fusiond_generate_seeded_cascades_total"] +
+		vals["fusiond_generate_cold_cascades_total"]
+	if sum != vals["fusiond_generate_cold_closures_total"] {
+		t.Errorf("cascade split %v does not sum to cold closures %v",
+			sum, vals["fusiond_generate_cold_closures_total"])
+	}
+
+	after := do(t, s, "GET", "/healthz", "", "", nil)
+	var ha HealthResponse
+	if err := json.Unmarshal(after.Body.Bytes(), &ha); err != nil {
+		t.Fatal(err)
+	}
+	if ha.Generation.ImpliedCascades <= hb.Generation.ImpliedCascades {
+		t.Errorf("healthz impliedCascades did not advance over the generation: %d -> %d",
+			hb.Generation.ImpliedCascades, ha.Generation.ImpliedCascades)
+	}
+	if float64(ha.Generation.ImpliedCascades) != vals["fusiond_generate_implied_cascades_total"] {
+		t.Errorf("healthz impliedCascades %d != /metrics %v (no generation ran in between)",
+			ha.Generation.ImpliedCascades, vals["fusiond_generate_implied_cascades_total"])
 	}
 }
 

@@ -753,12 +753,26 @@ func (s *Server) Health() HealthResponse {
 	role, log, follower := s.role, s.log, s.follower
 	s.replMu.Unlock()
 
+	gen := fusion.GenerationCounters()
 	h := HealthResponse{
 		Status:        "ok",
 		Role:          role,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
-		Tenants:       make(map[string]TenantHealth, len(ts)),
+		Generation: GenerationHealth{
+			Runs:         gen.Runs,
+			Descents:     gen.Descents,
+			Levels:       gen.Levels,
+			ColdClosures: gen.ColdClosures,
+			SeededJoins:  gen.SeededJoins,
+			PrunedSkips:  gen.PrunedSkips,
+			TopCacheHits: gen.TopCacheHits,
+
+			ImpliedCascades: gen.ImpliedCascades,
+			SeededCascades:  gen.SeededCascades,
+			ColdCascades:    gen.ColdCascades,
+		},
+		Tenants: make(map[string]TenantHealth, len(ts)),
 	}
 	if closed {
 		h.Status = "draining"
