@@ -60,6 +60,7 @@ type config struct {
 	concurrency int
 	kill        bool
 	replicate   bool
+	eventsFrac  float64
 	reqTimeout  time.Duration
 	maxP99      time.Duration
 	maxGoro     int
@@ -76,6 +77,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&c.concurrency, "concurrency", 8, "concurrent workers")
 	fs.BoolVar(&c.kill, "kill", false, "kill -9 the spawned daemon at half duration and restart it (requires -fusiond)")
 	fs.BoolVar(&c.replicate, "replicate", false, "spawn a follower too and send reads to it (requires -fusiond)")
+	fs.Float64Var(&c.eventsFrac, "events-frac", 0, "write-heavy mode: this fraction of each worker's ops becomes extra event appends to a persistent per-worker cluster, flooding the WAL (0..1)")
 	fs.DurationVar(&c.reqTimeout, "req-timeout", 30*time.Second, "per-request client timeout")
 	fs.DurationVar(&c.maxP99, "max-p99", 0, "fail when any route's client-observed p99 exceeds this (0 = no ceiling)")
 	fs.IntVar(&c.maxGoro, "max-goroutines", 0, "fail when the daemon's final goroutine count exceeds this (0 = no ceiling)")
@@ -94,6 +96,8 @@ func parseFlags(args []string) (config, error) {
 		return c, fmt.Errorf("-concurrency must be >= 1")
 	case c.duration <= 0:
 		return c, fmt.Errorf("-duration must be > 0")
+	case c.eventsFrac < 0 || c.eventsFrac > 1:
+		return c, fmt.Errorf("-events-frac must be in [0, 1]")
 	}
 	return c, nil
 }
@@ -314,10 +318,20 @@ var zooCombos = []string{
 // worker runs the mixed workload until the context expires. The mix per
 // 8-op cycle: 3 hot generates (cache hits), 1 cold/bypass generate, 1
 // full deployment-churn pass, 2 reads (healthz + metrics-adjacent), 1
-// rotating-zoo generate.
+// rotating-zoo generate. With -events-frac set, that fraction of ops is
+// replaced by event appends to a persistent per-worker cluster — the
+// write-heavy mode that keeps many workers inside POST /events at once,
+// which is what exercises WAL group commit.
 func (s *soaker) worker(ctx context.Context, id int) {
 	tenant := fmt.Sprintf("soak-w%d", id)
+	fl := &flooder{s: s, tenant: tenant}
+	var acc float64
 	for i := 0; ctx.Err() == nil; i++ {
+		if acc += s.cfg.eventsFrac; acc >= 1 {
+			acc--
+			fl.flood(ctx, int64(i))
+			continue
+		}
 		switch i % 8 {
 		case 0, 1, 2:
 			s.request(ctx, s.base, "POST", "/v1/generate", "/v1/generate", tenant, zooCombos[0])
@@ -334,6 +348,39 @@ func (s *soaker) worker(ctx context.Context, id int) {
 		case 7:
 			s.request(ctx, s.base, "GET", "/debug/log?n=5", "/debug/log", "", "")
 		}
+	}
+}
+
+// flooder is one worker's write-heavy arm: a persistent cluster it
+// keeps appending event batches to, so concurrent workers' appends are
+// simultaneously in flight against distinct clusters of the same tenant
+// store — the coalescing case group commit exists for. The cluster is
+// (re)created lazily: a 404 (daemon restarted by the kill phase onto a
+// different data dir, or the id swept) just re-creates it.
+type flooder struct {
+	s      *soaker
+	tenant string
+	id     string
+}
+
+func (f *flooder) flood(ctx context.Context, seed int64) {
+	s := f.s
+	if f.id == "" {
+		code, body := s.request(ctx, s.base, "POST", "/v1/clusters", "/v1/clusters", f.tenant,
+			`{"zoo":["0-Counter","1-Counter"],"f":1,"seed":`+fmt.Sprint(seed)+`}`)
+		if code != http.StatusCreated {
+			return
+		}
+		var cl server.ClusterResponse
+		if err := json.Unmarshal(body, &cl); err != nil || cl.ID == "" {
+			return
+		}
+		f.id = cl.ID
+	}
+	code, _ := s.request(ctx, s.base, "POST", "/v1/clusters/"+f.id+"/events", "/v1/clusters/{id}/events", f.tenant,
+		fmt.Sprintf(`{"random":{"count":4,"seed":%d}}`, seed))
+	if code == http.StatusNotFound {
+		f.id = "" // cluster gone (restart or sweep): re-create on the next flood
 	}
 }
 

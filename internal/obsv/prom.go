@@ -37,6 +37,24 @@ func escapeLabel(v string) string {
 	return b.String()
 }
 
+// WriteHistogram emits one unlabeled histogram family (with HELP/TYPE
+// headers) from a Snapshot, in the same exposition shape WriteMetrics
+// uses for the request-latency family. Subsystems that track latencies
+// with an obsv.Histogram but export through their own metrics handler
+// (the server's store flush histogram) render with it.
+func WriteHistogram(w io.Writer, name, help string, s Snapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	bounds := bucketBounds()
+	var cum uint64
+	for i, c := range s.Buckets[:numBuckets] {
+		cum += c
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatBound(bounds[i]), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatBound(s.SumSeconds))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
 // WriteMetrics emits the plane's series in the Prometheus text format:
 // the per-route latency histogram family (proper _bucket/_sum/_count
 // with cumulative le buckets), response-byte counters, the slow and

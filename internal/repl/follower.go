@@ -23,6 +23,12 @@ type FollowerOptions struct {
 	// LagThreshold is the applied-vs-head gap (in feed records) beyond
 	// which the follower reports not-ready; 0 means DefaultLagThreshold.
 	LagThreshold uint64
+	// Dir configures the tenant stores the follower opens (group commit,
+	// batch tuning, flush observability). A follower applies the feed
+	// single-threaded, so batching wins little here, but carrying the
+	// same options as the leader means a promoted store keeps the
+	// operator's durability configuration.
+	Dir store.DirOptions
 }
 
 // DefaultLagThreshold is the replication lag at which a follower stops
@@ -105,7 +111,7 @@ func OpenFollower(opts FollowerOptions) (*Follower, error) {
 // openTenant opens (or creates) one tenant replica and its warm mirror.
 // Callers hold f.mu or own f exclusively.
 func (f *Follower) openTenant(name string) (*followerTenant, error) {
-	dir, err := store.NewDir(filepath.Join(f.opts.DataDir, name))
+	dir, err := store.NewDirWith(filepath.Join(f.opts.DataDir, name), f.opts.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("repl: opening tenant %q: %w", name, err)
 	}

@@ -79,6 +79,7 @@ func (s *Server) initReplication() error {
 		f, err := repl.OpenFollower(repl.FollowerOptions{
 			DataDir:      s.opts.DataDir,
 			LagThreshold: s.opts.LagThreshold,
+			Dir:          s.dirOptions(),
 		})
 		if err != nil {
 			return err

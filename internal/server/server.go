@@ -101,6 +101,20 @@ type Options struct {
 	// meaningful with DataDir set.
 	CompactEvery int
 
+	// GroupCommit batches concurrent WAL appends across each tenant's
+	// clusters into shared preallocated segments with one fsync per
+	// commit tick (store.DirOptions.GroupCommit). Acknowledgement
+	// semantics are unchanged — a request completes only after the fsync
+	// covering its records — but under concurrency many requests share
+	// that fsync. Only meaningful with DataDir set.
+	GroupCommit bool
+
+	// GroupBatchBytes / GroupBatchDelay tune the group-commit batcher
+	// (early-flush size and optional linger); 0 means the store defaults
+	// (1 MiB, no linger). Only meaningful with GroupCommit.
+	GroupBatchBytes int
+	GroupBatchDelay time.Duration
+
 	// Role selects the replication role: empty/"single" (no replication),
 	// RoleLeader (ship every store mutation to Replicas), or RoleFollower
 	// (apply a leader's feed, serve reads only). Both replicated roles
@@ -249,6 +263,10 @@ type Server struct {
 	genFollower *fusion.Engine
 	prewarm     sync.WaitGroup
 
+	// storeObs aggregates WAL flush observations (batch sizes, fsync
+	// latency) across all tenant stores; nil on in-memory daemons.
+	storeObs *storeObs
+
 	// Replication state (see repl.go). role transitions leader ←
 	// follower → promoting → leader; log and repLeader exist on leaders,
 	// follower on followers. replMu orders role transitions against
@@ -272,6 +290,9 @@ func New(opts Options) (*Server, error) {
 		mux:     http.NewServeMux(),
 		tenants: make(map[string]*tenant),
 		started: time.Now(),
+	}
+	if s.opts.DataDir != "" {
+		s.storeObs = &storeObs{}
 	}
 	if err := s.initReplication(); err != nil {
 		return nil, err
@@ -518,6 +539,21 @@ func (s *Server) tenant(r *http.Request, create bool) (*tenant, error) {
 	return t, nil
 }
 
+// dirOptions assembles the store options every tenant Dir (leader or
+// follower side) opens with, wiring the flush hook into the shared
+// store-observability aggregate.
+func (s *Server) dirOptions() store.DirOptions {
+	o := store.DirOptions{
+		GroupCommit:   s.opts.GroupCommit,
+		MaxBatchBytes: s.opts.GroupBatchBytes,
+		MaxBatchDelay: s.opts.GroupBatchDelay,
+	}
+	if s.storeObs != nil {
+		o.OnFlush = s.storeObs.onFlush
+	}
+	return o
+}
+
 // mintTenant builds a tenant and inserts it; the caller holds s.mu.
 // With DataDir set, the tenant's registry is store-backed and loaded
 // from disk (a fresh tenant just gets an empty directory) — which is why
@@ -533,7 +569,7 @@ func (s *Server) mintTenant(name string) (*tenant, error) {
 	var st *store.Dir
 	if s.opts.DataDir != "" {
 		var err error
-		st, err = store.NewDir(filepath.Join(s.opts.DataDir, name))
+		st, err = store.NewDirWith(filepath.Join(s.opts.DataDir, name), s.dirOptions())
 		if err == nil {
 			// On a replicating leader the registry journals through a Tee,
 			// so every mutation it persists is also published to the op

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/obsv"
+	"repro/internal/store"
+)
+
+// storeObs aggregates group-commit flush observations across every
+// tenant store of the daemon: how long each batch's write+fsync took and
+// how many staged appends it coalesced. One instance serves the whole
+// server — the batches of different tenants are the same phenomenon
+// (disk flushes) and /metrics reports them as one family; per-tenant
+// fsync/record counters come from each Dir's own WALStats.
+type storeObs struct {
+	flushSync obsv.Histogram
+	batch     batchHist
+}
+
+// onFlush is the store.DirOptions.OnFlush hook; it runs on the flushing
+// goroutine, so it only touches atomics.
+func (so *storeObs) onFlush(fs store.FlushStats) {
+	so.flushSync.Record(fs.Sync)
+	so.batch.record(fs.Appends)
+}
+
+// batchHist is a tiny power-of-two histogram of appends-per-batch —
+// obsv.Histogram is time-bucketed, and batch size needs count buckets.
+// Writers are lock-free; the renderer tolerates racing writers because
+// record bumps total BEFORE its bucket, so a cumulative read (buckets
+// first, total last) never shows +Inf below a finite bucket.
+type batchHist struct {
+	counts [11]atomic.Uint64 // le 1, 2, 4, ... 1024
+	total  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+func (h *batchHist) record(n int) {
+	h.total.Add(1)
+	h.sum.Add(uint64(n))
+	b, le := 0, 1
+	for b < len(h.counts) && n > le {
+		b++
+		le <<= 1
+	}
+	if b < len(h.counts) {
+		h.counts[b].Add(1)
+	} // else: beyond the largest finite bound, counted by +Inf alone
+}
+
+// write renders the histogram in the Prometheus text format.
+func (h *batchHist) write(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	le := 1
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, le, cum)
+		le <<= 1
+	}
+	total := h.total.Load()
+	if total < cum {
+		total = cum // racing writer bumped a bucket after we read total
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(b, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(b, "%s_count %d\n", name, total)
+}

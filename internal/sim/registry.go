@@ -60,12 +60,25 @@ func (h *Handle) Do(f func(c *Cluster)) {
 // (or SnapshotAll) by snapshotting the full current state rather than
 // appending on top of the gap. f must not call Do or Update on the same
 // handle.
+//
+// On a store with a staged append path (group-commit Dir, or a Tee over
+// one), the handle lock is RELEASED while this Update waits for its
+// batch's fsync: the mutations are already applied and the records
+// staged in order, so the lock has done its serialization work, and
+// holding it through the fsync would forbid the very coalescing group
+// commit exists for — independent handles must be able to park on the
+// same batch. A next Update on this handle stages behind this one (the
+// store keeps per-cluster stage order) and both ride whichever batches
+// the flusher forms. Failure stays safe without the lock: the store
+// poisons the cluster on a failed batch, refusing further stages until a
+// snapshot heals it, so the dirty flag being set only after re-acquiring
+// the lock cannot let an append sneak into the gap.
 func (h *Handle) Update(f func(tx *Tx) error) error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	tx := &Tx{c: h.c, store: h.store}
 	ferr := f(tx)
 	if h.store == nil {
+		h.mu.Unlock()
 		return ferr
 	}
 	if tx.rebased || h.dirty {
@@ -77,20 +90,53 @@ func (h *Handle) Update(f func(tx *Tx) error) error {
 		// dirty and keeps refusing to append).
 		err := h.snapshotLocked()
 		h.dirty = err != nil
+		h.mu.Unlock()
 		return errors.Join(ferr, err)
 	}
 	if len(tx.recs) == 0 {
+		h.mu.Unlock()
 		return ferr
 	}
-	if err := h.store.AppendEvents(h.id, tx.recs); err != nil {
+	wait, err := stageEvents(h.store, h.id, tx.recs)
+	if err != nil {
 		h.dirty = true
+		h.mu.Unlock()
 		return errors.Join(ferr, fmt.Errorf("sim: journaling cluster %q: %w", h.id, err))
 	}
 	h.walLen += len(tx.recs)
-	if h.walLen >= h.compactEvery {
-		return errors.Join(ferr, h.snapshotLocked())
+	h.mu.Unlock()
+	if err := wait(); err != nil {
+		h.mu.Lock()
+		h.dirty = true
+		h.mu.Unlock()
+		return errors.Join(ferr, fmt.Errorf("sim: journaling cluster %q: %w", h.id, err))
 	}
-	return ferr
+	h.mu.Lock()
+	var serr error
+	if !h.dirty && h.walLen >= h.compactEvery {
+		serr = h.snapshotLocked()
+	}
+	h.mu.Unlock()
+	return errors.Join(ferr, serr)
+}
+
+// stagedStore is the optional staged-append surface of a Store,
+// satisfied by store.Dir and store.Tee. stageEvents adapts any Store to
+// it: without a staged path the append commits inline and the returned
+// wait is a no-op, which reduces Update to its historical
+// fsync-under-the-handle-lock behavior.
+type stagedStore interface {
+	StageEvents(id string, recs [][]byte, onCommit func()) (func() error, error)
+}
+
+func stageEvents(st Store, id string, recs [][]byte) (func() error, error) {
+	if ss, ok := st.(stagedStore); ok {
+		return ss.StageEvents(id, recs, nil)
+	}
+	if err := st.AppendEvents(id, recs); err != nil {
+		return nil, err
+	}
+	return func() error { return nil }, nil
 }
 
 // Replay applies journaled WAL records to the live cluster without

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Dir is the file-backed Store: one directory per cluster under a root,
@@ -33,9 +34,16 @@ import (
 // snapshot, so a stale WAL can never be replayed onto a newer snapshot.
 type Dir struct {
 	root string
+	opts DirOptions
 
 	mu   sync.Mutex
-	wals map[string]*dirWal // open appenders, keyed by cluster id
+	wals map[string]*dirWal // open appenders, keyed by cluster id (per-call mode)
+
+	group *groupWAL // non-nil iff opts.GroupCommit; see group.go
+
+	fsyncs  atomic.Int64
+	flushes atomic.Int64
+	records atomic.Int64
 }
 
 type dirWal struct {
@@ -43,12 +51,51 @@ type dirWal struct {
 	gen int
 }
 
-// NewDir opens (creating if needed) a file store rooted at dir.
-func NewDir(dir string) (*Dir, error) {
+// NewDir opens (creating if needed) a file store rooted at dir with the
+// historical one-fsync-per-append write path.
+func NewDir(dir string) (*Dir, error) { return NewDirWith(dir, DirOptions{}) }
+
+// NewDirWith opens a file store with explicit options. Switching
+// GroupCommit between opens is safe in both directions: group mode reads
+// per-cluster WALs left by a per-call store as a frozen prefix, and a
+// per-call open folds any leftover segment log back into per-cluster
+// WALs via a crash-idempotent migration before serving.
+func NewDirWith(dir string, opts DirOptions) (*Dir, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Dir{root: dir, wals: make(map[string]*dirWal)}, nil
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := finishSegmentMigration(dir); err != nil {
+		return nil, err
+	}
+	s := &Dir{root: dir, opts: opts, wals: make(map[string]*dirWal)}
+	if opts.GroupCommit {
+		g, err := openGroup(s)
+		if err != nil {
+			return nil, err
+		}
+		s.group = g
+	} else if _, err := os.Stat(filepath.Join(dir, groupDirName)); err == nil {
+		if err := migrateSegments(dir); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// GroupCommit reports whether this store batches appends into shared
+// group commits.
+func (s *Dir) GroupCommit() bool { return s.group != nil }
+
+// WALStats returns cumulative WAL write counters. Both modes count, so
+// grouped and per-call stores are directly comparable.
+func (s *Dir) WALStats() WALStats {
+	return WALStats{Fsyncs: s.fsyncs.Load(), Flushes: s.flushes.Load(), Records: s.records.Load()}
 }
 
 // Root returns the directory the store persists under.
@@ -91,14 +138,20 @@ func writeFileAtomic(path string, data []byte) error {
 func AtomicWrite(path string, data []byte) error { return writeFileAtomic(path, data) }
 
 // syncDir fsyncs a directory so a just-committed rename or create survives
-// power loss. Filesystems that cannot sync directories are tolerated.
+// power loss. Filesystems that cannot sync directories at all
+// (ENOTSUP/EINVAL from virtiofs, FUSE, and friends) are tolerated — the
+// rename is still ordered by their own journal — but a real I/O failure
+// propagates: swallowing it would acknowledge a commit the disk may not
+// hold.
 func syncDir(dir string) error {
 	f, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	f.Sync() //nolint:errcheck // not all filesystems support dir fsync
+	if err := f.Sync(); err != nil && !ignorableSyncErr(err) {
+		return fmt.Errorf("store: syncing directory %s: %w", dir, err)
+	}
 	return nil
 }
 
@@ -153,11 +206,23 @@ func (s *Dir) Put(id string, spec []byte) error {
 		f.Close()
 		return fmt.Errorf("store: %w", err)
 	}
-	s.wals[id] = &dirWal{f: f, gen: 0}
+	if s.group != nil {
+		// Group mode appends to shared segments, not this file; it exists
+		// so the on-disk layout (and a later mode switch) stays uniform.
+		f.Close()
+	} else {
+		s.wals[id] = &dirWal{f: f, gen: 0}
+	}
 	if err := syncDir(dir); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return syncDir(s.root)
+	if err := syncDir(s.root); err != nil {
+		return err
+	}
+	if s.group != nil {
+		s.group.created(id)
+	}
+	return nil
 }
 
 // wal returns the open appender for id's current generation, opening it
@@ -238,12 +303,53 @@ func truncateTornTail(path string) error {
 	return os.Truncate(path, int64(keep))
 }
 
-// AppendEvents durably appends WAL records: one buffered write, one
-// fsync, regardless of how many records the call carries.
+// AppendEvents durably appends WAL records and returns once they are
+// fsync'd. In group mode the call stages on the shared commit batcher
+// and parks until its batch's single fsync covers it; per-call mode pays
+// one write + one fsync here.
 func (s *Dir) AppendEvents(id string, recs [][]byte) error {
-	if len(recs) == 0 {
-		return nil
+	wait, err := s.StageEvents(id, recs, nil)
+	if err != nil {
+		return err
 	}
+	return wait()
+}
+
+func noopWait() error { return nil }
+
+// StageEvents starts a durable append and returns a wait function that
+// blocks until the records are fsync'd (group mode: until the staged
+// batch commits). onCommit, when non-nil, runs after the fsync and
+// before any of the batch's waiters wake, in stage order — the
+// replication Tee publishes from it so followers never see unsynced
+// records. Callers MUST invoke wait exactly once: the first stager of a
+// batch is its elected flusher, and the flush runs inside its wait.
+// Per-id callers are expected to serialize their own stages (sim holds
+// the handle lock across StageEvents), which fixes the intra-cluster
+// record order; cross-cluster stages need no ordering and coalesce
+// freely.
+func (s *Dir) StageEvents(id string, recs [][]byte, onCommit func()) (func() error, error) {
+	if len(recs) == 0 {
+		if onCommit != nil {
+			onCommit()
+		}
+		return noopWait, nil
+	}
+	if s.group != nil {
+		return s.group.stage(id, recs, onCommit)
+	}
+	if err := s.appendPerCall(id, recs); err != nil {
+		return nil, err
+	}
+	if onCommit != nil {
+		onCommit()
+	}
+	return noopWait, nil
+}
+
+// appendPerCall is the historical write path: one buffered write, one
+// fsync, under the store lock.
+func (s *Dir) appendPerCall(id string, recs [][]byte) error {
 	var buf bytes.Buffer
 	for _, rec := range recs {
 		if bytes.IndexByte(rec, '\n') >= 0 || !json.Valid(rec) {
@@ -270,6 +376,9 @@ func (s *Dir) AppendEvents(id string, recs [][]byte) error {
 		delete(s.wals, id)
 		return fmt.Errorf("store: syncing WAL for %q: %w", id, err)
 	}
+	s.fsyncs.Add(1)
+	s.flushes.Add(1)
+	s.records.Add(int64(len(recs)))
 	return nil
 }
 
@@ -279,6 +388,9 @@ func (s *Dir) AppendEvents(id string, recs [][]byte) error {
 func (s *Dir) Snapshot(id string, snap []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.group != nil {
+		return s.snapshotGrouped(id, snap)
+	}
 	w, err := s.wal(id)
 	if err != nil {
 		return err
@@ -307,6 +419,40 @@ func (s *Dir) Snapshot(id string, snap []byte) error {
 	return nil
 }
 
+// snapshotGrouped commits a new generation in group mode: the snapshot
+// rename both supersedes this cluster's segment records (Load skips
+// records whose generation is older than the committed snapshot's) and
+// heals any append poison — the snapshot holds the full current state,
+// so a failed batch's gap is gone. Superseded segments are collected.
+func (s *Dir) snapshotGrouped(id string, snap []byte) error {
+	gen, err := s.group.genOf(id)
+	if err != nil {
+		return err
+	}
+	dir := s.dir(id)
+	next := gen + 1
+	nf, err := os.OpenFile(filepath.Join(dir, walName(next)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating wal gen %d for %q: %w", next, id, err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	nf.Close()
+	if err := writeFileAtomic(filepath.Join(dir, snapName(next)), snap); err != nil {
+		return fmt.Errorf("store: writing snapshot for %q: %w", id, err)
+	}
+	// Committed: retire the superseded generation's files.
+	os.Remove(filepath.Join(dir, walName(gen)))
+	if gen > 0 {
+		os.Remove(filepath.Join(dir, snapName(gen)))
+	}
+	s.group.committed(id, next)
+	s.group.gc()
+	return nil
+}
+
 // Remove deletes all state for id; removing an unknown id is a no-op.
 func (s *Dir) Remove(id string) error {
 	if err := validID(id); err != nil {
@@ -321,7 +467,14 @@ func (s *Dir) Remove(id string) error {
 	if err := os.RemoveAll(s.dir(id)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return syncDir(s.root)
+	if err := syncDir(s.root); err != nil {
+		return err
+	}
+	if s.group != nil {
+		s.group.removed(id)
+		s.group.gc()
+	}
+	return nil
 }
 
 // Load scans the root and returns every committed cluster, sorted by id.
@@ -335,6 +488,7 @@ func (s *Dir) Load() ([]Record, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var out []Record
+	gens := make(map[string]int)
 	for _, e := range entries {
 		if !e.IsDir() || validID(e.Name()) != nil {
 			continue
@@ -365,7 +519,20 @@ func (s *Dir) Load() ([]Record, error) {
 			return nil, fmt.Errorf("store: reading WAL of %q: %w", id, err)
 		}
 		rec.WAL = wal
+		gens[id] = gen
 		out = append(out, rec)
+	}
+	if s.group != nil {
+		// The per-cluster WAL is a frozen prefix in group mode (only a
+		// pre-migration store wrote it); committed segment records of the
+		// live generation replay after it, in commit order.
+		byID := make(map[string]*Record, len(out))
+		for i := range out {
+			byID[out[i].ID] = &out[i]
+		}
+		if err := s.group.loadInto(byID, gens); err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
@@ -419,6 +586,9 @@ func (s *Dir) Close() error {
 	for id, w := range s.wals {
 		w.f.Close()
 		delete(s.wals, id)
+	}
+	if s.group != nil {
+		s.group.close()
 	}
 	return nil
 }

@@ -28,6 +28,13 @@ func backends(t *testing.T) map[string]func() backend {
 			}
 			return d
 		},
+		"group": func() backend {
+			d, err := NewDirWith(t.TempDir(), DirOptions{GroupCommit: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
 	}
 }
 

@@ -1,0 +1,58 @@
+//go:build linux
+
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// fdatasync flushes a file's data — and only the metadata needed to read
+// that data back — skipping the inode-timestamp write a full fsync pays.
+// It is the per-batch sync of the group-commit WAL: segments are
+// preallocated, so an append changes no file size and the data-only sync
+// is sufficient for durability.
+func fdatasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err == nil {
+			return nil
+		}
+		if err != syscall.EINTR {
+			return &os.PathError{Op: "fdatasync", Path: f.Name(), Err: err}
+		}
+	}
+}
+
+// preallocate reserves size bytes of backing store for f so later writes
+// within the extent never allocate (and never extend file metadata inside
+// the commit fsync). Filesystems without fallocate support fall back to
+// Truncate, which still fixes the file size even if blocks stay sparse.
+func preallocate(f *os.File, size int64) error {
+	for {
+		err := syscall.Fallocate(int(f.Fd()), 0, 0, size)
+		switch {
+		case err == nil:
+			return nil
+		case err == syscall.EINTR:
+			continue
+		case errors.Is(err, syscall.EOPNOTSUPP) || errors.Is(err, syscall.ENOSYS):
+			return f.Truncate(size)
+		default:
+			return &os.PathError{Op: "fallocate", Path: f.Name(), Err: err}
+		}
+	}
+}
+
+// ignorableSyncErr reports whether a directory-fsync failure means "this
+// filesystem cannot sync directories" (tolerable: the rename/create is
+// still ordered by the filesystem's own journal) rather than a real I/O
+// failure that must propagate. ENOTSUP/EINVAL/ENOSYS are what virtiofs,
+// some FUSE filesystems, and pre-fsync network mounts return for
+// directory fds.
+func ignorableSyncErr(err error) bool {
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.ENOSYS)
+}

@@ -1,0 +1,24 @@
+//go:build !linux
+
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// fdatasync falls back to a full fsync on platforms without a distinct
+// data-only sync syscall exposed through the stdlib.
+func fdatasync(f *os.File) error { return f.Sync() }
+
+// preallocate fixes the file size via Truncate; without fallocate the
+// blocks may stay sparse, which still keeps append offsets stable.
+func preallocate(f *os.File, size int64) error { return f.Truncate(size) }
+
+// ignorableSyncErr reports whether a directory-fsync failure means the
+// filesystem cannot sync directories (tolerable) rather than real I/O
+// trouble.
+func ignorableSyncErr(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

@@ -149,6 +149,23 @@ type Backend interface {
 	Load() ([]Record, error)
 }
 
+// stager is the optional staged-append surface of a Backend (satisfied
+// by *Dir). A Tee whose inner store implements it exposes the same
+// surface, so group-commit batching reaches through replication.
+type stager interface {
+	StageEvents(id string, recs [][]byte, onCommit func()) (func() error, error)
+}
+
+// pendingOp is an append Op staged on the inner store but not yet
+// fsync'd. Its commit callback publishes it — unless a Snapshot or
+// Remove overtook the cluster first and cancelled it (the superseding
+// Op carries the full state, and publishing the stale append afterwards
+// would break the follower's PrevWAL anchoring).
+type pendingOp struct {
+	op        Op
+	cancelled bool
+}
+
 // Tee is a Store that fans every successfully applied mutation out to a
 // replication Log, tagged with a tenant name. It tracks each cluster's
 // current WAL length so append Ops carry the PrevWAL anchor followers
@@ -163,14 +180,16 @@ type Tee struct {
 	inner  Backend
 	log    *Log
 
-	mu     sync.Mutex
-	walLen map[string]int
+	mu      sync.Mutex
+	walLen  map[string]int
+	pending map[string][]*pendingOp // staged, unpublished appends per cluster, stage order
 }
 
 // NewTee wraps inner, publishing its mutations to log under the tenant
 // label.
 func NewTee(tenant string, inner Backend, log *Log) *Tee {
-	return &Tee{tenant: tenant, inner: inner, log: log, walLen: make(map[string]int)}
+	return &Tee{tenant: tenant, inner: inner, log: log,
+		walLen: make(map[string]int), pending: make(map[string][]*pendingOp)}
 }
 
 // SeedAnchors primes the per-cluster WAL anchors without re-reading the
@@ -199,25 +218,130 @@ func (t *Tee) Put(id string, spec []byte) error {
 // AppendEvents commits the records, then publishes them anchored at the
 // pre-append WAL length.
 func (t *Tee) AppendEvents(id string, recs [][]byte) error {
-	if len(recs) == 0 {
-		return nil
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.inner.AppendEvents(id, recs); err != nil {
+	wait, err := t.StageEvents(id, recs, nil)
+	if err != nil {
 		return err
 	}
-	prev, ok := t.walLen[id]
-	if !ok {
+	return wait()
+}
+
+// StageEvents forwards a staged append to the inner store, keeping the
+// Tee's commit-first-publish-second contract per batch: the append Op is
+// prepared here (anchored at the pre-append WAL length) but published
+// from the inner store's commit callback, which fires only after the
+// batch's fsync — the Log never carries records the disk does not hold.
+// Callbacks fire in stage order within and across batches, so Ops stay
+// anchored; a Snapshot or Remove that overtakes an in-flight append
+// cancels its pending Op (see pendingOp).
+//
+// The Tee lock is NOT held across the inner call: a non-batching inner
+// store runs onCommit synchronously (which re-enters the Tee), and a
+// batching one must let the stager park without blocking other tenants'
+// Ops. Per-cluster stage order is the caller's to keep, exactly as for
+// Dir.StageEvents.
+func (t *Tee) StageEvents(id string, recs [][]byte, onCommit func()) (func() error, error) {
+	if len(recs) == 0 {
+		if onCommit != nil {
+			onCommit()
+		}
+		return noopWait, nil
+	}
+	st, staged := t.inner.(stager)
+	t.mu.Lock()
+	prev, tracked := t.walLen[id]
+	if !tracked {
+		t.mu.Unlock()
 		// An append for a cluster this Tee never saw created or loaded
 		// would publish an unanchorable Op; refuse loudly rather than
 		// desynchronize every follower. (Unreachable through sim.Registry,
 		// which always Puts or Loads before appending.)
-		return fmt.Errorf("store: tee append for untracked cluster %q", id)
+		return nil, fmt.Errorf("store: tee append for untracked cluster %q", id)
 	}
+	if !staged {
+		// Inner store without a staged path (e.g. *Mem): commit inline,
+		// publish inline — the historical synchronous Tee behavior.
+		if err := t.inner.AppendEvents(id, recs); err != nil {
+			t.mu.Unlock()
+			return nil, err
+		}
+		t.walLen[id] = prev + len(recs)
+		t.log.Append(Op{Tenant: t.tenant, Kind: OpAppend, ID: id, Recs: recs, PrevWAL: prev})
+		t.mu.Unlock()
+		if onCommit != nil {
+			onCommit()
+		}
+		return noopWait, nil
+	}
+	tok := &pendingOp{op: Op{Tenant: t.tenant, Kind: OpAppend, ID: id, Recs: recs, PrevWAL: prev}}
+	t.pending[id] = append(t.pending[id], tok)
 	t.walLen[id] = prev + len(recs)
-	t.log.Append(Op{Tenant: t.tenant, Kind: OpAppend, ID: id, Recs: recs, PrevWAL: prev})
-	return nil
+	t.mu.Unlock()
+	wait, err := st.StageEvents(id, recs, func() {
+		t.commitStaged(id, tok)
+		if onCommit != nil {
+			onCommit()
+		}
+	})
+	if err != nil {
+		t.dropStaged(id, tok)
+		return nil, err
+	}
+	return wait, nil
+}
+
+// commitStaged publishes a staged append whose fsync just completed,
+// unless a superseding Op cancelled it.
+func (t *Tee) commitStaged(id string, tok *pendingOp) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.pending[id]
+	for i, p := range list {
+		if p == tok {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(t.pending, id)
+	} else {
+		t.pending[id] = list
+	}
+	if !tok.cancelled {
+		t.log.Append(tok.op)
+	}
+}
+
+// dropStaged unwinds a stage the inner store refused: the Op was never
+// published and the WAL anchor rolls back to its pre-stage value (per-id
+// callers are serialized, so no later stage anchored on top of it).
+func (t *Tee) dropStaged(id string, tok *pendingOp) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.pending[id]
+	for i, p := range list {
+		if p == tok {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(t.pending, id)
+	} else {
+		t.pending[id] = list
+	}
+	t.walLen[id] = tok.op.PrevWAL
+}
+
+// cancelStagedLocked voids the pending appends of a cluster a Snapshot
+// or Remove just superseded: their records are already durable inside
+// (or irrelevant to) the superseding Op, and publishing them after it
+// would hand followers an append anchored into a WAL generation that no
+// longer exists. Callers hold t.mu.
+func (t *Tee) cancelStagedLocked(id string) {
+	for _, p := range t.pending[id] {
+		p.cancelled = true
+	}
+	delete(t.pending, id)
 }
 
 // Snapshot commits the compaction, then publishes it; the cluster's WAL
@@ -228,6 +352,7 @@ func (t *Tee) Snapshot(id string, snap []byte) error {
 	if err := t.inner.Snapshot(id, snap); err != nil {
 		return err
 	}
+	t.cancelStagedLocked(id)
 	t.walLen[id] = 0
 	t.log.Append(Op{Tenant: t.tenant, Kind: OpSnapshot, ID: id, Data: snap})
 	return nil
@@ -240,6 +365,7 @@ func (t *Tee) Remove(id string) error {
 	if err := t.inner.Remove(id); err != nil {
 		return err
 	}
+	t.cancelStagedLocked(id)
 	delete(t.walLen, id)
 	t.log.Append(Op{Tenant: t.tenant, Kind: OpRemove, ID: id})
 	return nil
